@@ -1,0 +1,37 @@
+"""Ablation: measurement density.  "With larger N, E_opt converges better."
+
+Subsample one session's probes to different counts and watch localization
+quality and the head-parameter estimate as N grows.
+"""
+
+from repro.eval import ablation_measurement_density
+from repro.eval.common import format_table
+
+
+def test_ablation_measurement_density(benchmark):
+    result = benchmark.pedantic(ablation_measurement_density, rounds=1, iterations=1)
+
+    rows = [
+        [n, float(err), float(loc), float(res)]
+        for n, err, loc, res in zip(
+            result.probe_counts,
+            result.head_param_error_mm,
+            result.localization_median_deg,
+            result.residual_deg,
+        )
+    ]
+    print()
+    print("Ablation — fusion quality vs probe count N")
+    print(
+        format_table(
+            ["N probes", "|E err| (mm)", "loc med (deg)", "residual (deg)"], rows
+        )
+    )
+
+    # Localization quality must not degrade as measurements accumulate, and
+    # the densest sweep must localize well in absolute terms.
+    assert (
+        result.localization_median_deg[-1]
+        <= result.localization_median_deg[0] + 1.0
+    )
+    assert result.localization_median_deg[-1] < 6.0

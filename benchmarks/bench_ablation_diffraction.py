@@ -1,0 +1,27 @@
+"""Ablation: why model diffraction?  (Section 2's motivation.)
+
+The identical fusion pipeline run with straight-line (through-the-head)
+delays instead of wrap-around diffraction delays: the geometric model no
+longer matches how sound actually reaches the shadowed ear, so both the
+optimizer residual and the localization error inflate.
+"""
+
+from repro.eval import ablation_diffraction_model
+
+
+def test_ablation_diffraction_model(benchmark):
+    result = benchmark.pedantic(ablation_diffraction_model, rounds=1, iterations=1)
+
+    print()
+    print("Ablation — delay model inside sensor fusion")
+    print(
+        f"diffraction: median {result.diffraction_median_deg:.1f} deg, "
+        f"residual {result.diffraction_residual_deg:.1f} deg"
+    )
+    print(
+        f"euclidean  : median {result.euclidean_median_deg:.1f} deg, "
+        f"residual {result.euclidean_residual_deg:.1f} deg"
+    )
+
+    assert result.diffraction_median_deg < result.euclidean_median_deg
+    assert result.diffraction_residual_deg < result.euclidean_residual_deg

@@ -1,0 +1,120 @@
+"""Application benchmark: hearing-aid beamforming with personalized HRTFs.
+
+Section 4.5's motivating application ("Alice and Bob could listen to each
+other more clearly by wearing headphones in a noisy bar"), quantified: a
+speech target and a noise interferer around each cohort member, beamformed
+with (a) the member's UNIQ-estimated table, (b) the member's exact ground
+truth (ceiling), and (c) the global template (baseline).
+
+Null-steering quality decomposes into two numbers this benchmark reports
+separately:
+
+- **interferer suppression** — how deep the null lands on the *true*
+  interferer (needs accurate steering phase; personalization's win);
+- **target distortion** — how much the wanted signal is attenuated by
+  template/reality mismatch (hurts any imperfect table).
+
+The matched (no-null) mode is phase-robust and serves as the floor.
+"""
+
+import numpy as np
+
+from repro.core.beamforming import BinauralBeamformer, signal_to_interference_gain
+from repro.eval.common import format_table, get_cohort
+from repro.simulation.propagation import record_far_field
+from repro.signals.waveforms import speech_like, white_noise
+
+FS = 48_000
+SCENES = ((40.0, 120.0), (20.0, 95.0), (70.0, 160.0))
+
+
+def _db(ratio: float) -> float:
+    return float(10.0 * np.log10(max(ratio, 1e-30)))
+
+
+def run_beamforming_comparison():
+    cohort = get_cohort()
+    results = {
+        key: {"suppression": [], "distortion": [], "matched_sir": []}
+        for key in ("uniq", "truth", "global")
+    }
+    for m_idx, member in enumerate(cohort):
+        beams = {
+            "uniq": BinauralBeamformer(member.personalization.table),
+            "truth": BinauralBeamformer(member.ground_truth),
+            "global": BinauralBeamformer(cohort.global_template),
+        }
+        rng = np.random.default_rng(600 + m_idx)
+        for s_idx, (target_deg, null_deg) in enumerate(SCENES):
+            speech = speech_like(0.5, FS, rng=np.random.default_rng(s_idx))
+            noise = white_noise(0.5, FS, rng=np.random.default_rng(50 + s_idx))
+            tl, tr = record_far_field(
+                member.subject, target_deg, speech, FS, rng=rng, noise_std=0.0
+            )
+            il, ir = record_far_field(
+                member.subject, null_deg, noise, FS, rng=rng, noise_std=0.0
+            )
+            # The LCMV output is *distortionless* toward the target: a
+            # perfect beamformer reproduces the dry source.  Distortion is
+            # therefore scored against the dry speech, band-limited to the
+            # beamformer's analysis band.
+            spectrum = np.fft.rfft(speech)
+            freqs = np.fft.rfftfreq(speech.shape[0], d=1.0 / FS)
+            in_band = (freqs >= 150.0) & (freqs <= 16_000.0)
+            dry_energy = float(
+                np.sum(np.abs(spectrum[in_band]) ** 2) / speech.shape[0] * 2
+            )
+            for key, beam in beams.items():
+                out_t = beam.extract(tl, tr, FS, target_deg, null_deg)
+                out_i = beam.extract(il, ir, FS, target_deg, null_deg)
+                results[key]["suppression"].append(
+                    _db(np.sum(out_i**2) / np.sum(il**2))
+                )
+                results[key]["distortion"].append(
+                    _db(np.sum(out_t**2) / dry_energy)
+                )
+                results[key]["matched_sir"].append(
+                    signal_to_interference_gain(
+                        beam, tl, tr, il, ir, FS, target_deg
+                    )
+                )
+    return results
+
+
+def test_app_beamforming(benchmark):
+    results = benchmark.pedantic(run_beamforming_comparison, rounds=1, iterations=1)
+
+    def median(key, field):
+        return float(np.median(results[key][field]))
+
+    rows = [
+        [
+            label,
+            median(key, "suppression"),
+            median(key, "distortion"),
+            median(key, "matched_sir"),
+        ]
+        for label, key in (
+            ("UNIQ personalized", "uniq"),
+            ("exact ground truth", "truth"),
+            ("global template", "global"),
+        )
+    ]
+    print()
+    print("Hearing-aid beamforming (median over cohort x scenes, dB)")
+    print(
+        format_table(
+            ["steering table", "null: interferer", "null: target", "matched SIR gain"],
+            rows,
+        )
+    )
+
+    # The exact table is the ceiling: deep nulls, near-unity target passage.
+    assert median("truth", "suppression") < -20.0
+    assert median("truth", "distortion") > -3.0
+    # Personalized nulls land deeper on the true interferer than global
+    # ones — steering accuracy is the personalization win.
+    assert median("uniq", "suppression") < median("global", "suppression")
+    # The phase-robust matched mode helps for every table.
+    assert median("uniq", "matched_sir") > 0.0
+    assert median("global", "matched_sir") > 0.0

@@ -1,0 +1,32 @@
+"""Figure 16: speaker-microphone chain frequency response.
+
+Paper: the response is unstable below 50 Hz and reasonably stable over
+100 Hz - 10 kHz; the co-located calibration measurement recovers it well
+enough to compensate (Section 4.6).
+"""
+
+import numpy as np
+
+from repro.eval import fig16_frequency_response
+
+
+def test_fig16_frequency_response(benchmark):
+    result = benchmark.pedantic(fig16_frequency_response, rounds=1, iterations=1)
+
+    print()
+    print("Figure 16 — speaker/microphone frequency response")
+    for f_target in (20, 50, 100, 1000, 10_000, 20_000):
+        idx = int(np.argmin(np.abs(result.freqs - f_target)))
+        print(
+            f"  {result.freqs[idx]:8.0f} Hz : true {result.true_db[idx]:7.1f} dB, "
+            f"measured {result.measured_db[idx]:7.1f} dB"
+        )
+    print(f"std below 50 Hz      : {result.low_band_std_db:.1f} dB (unstable)")
+    print(f"std 100 Hz - 10 kHz  : {result.mid_band_std_db:.1f} dB (stable)")
+    print(f"calibration RMS error: {result.measurement_rms_error_db:.2f} dB")
+
+    # The paper's shape: wild low end, stable mid band.
+    assert result.low_band_std_db > 3 * result.mid_band_std_db
+    assert result.mid_band_std_db < 3.0
+    # The calibration procedure must recover the mid band within ~2 dB RMS.
+    assert result.measurement_rms_error_db < 2.0

@@ -1,0 +1,29 @@
+"""Figure 17: phone localization accuracy during the hand rotation.
+
+Paper: estimated vs ground-truth polar angle hugs the diagonal; the error
+CDF has a median of 4.8 degrees with rare excursions toward ~15 degrees.
+"""
+
+import numpy as np
+
+from repro.eval import fig17_localization
+
+
+def test_fig17_localization(benchmark):
+    result = benchmark.pedantic(fig17_localization, rounds=1, iterations=1)
+
+    print()
+    print("Figure 17 — phone angular error (all volunteers, all probes)")
+    print(f"probes   : {result.errors_deg.shape[0]}")
+    print(f"median   : {result.median_error_deg:.1f} deg (paper: 4.8)")
+    print(f"90th pct : {result.p90_error_deg:.1f} deg")
+    print(f"max      : {result.max_error_deg:.1f} deg (paper: ~15)")
+    for q in (0.25, 0.5, 0.75, 0.9):
+        print(f"  CDF {q:.2f} @ {np.percentile(result.errors_deg, 100 * q):.1f} deg")
+
+    # Paper shape: single-digit median, bounded tail.
+    assert result.median_error_deg < 8.0
+    assert result.max_error_deg < 25.0
+    # Estimates track truth: correlation of the scatter plot near 1.
+    r = np.corrcoef(result.truth_angles_deg, result.estimated_angles_deg)[0, 1]
+    assert r > 0.99

@@ -1,0 +1,45 @@
+"""Figure 19: the personalization gain holds for every volunteer.
+
+Paper: all 5 volunteers see higher correlation with UNIQ than with the
+global template, for both ears.
+"""
+
+import numpy as np
+
+from repro.eval import fig19_volunteers
+from repro.eval.common import format_table
+
+
+def test_fig19_volunteers(benchmark):
+    result = benchmark.pedantic(fig19_volunteers, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            float(ul),
+            float(gl),
+            float(ur),
+            float(gr),
+            f"{gain:.2f}x",
+        ]
+        for name, ul, gl, ur, gr, gain in zip(
+            result.names,
+            result.uniq_left,
+            result.global_left,
+            result.uniq_right,
+            result.global_right,
+            result.per_volunteer_gain,
+        )
+    ]
+    print()
+    print("Figure 19 — per-volunteer mean correlation to ground truth")
+    print(
+        format_table(
+            ["volunteer", "UNIQ L", "glob L", "UNIQ R", "glob R", "gain"], rows
+        )
+    )
+
+    # Personalization wins for every volunteer and both ears.
+    assert np.all(result.uniq_left > result.global_left)
+    assert np.all(result.uniq_right > result.global_right)
+    assert np.all(result.per_volunteer_gain > 1.1)

@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+The expensive shared fixture is the personalized 5-volunteer cohort; it is
+memoized inside :mod:`repro.eval.common`, so the first benchmark that needs
+it pays the cost and the rest reuse it within the same pytest process.
+"""

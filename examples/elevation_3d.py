@@ -1,0 +1,62 @@
+"""3D personalization: hearing height, not just azimuth.
+
+Paper Section 7: "if an application desires 3D HRTF, extending UNIQ is
+viable — the user would now need to move the phone on a sphere around the
+head, and the motion tracking equations need to be extended to 3D."
+
+This example runs that extension end to end: three capture rings (eye
+level, tilted up 30 degrees, tilted down 30 degrees), cross-ring fitting of
+the four head parameters (a, b, c, d), and the elevation HRTF field.  It
+then renders a drone flying overhead and shows that the 3D field tracks the
+true elevation cues where a flat 2D table cannot.
+
+Run:  python examples/elevation_3d.py
+"""
+
+import numpy as np
+
+from repro import VirtualSubject3D
+from repro.core.elevation import SphericalPersonalizer, capture_rings
+from repro.hrtf.hrir import BinauralIR
+from repro.hrtf.metrics import hrir_correlation
+from repro.simulation.person3d import render_far_field_hrir_3d
+from repro.signals import tone
+
+FS = 48_000
+
+
+def main() -> None:
+    subject = VirtualSubject3D.random(seed=8)
+    print("true head (a, b, c, d): "
+          + ", ".join(f"{v * 100:.1f} cm" for v in subject.head.parameters))
+
+    print("capturing 3 rings (eye level, +30 deg, -30 deg)...")
+    sessions = capture_rings(subject, tilts_deg=(-30.0, 0.0, 30.0), seed=11)
+    result = SphericalPersonalizer().personalize(sessions)
+    print("learned  (a, b, c, d): "
+          + ", ".join(f"{v * 100:.1f} cm" for v in result.head_parameters))
+
+    flat_table = result.ring_results[0.0].table
+
+    # A drone passes overhead: fixed azimuth 60, elevation sweeping.
+    print("\ndrone at azimuth 60 deg, climbing (similarity to the true HRIR):")
+    print("  elevation | 3D field | flat 2D table")
+    for elevation in (-30.0, -15.0, 0.0, 15.0, 30.0):
+        truth_l, truth_r = render_far_field_hrir_3d(subject, 60.0, elevation, FS)
+        truth = BinauralIR(left=truth_l, right=truth_r, fs=FS)
+        c_field = np.mean(hrir_correlation(result.field.lookup(60.0, elevation), truth))
+        c_flat = np.mean(hrir_correlation(flat_table.lookup(60.0, "far"), truth))
+        print(f"  {elevation:+9.0f} | {c_field:8.2f} | {c_flat:13.2f}")
+
+    # Render the drone's buzz from two heights through the 3D field.
+    buzz = tone(400.0, 0.2, FS) + 0.5 * tone(1600.0, 0.2, FS)
+    low_l, low_r = result.field.binauralize(buzz, 60.0, -25.0)
+    high_l, high_r = result.field.binauralize(buzz, 60.0, 25.0)
+    print("\nrendered buzz (left-ear energy low vs high elevation): "
+          f"{np.sum(low_l**2):.2f} vs {np.sum(high_l**2):.2f}")
+    print("-> the two heights produce distinct binaural signatures; a flat "
+          "2D table would render them identically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Room-aware spatial audio: HRTF + room impulse response together.
+
+Paper Section 7 ("Integrating Room Multipath"): "a real immersive
+experience can only be achieved by filtering the earphone sound with both
+the room impulse response (RIR) and the HRTF."
+
+This example personalizes an HRTF, places the listener in a simulated
+living room, and renders a source twice — anechoic (HRTF only) and in-room
+(every wall reflection passed through the HRTF of *its own* arrival
+direction).  The printout compares echo structure and interaural statistics
+so you can see exactly what the room adds.
+
+Run:  python examples/room_audio.py
+"""
+
+import numpy as np
+
+from repro import (
+    BinauralRoomRenderer,
+    MeasurementSession,
+    ShoeboxRoom,
+    Uniq,
+    VirtualSubject,
+)
+from repro.signals import tone
+
+
+def decay_profile(signal: np.ndarray, fs: int, n_windows: int = 6) -> list[float]:
+    """Energy (dB) in consecutive 10 ms windows after the direct sound."""
+    window = int(0.01 * fs)
+    start = int(np.argmax(np.abs(signal) > 0.05 * np.abs(signal).max()))
+    levels = []
+    for k in range(n_windows):
+        chunk = signal[start + k * window : start + (k + 1) * window]
+        energy = float(np.sum(chunk**2)) if chunk.shape[0] else 0.0
+        levels.append(10.0 * np.log10(max(energy, 1e-12)))
+    return levels
+
+
+def main() -> None:
+    subject = VirtualSubject.random(seed=19)
+    session = MeasurementSession(subject, seed=37).run()
+    table = Uniq().personalize(session).table
+    fs = session.fs
+
+    room = ShoeboxRoom(width=5.0, depth=4.0, absorption=0.3)
+    print(f"room: {room.width} x {room.depth} m, absorption {room.absorption}, "
+          f"RT60 ~ {room.reverberation_time_s():.2f} s")
+
+    listener = np.array([2.2, 1.8])
+    source = np.array([3.8, 3.2])  # front-left of a north-facing listener
+    chime = tone(1200.0, 0.04, fs)
+
+    wet = BinauralRoomRenderer(table=table, room=room, max_order=3)
+    dry = BinauralRoomRenderer(table=table, room=room, max_order=0)
+
+    images = wet.echo_summary(source, listener)
+    print(f"\nimage sources rendered: {len(images)} "
+          f"(direct + {len(images) - 1} reflections)")
+    print("first five arrivals:")
+    for image in images[:5]:
+        print(f"  order {image.order}: {image.delay_s * 1e3:5.1f} ms from "
+              f"{image.arrival_angle_deg:+6.1f} deg, gain {image.gain:.2f}")
+
+    wet_l, wet_r = wet.render(chime, source, listener)
+    dry_l, dry_r = dry.render(chime, source, listener)
+
+    print("\nleft-ear energy decay (dB per 10 ms window):")
+    print("  anechoic:", " ".join(f"{v:6.1f}" for v in decay_profile(dry_l, fs)))
+    print("  in-room :", " ".join(f"{v:6.1f}" for v in decay_profile(wet_l, fs)))
+
+    def ild_db(left, right):
+        return 10.0 * np.log10(np.sum(left**2) / np.sum(right**2))
+
+    print(f"\ninteraural level difference: anechoic {ild_db(dry_l, dry_r):+.1f} dB, "
+          f"in-room {ild_db(wet_l, wet_r):+.1f} dB")
+    print("-> reflections arrive from all around, flattening the ILD — the "
+          "diffuse tail that makes sound feel externalized in a real room.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on minimal environments that lack the
+``wheel`` package (PEP 660 editable installs need it; ``setup.py develop``
+does not).  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,109 @@
+"""repro — reproduction of "Personalizing Head Related Transfer Functions
+for Earables" (UNIQ, SIGCOMM 2021).
+
+Quickstart::
+
+    from repro import MeasurementSession, Uniq, VirtualSubject
+
+    subject = VirtualSubject.random(seed=1)          # a virtual volunteer
+    session = MeasurementSession(subject, seed=7).run()  # the phone sweep
+    result = Uniq().personalize(session)             # the UNIQ pipeline
+    left, right = result.table.binauralize(sound, theta_deg=60.0)
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.geometry`   — head model, diffraction paths, trajectories
+- :mod:`repro.signals`    — DSP toolkit (chirps, deconvolution, delays)
+- :mod:`repro.simulation` — the virtual acoustic world (subjects, earbuds,
+  IMU, room, propagation, measurement sessions)
+- :mod:`repro.hrtf`       — HRIR/HRTF containers, tables, metrics, I/O
+- :mod:`repro.core`       — the UNIQ pipeline (fusion, interpolation,
+  near-far conversion, AoA, rendering)
+- :mod:`repro.eval`       — experiment harnesses behind every paper figure
+"""
+
+from repro.constants import (
+    DEFAULT_SAMPLE_RATE,
+    NEAR_FIELD_THRESHOLD_M,
+    SPEED_OF_SOUND,
+)
+from repro.errors import (
+    CalibrationError,
+    ConvergenceError,
+    GeometryError,
+    ReproError,
+    SignalError,
+    TableError,
+)
+from repro.geometry import HeadGeometry, HeadGeometry3D, Ear
+from repro.hrtf import (
+    BinauralIR,
+    HRTFTable,
+    ground_truth_table,
+    global_template_table,
+    load_table,
+    save_table,
+)
+from repro.simulation import (
+    MeasurementSession,
+    SessionData,
+    VirtualSubject,
+    VirtualSubject3D,
+    make_population,
+)
+from repro.core import (
+    BinauralBeamformer,
+    BinauralRenderer,
+    DiffractionAwareSensorFusion,
+    HRTFField,
+    KnownSourceAoAEstimator,
+    PersonalizationResult,
+    SpatialSource,
+    SphericalPersonalizer,
+    Uniq,
+    UniqConfig,
+    UnknownSourceAoAEstimator,
+)
+from repro.room_acoustics import BinauralRoomRenderer, ShoeboxRoom
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_SAMPLE_RATE",
+    "NEAR_FIELD_THRESHOLD_M",
+    "SPEED_OF_SOUND",
+    "ReproError",
+    "GeometryError",
+    "SignalError",
+    "CalibrationError",
+    "ConvergenceError",
+    "TableError",
+    "HeadGeometry",
+    "HeadGeometry3D",
+    "Ear",
+    "BinauralIR",
+    "HRTFTable",
+    "ground_truth_table",
+    "global_template_table",
+    "load_table",
+    "save_table",
+    "MeasurementSession",
+    "SessionData",
+    "VirtualSubject",
+    "VirtualSubject3D",
+    "make_population",
+    "Uniq",
+    "UniqConfig",
+    "PersonalizationResult",
+    "DiffractionAwareSensorFusion",
+    "KnownSourceAoAEstimator",
+    "UnknownSourceAoAEstimator",
+    "BinauralBeamformer",
+    "BinauralRenderer",
+    "SpatialSource",
+    "HRTFField",
+    "SphericalPersonalizer",
+    "BinauralRoomRenderer",
+    "ShoeboxRoom",
+    "__version__",
+]

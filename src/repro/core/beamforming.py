@@ -1,0 +1,160 @@
+"""HRTF-aware binaural beamforming: listening toward a chosen direction.
+
+Section 4.5's motivation: "earphones could serve as hearing aids, and
+beamform in the direction of a desired speech signal; thus, Alice and Bob
+could listen to each other more clearly by wearing headphones in a noisy
+bar."  Classical two-microphone beamformers assume free-field steering
+vectors; on a head, the steering vector *is* the HRTF pair — so a
+personalized HRTF directly improves the beam.
+
+Two beamformers are provided, both per-frequency on the two ear channels:
+
+- **matched** (max-SNR in spatially white noise):
+  ``Y = (H_L* L + H_R* R) / (|H_L|^2 + |H_R|^2)``
+- **null-steering** (LCMV): with two channels one interferer can be nulled
+  exactly — unit gain toward the target, zero toward the interferer.
+
+The quality of both hinges on how well the assumed HRTFs match the
+listener's real ones, which is exactly the personalization story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.hrtf.table import HRTFTable
+
+#: Regularization floor (relative) for per-frequency normalizations.
+_EPSILON = 1e-6
+
+#: Analysis band: outside it the HRTFs carry no reliable structure.
+_BAND = (150.0, 16_000.0)
+
+
+@dataclass
+class BinauralBeamformer:
+    """Frequency-domain beamformer steered with an HRTF table.
+
+    Parameters
+    ----------
+    table:
+        The HRTF table whose far-field entries serve as steering vectors —
+        the personal table for UNIQ, the global template for the baseline.
+    """
+
+    table: HRTFTable
+
+    def _steering(self, theta_deg: float, n_fft: int) -> tuple[np.ndarray, np.ndarray]:
+        """(H_left, H_right) steering spectra for one direction."""
+        template = self.table.lookup(theta_deg, "far")
+        return (
+            np.fft.rfft(template.left, n_fft),
+            np.fft.rfft(template.right, n_fft),
+        )
+
+    @staticmethod
+    def _band_mask(n_fft: int, fs: int) -> np.ndarray:
+        freqs = np.fft.rfftfreq(n_fft, d=1.0 / fs)
+        return (freqs >= _BAND[0]) & (freqs <= _BAND[1])
+
+    def extract(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        fs: int,
+        target_deg: float,
+        null_deg: float | None = None,
+    ) -> np.ndarray:
+        """Extract the signal arriving from ``target_deg``.
+
+        With ``null_deg`` given, a hard spatial null is placed there (LCMV
+        with two constraints — exact for two channels); otherwise the
+        matched (max-white-noise-SNR) beamformer is used.  Returns the
+        beamformed mono signal, time aligned with the inputs.
+        """
+        left = np.asarray(left, dtype=float)
+        right = np.asarray(right, dtype=float)
+        if left.shape != right.shape or left.ndim != 1 or left.shape[0] < 8:
+            raise SignalError("left/right must be matching 1D arrays (>= 8 samples)")
+        if fs != self.table.fs:
+            raise SignalError(f"recording rate {fs} != table rate {self.table.fs}")
+
+        n_fft = int(2 ** np.ceil(np.log2(2 * left.shape[0])))
+        spectrum = np.stack([np.fft.rfft(left, n_fft), np.fft.rfft(right, n_fft)])
+        h_target = np.stack(self._steering(target_deg, n_fft))
+
+        if null_deg is None:
+            # Matched beamformer: y = h_target^H X.  A single broadband
+            # scalar keeps the output level comparable to the input; per-bin
+            # normalization would boost exactly the bins where the target
+            # response is weak (worst per-bin SIR).
+            power = np.sum(np.abs(h_target) ** 2, axis=0)
+            weights = np.conj(h_target) / max(float(power.mean()), _EPSILON)
+        else:
+            weights = self._null_steering_weights(
+                h_target, np.stack(self._steering(null_deg, n_fft))
+            )
+
+        mask = self._band_mask(n_fft, fs)
+        output = np.where(mask, np.sum(weights * spectrum, axis=0), 0.0)
+        return np.fft.irfft(output, n_fft)[: left.shape[0]]
+
+    @staticmethod
+    def _null_steering_weights(
+        h_target: np.ndarray, h_null: np.ndarray
+    ) -> np.ndarray:
+        """Per-frequency null-steering weights, as *applied* coefficients.
+
+        The output is ``y(f) = a0(f) X0(f) + a1(f) X1(f)``; the constraints
+        ``a . h_target = 1`` and ``a . h_null = 0`` are a square 2x2 system
+        per bin.  Frequencies where the two steering vectors are (nearly)
+        parallel fall back to matched weights rather than blowing up; bins
+        with extreme weight magnitudes (deep |det| dips) are likewise
+        clamped so broadband noise is not amplified.
+        """
+        det = h_target[0] * h_null[1] - h_target[1] * h_null[0]
+        scale = np.maximum(
+            np.abs(h_target).max(axis=0) * np.abs(h_null).max(axis=0), _EPSILON
+        )
+        safe = np.abs(det) > 3e-2 * scale
+        safe_det = np.where(safe, det, 1.0)
+        weights = np.stack([h_null[1] / safe_det, -h_null[0] / safe_det])
+        power = np.sum(np.abs(h_target) ** 2, axis=0)
+        matched = np.conj(h_target) / max(float(power.mean()), _EPSILON)
+        return np.where(safe[None, :], weights, matched)
+
+
+def signal_to_interference_gain(
+    beamformer: BinauralBeamformer,
+    target_left: np.ndarray,
+    target_right: np.ndarray,
+    interferer_left: np.ndarray,
+    interferer_right: np.ndarray,
+    fs: int,
+    target_deg: float,
+    null_deg: float | None = None,
+) -> float:
+    """SIR improvement (dB) of beamforming over the raw left-ear feed.
+
+    The target and interferer binaural components are supplied separately
+    (the simulator can do that), beamformed with the *same* weights, and
+    compared energy-wise — the standard way to score a linear beamformer.
+    """
+    n = min(
+        target_left.shape[0],
+        target_right.shape[0],
+        interferer_left.shape[0],
+        interferer_right.shape[0],
+    )
+    out_target = beamformer.extract(
+        target_left[:n], target_right[:n], fs, target_deg, null_deg
+    )
+    out_interferer = beamformer.extract(
+        interferer_left[:n], interferer_right[:n], fs, target_deg, null_deg
+    )
+    raw_sir = np.sum(target_left[:n] ** 2) / max(np.sum(interferer_left[:n] ** 2), 1e-300)
+    beam_sir = np.sum(out_target**2) / max(np.sum(out_interferer**2), 1e-300)
+    return float(10.0 * np.log10(beam_sir / raw_sir))

@@ -1,0 +1,207 @@
+"""The paper's "Attempt 2": blind decoupling of rays and pinna multipath.
+
+Section 4.3 sketches a deeper near-far conversion: model each near-field
+channel as
+
+    H_near(X_k) = ( sum_i A_i delta(tau_i) ) * h_k          (paper Eq. 8)
+
+where the ``tau_i`` are per-ray diffraction delays (computable from
+geometry), the ``A_i`` are unknown ray amplitudes, and ``h_k`` is the
+unknown pinna multipath kernel.  If the factorization could be recovered,
+far-field synthesis would be exact ray recombination.  The paper reports
+the attempt did not succeed — the physics-based model is under-determined.
+
+This module implements the natural solver (alternating least squares
+between the amplitude vector and the kernel) so the failure mode is
+*reproducible and quantified*:
+
+- the bilinear model fits the data essentially perfectly (reconstruction
+  error -> noise floor), yet
+- different random initializations converge to *different* factorizations
+  (scaling/shift ambiguity plus genuine local minima), so the recovered
+  kernel does not consistently match the true pinna response.
+
+See ``benchmarks/bench_ablation_blind_decoupling.py`` for the study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.signals.delays import fractional_delay_kernel
+
+
+@dataclass(frozen=True)
+class BlindDecouplingResult:
+    """One ALS run: the recovered factorization and its fit quality."""
+
+    ray_amplitudes: np.ndarray
+    pinna_kernel: np.ndarray
+    reconstruction_error: float  # relative residual ||y - y_hat|| / ||y||
+    n_iterations: int
+
+
+def _delay_train(
+    amplitudes: np.ndarray, delays_samples: np.ndarray, length: int
+) -> np.ndarray:
+    """The ray impulse train ``sum_i A_i delta(tau_i)`` as a sampled signal."""
+    train = np.zeros(length)
+    for amplitude, delay in zip(amplitudes, delays_samples):
+        integer = int(np.floor(delay))
+        fraction = float(delay - integer)
+        kernel = amplitude * fractional_delay_kernel(fraction, half_width=8)
+        start = integer - 8
+        for offset, value in enumerate(kernel):
+            index = start + offset
+            if 0 <= index < length:
+                train[index] += value
+    return train
+
+
+def _convolution_matrix(signal: np.ndarray, n_columns: int, n_rows: int) -> np.ndarray:
+    """Toeplitz operator: ``matrix @ h == convolve(signal, h)[:n_rows]``."""
+    matrix = np.zeros((n_rows, n_columns))
+    for column in range(n_columns):
+        stop = min(n_rows, column + signal.shape[0])
+        matrix[column:stop, column] = signal[: stop - column]
+    return matrix
+
+
+def blind_decoupling_attempt(
+    channel: np.ndarray,
+    ray_delays_samples: np.ndarray,
+    kernel_length: int = 48,
+    n_iterations: int = 25,
+    rng: np.random.Generator | None = None,
+) -> BlindDecouplingResult:
+    """Run one alternating-least-squares factorization attempt.
+
+    Parameters
+    ----------
+    channel:
+        The measured near-field channel (time domain, one ear).
+    ray_delays_samples:
+        The per-ray diffraction delays, known from geometry (Eq. 7: "delta
+        (tau_i) can be estimated from diffraction geometry").
+    kernel_length:
+        Length of the unknown pinna kernel ``h``.
+    n_iterations:
+        ALS sweeps (each solves both subproblems once).
+
+    Returns
+    -------
+    The recovered ``(A, h)`` pair; note the inherent scale ambiguity
+    (``(c A, h / c)`` fits identically) — the result is normalized so the
+    kernel has unit energy.
+    """
+    channel = np.asarray(channel, dtype=float)
+    delays = np.asarray(ray_delays_samples, dtype=float)
+    if channel.ndim != 1 or channel.shape[0] < kernel_length + 8:
+        raise SignalError("channel too short for the requested kernel length")
+    if delays.ndim != 1 or delays.shape[0] < 1:
+        raise SignalError("need at least one ray delay")
+    if np.any(delays < 0) or np.any(delays >= channel.shape[0]):
+        raise SignalError("ray delays must lie inside the channel window")
+    if kernel_length < 2 or n_iterations < 1:
+        raise SignalError("kernel_length >= 2 and n_iterations >= 1 required")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    n = channel.shape[0]
+    amplitudes = rng.standard_normal(delays.shape[0])
+    norm_y = float(np.linalg.norm(channel))
+    if norm_y == 0.0:
+        raise SignalError("channel is all zeros")
+
+    kernel = np.zeros(kernel_length)
+    for _ in range(n_iterations):
+        # h-step: given A, the model is linear in h.
+        train = _delay_train(amplitudes, delays, n)
+        matrix_h = _convolution_matrix(train, kernel_length, n)
+        kernel, *_ = np.linalg.lstsq(matrix_h, channel, rcond=None)
+        # A-step: given h, the model is linear in A (one column per ray).
+        columns = []
+        for delay in delays:
+            unit = _delay_train(np.array([1.0]), np.array([delay]), n)
+            columns.append(np.convolve(unit, kernel)[:n])
+        matrix_a = np.stack(columns, axis=1)
+        amplitudes, *_ = np.linalg.lstsq(matrix_a, channel, rcond=None)
+
+    train = _delay_train(amplitudes, delays, n)
+    reconstruction = np.convolve(train, kernel)[:n]
+    error = float(np.linalg.norm(channel - reconstruction) / norm_y)
+
+    # Remove the scale ambiguity for comparability across runs.
+    kernel_norm = float(np.linalg.norm(kernel))
+    if kernel_norm > 0:
+        kernel = kernel / kernel_norm
+        amplitudes = amplitudes * kernel_norm
+    return BlindDecouplingResult(
+        ray_amplitudes=amplitudes,
+        pinna_kernel=kernel,
+        reconstruction_error=error,
+        n_iterations=n_iterations,
+    )
+
+
+@dataclass(frozen=True)
+class ConsistencyStudy:
+    """Cross-restart statistics of the blind factorization.
+
+    A well-posed problem would give a small ``best_error`` *and* near-1
+    ``kernel_agreement``; the paper's point is that only the first holds —
+    the bilinear model can fit the data, but the factorization is not
+    unique (and many restarts do not even converge, hence ``mean_error``
+    well above ``best_error``).
+    """
+
+    best_error: float
+    mean_error: float
+    kernel_agreement: float
+    results: tuple[BlindDecouplingResult, ...]
+
+
+def decoupling_consistency(
+    channel: np.ndarray,
+    ray_delays_samples: np.ndarray,
+    n_restarts: int = 6,
+    kernel_length: int = 64,
+    n_iterations: int = 40,
+    seed: int = 0,
+) -> ConsistencyStudy:
+    """Run independent restarts of the blind factorization and compare them."""
+    from repro.signals.correlation import max_normalized_correlation
+
+    results = [
+        blind_decoupling_attempt(
+            channel,
+            ray_delays_samples,
+            kernel_length=kernel_length,
+            n_iterations=n_iterations,
+            rng=np.random.default_rng(seed + restart),
+        )
+        for restart in range(n_restarts)
+    ]
+    errors = [r.reconstruction_error for r in results]
+    correlations = []
+    for i in range(len(results)):
+        for j in range(i + 1, len(results)):
+            # Compare up to the inherent (A, h) ~ (-A, -h) sign ambiguity.
+            correlations.append(
+                max(
+                    max_normalized_correlation(
+                        results[i].pinna_kernel, results[j].pinna_kernel
+                    ),
+                    max_normalized_correlation(
+                        -results[i].pinna_kernel, results[j].pinna_kernel
+                    ),
+                )
+            )
+    return ConsistencyStudy(
+        best_error=float(np.min(errors)),
+        mean_error=float(np.mean(errors)),
+        kernel_agreement=float(np.mean(correlations)),
+        results=tuple(results),
+    )

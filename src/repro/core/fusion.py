@@ -1,0 +1,278 @@
+"""Diffraction-Aware Sensor Fusion (DSF): jointly solve head + phone location.
+
+Paper Section 4.1.  Neither sensor solves localization alone: the gyroscope
+gives the phone's polar angle (because the screen faces the user) but no
+distance and with drift; the binaural first-tap delays give location *only
+if* the head parameters ``E = (a, b, c)`` are known.  The fusion algorithm:
+
+1. integrate the gyro into orientation angles ``alpha_i`` at each probe;
+2. for a candidate ``E``, invert the measured delay pairs into candidate
+   locations (:class:`repro.core.localize.DelayMap`), disambiguating
+   front/back with ``alpha_i``, yielding acoustic angles ``theta_i(E)``;
+3. find ``E_opt = argmin_E sum_i (alpha_i - theta_i(E))^2``   (Eq. 2);
+4. output fused angles ``phi_i = (theta_i(E_opt) + alpha_i) / 2`` and the
+   acoustically derived radii                                   (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.constants import SPEED_OF_SOUND
+from repro.errors import ConvergenceError, SignalError
+from repro.geometry.head import HeadGeometry
+from repro.simulation.imu import IMUTrace, integrate_gyro
+from repro.simulation.session import SessionData
+from repro.signals.channel import (
+    estimate_channel,
+    first_tap_index,
+    refine_tap_position,
+)
+from repro.core.localize import DelayMap
+
+#: Squared-error penalty (deg^2 contribution via this delta) for a probe the
+#: candidate head cannot explain at all.
+_UNSOLVED_PENALTY_DEG = 45.0
+
+#: Head-axis search bounds (m): generous anthropometric range.
+_BOUNDS = {"a": (0.065, 0.115), "b": (0.085, 0.145), "c": (0.072, 0.125)}
+
+
+@dataclass(frozen=True)
+class FusionResult:
+    """Output of diffraction-aware sensor fusion for one session.
+
+    Attributes
+    ----------
+    head:
+        The optimized head geometry ``E_opt``.
+    t_left, t_right:
+        Measured absolute first-tap delays per probe (s).
+    imu_angles_deg:
+        Gyro-integrated orientation ``alpha_i`` at each probe.
+    acoustic_angles_deg:
+        ``theta_i(E_opt)`` from delay inversion (nan where unsolvable).
+    fused_angles_deg:
+        Equation (3) angles ``(theta_i + alpha_i) / 2`` (falls back to
+        ``alpha_i`` where acoustics failed).
+    radii_m:
+        Acoustically derived phone distances (median-filled where failed).
+    residual_deg:
+        RMS of ``alpha_i - theta_i(E_opt)`` over solved probes — the
+        optimizer's final misfit, also used by the gesture-quality check.
+    solved:
+        Boolean mask of probes the delay inversion explained.
+    """
+
+    head: HeadGeometry
+    t_left: np.ndarray
+    t_right: np.ndarray
+    imu_angles_deg: np.ndarray
+    acoustic_angles_deg: np.ndarray
+    fused_angles_deg: np.ndarray
+    radii_m: np.ndarray
+    residual_deg: float
+    solved: np.ndarray
+    gyro_bias_dps: float = 0.0
+
+    @property
+    def n_probes(self) -> int:
+        return int(self.fused_angles_deg.shape[0])
+
+    @property
+    def median_radius_m(self) -> float:
+        return float(np.median(self.radii_m[self.solved])) if self.solved.any() else float("nan")
+
+
+@dataclass
+class DiffractionAwareSensorFusion:
+    """Configuration + execution of the DSF stage.
+
+    Parameters
+    ----------
+    channel_window_s:
+        Impulse-response window deconvolved per probe; must cover the
+        longest plausible phone-to-ear delay (1.4 m -> ~4.1 ms) plus pinna
+        tail.
+    fusion_boundary_samples:
+        Head boundary resolution used *inside* the optimizer (coarse = fast;
+        the final pass re-localizes at full resolution).
+    map_radii / map_thetas:
+        Polar grid specs handed to :class:`DelayMap` during optimization.
+    initial_angle_deg:
+        The instructed gesture start orientation (the app tells the user to
+        begin at the nose, i.e. 0).
+    max_iterations:
+        Nelder-Mead iteration cap for the ``E`` search.
+    """
+
+    channel_window_s: float = 0.012
+    fusion_boundary_samples: int = 240
+    map_radii: tuple[float, float, int] = (0.16, 1.2, 24)
+    map_thetas: tuple[float, float, int] = (-40.0, 220.0, 88)
+    final_map_radii: tuple[float, float, int] = (0.16, 1.2, 48)
+    final_map_thetas: tuple[float, float, int] = (-40.0, 220.0, 261)
+    initial_angle_deg: float = 0.0
+    max_iterations: int = 120
+    delay_model: str = "diffraction"
+    estimate_gyro_bias: bool = True
+    speed_of_sound: float = SPEED_OF_SOUND
+
+    def extract_probe_delays(
+        self, session: SessionData
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-probe absolute first-tap delays (s) at the (left, right) ears.
+
+        Deconvolves each probe recording with the known played signal and
+        picks the first significant channel tap with sub-sample refinement.
+        """
+        n_window = int(self.channel_window_s * session.fs)
+        t_left = np.zeros(session.n_probes)
+        t_right = np.zeros(session.n_probes)
+        for i, probe in enumerate(session.probes):
+            for attr, out in (("left", t_left), ("right", t_right)):
+                channel = estimate_channel(
+                    getattr(probe, attr), session.probe_signal, n_window
+                )
+                tap = refine_tap_position(channel, first_tap_index(channel))
+                out[i] = tap / session.fs
+        return t_left, t_right
+
+    def imu_angles(self, session: SessionData) -> np.ndarray:
+        """Gyro-integrated orientation ``alpha_i`` at each probe time."""
+        trace: IMUTrace = session.imu
+        angles = integrate_gyro(trace, self.initial_angle_deg)
+        probe_times = np.array([p.time for p in session.probes])
+        return np.interp(probe_times, trace.times, angles)
+
+    def _localize_all(
+        self,
+        delay_map: DelayMap,
+        t_left: np.ndarray,
+        t_right: np.ndarray,
+        alphas: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(theta_i, r_i, solved) for every probe under one delay map."""
+        n = t_left.shape[0]
+        thetas = np.full(n, np.nan)
+        radii = np.full(n, np.nan)
+        solved = np.zeros(n, dtype=bool)
+        for i in range(n):
+            candidate = delay_map.locate(t_left[i], t_right[i], alphas[i])
+            if candidate is not None:
+                thetas[i] = candidate.theta_deg
+                radii[i] = candidate.radius_m
+                solved[i] = True
+        return thetas, radii, solved
+
+    def _debiased(
+        self, alphas: np.ndarray, elapsed: np.ndarray, bias_dps: float
+    ) -> np.ndarray:
+        """IMU angles with a candidate constant gyro-bias drift removed."""
+        return alphas - bias_dps * elapsed
+
+    def _cost(
+        self,
+        params: np.ndarray,
+        t_left: np.ndarray,
+        t_right: np.ndarray,
+        alphas: np.ndarray,
+        elapsed: np.ndarray,
+    ) -> float:
+        a, b, c = params[:3]
+        bias = float(params[3]) if params.shape[0] > 3 else 0.0
+        for value, (lo, hi) in zip(params[:3], _BOUNDS.values()):
+            if not lo <= value <= hi:
+                return 1e6 * (1.0 + float(np.sum(np.abs(params))))
+        if abs(bias) > 3.0:
+            return 1e6 * (1.0 + abs(bias))
+        head = HeadGeometry(a=a, b=b, c=c, n_boundary=self.fusion_boundary_samples)
+        delay_map = DelayMap(
+            head,
+            self.map_radii,
+            self.map_thetas,
+            self.speed_of_sound,
+            model=self.delay_model,
+        )
+        corrected = self._debiased(alphas, elapsed, bias)
+        thetas, _, solved = self._localize_all(delay_map, t_left, t_right, corrected)
+        deltas = np.where(solved, corrected - thetas, _UNSOLVED_PENALTY_DEG)
+        return float(np.mean(deltas**2))
+
+    def run(self, session: SessionData) -> FusionResult:
+        """Execute sensor fusion on one measurement session."""
+        if session.n_probes < 5:
+            raise SignalError(
+                f"need >= 5 probes for fusion, got {session.n_probes}"
+            )
+        t_left, t_right = self.extract_probe_delays(session)
+        alphas = self.imu_angles(session)
+        probe_times = np.array([p.time for p in session.probes])
+        elapsed = probe_times - probe_times[0]
+
+        x0 = np.array([np.mean(bounds) for bounds in _BOUNDS.values()])
+        simplex_step = np.eye(3) * 0.008
+        if self.estimate_gyro_bias:
+            # The gyro's constant rate bias shows up as a linear drift of
+            # alpha against the (drift-free) acoustic angles, so it is
+            # observable from the same residual and co-estimated with E.
+            x0 = np.append(x0, 0.0)
+            simplex_step = np.zeros((4, 4))
+            simplex_step[:3, :3] = np.eye(3) * 0.008
+            simplex_step[3, 3] = 0.5
+        result = optimize.minimize(
+            self._cost,
+            x0,
+            args=(t_left, t_right, alphas, elapsed),
+            method="Nelder-Mead",
+            options={
+                "maxiter": self.max_iterations,
+                "xatol": 2e-4,
+                "fatol": 0.05,
+                "initial_simplex": x0
+                + np.vstack([np.zeros(x0.shape[0]), simplex_step]),
+            },
+        )
+        if not np.all(np.isfinite(result.x)):
+            raise ConvergenceError(f"head parameter search diverged: {result}")
+        a, b, c = np.clip(
+            result.x[:3],
+            [lo for lo, _ in _BOUNDS.values()],
+            [hi for _, hi in _BOUNDS.values()],
+        )
+        bias = float(result.x[3]) if self.estimate_gyro_bias else 0.0
+        alphas = self._debiased(alphas, elapsed, bias)
+        head = HeadGeometry(a=float(a), b=float(b), c=float(c))
+
+        # Final pass: full-resolution boundary and a fine inversion grid.
+        final_map = DelayMap(
+            head,
+            self.final_map_radii,
+            self.final_map_thetas,
+            self.speed_of_sound,
+            model=self.delay_model,
+        )
+        thetas, radii, solved = self._localize_all(final_map, t_left, t_right, alphas)
+        fused = np.where(solved, 0.5 * (thetas + alphas), alphas)
+        if solved.any():
+            radii = np.where(solved, radii, np.median(radii[solved]))
+            residual = float(
+                np.sqrt(np.mean((alphas[solved] - thetas[solved]) ** 2))
+            )
+        else:
+            residual = float("inf")
+        return FusionResult(
+            head=head,
+            t_left=t_left,
+            t_right=t_right,
+            imu_angles_deg=alphas,
+            acoustic_angles_deg=thetas,
+            fused_angles_deg=fused,
+            radii_m=radii,
+            residual_deg=residual,
+            solved=solved,
+            gyro_bias_dps=bias,
+        )

@@ -1,0 +1,215 @@
+"""Near-field HRTF measurement extraction and interpolation (Section 4.2).
+
+A user cannot hold the phone at every angle, so UNIQ measures the near-field
+HRTF at the discrete angles the fused trajectory visited and *interpolates*
+to a continuous angle grid.  Two details from the paper matter:
+
+- HRIRs must be **aligned along their first taps** before linear blending,
+  or interpolation injects spurious echoes;
+- the interpolated result is **checked against the diffraction model** built
+  from the learned head parameters, and the first-tap time difference and
+  amplitudes are adjusted to match the model's expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_HRIR_DURATION_S,
+    ROOM_REFLECTION_CUTOFF_S,
+    SPEED_OF_SOUND,
+)
+from repro.errors import SignalError
+from repro.geometry.head import Ear, HeadGeometry
+from repro.geometry.paths import propagation_path
+from repro.geometry.vec import polar_to_cartesian
+from repro.hrtf.hrir import BinauralIR
+from repro.hrtf.table import interpolate_hrir_pair
+from repro.physics import near_field_first_tap_gain
+from repro.signals.channel import (
+    estimate_channel,
+    first_tap_index,
+    refine_tap_position,
+    truncate_after,
+)
+from repro.signals.delays import apply_fractional_delay
+from repro.simulation.session import SessionData
+from repro.core.fusion import FusionResult
+
+#: Samples of headroom before the earliest first tap in an extracted HRIR.
+_PRE_SAMPLES = 12
+
+
+@dataclass(frozen=True)
+class NearFieldMeasurement:
+    """One measured near-field HRIR pair with its fused phone location."""
+
+    angle_deg: float
+    radius_m: float
+    hrir: BinauralIR
+
+
+class NearFieldInterpolator:
+    """Extracts per-probe near-field HRIRs and interpolates them to a grid.
+
+    Parameters
+    ----------
+    fs:
+        Sample rate of the session recordings.
+    hrir_duration_s:
+        Length of the extracted HRIR window.
+    channel_window_s:
+        Deconvolution window (must cover the longest probe delay).
+    room_cutoff_s:
+        Taps later than this after the first tap are room reflections and
+        are truncated (Section 4.6).
+    """
+
+    def __init__(
+        self,
+        fs: int,
+        hrir_duration_s: float = DEFAULT_HRIR_DURATION_S,
+        channel_window_s: float = 0.012,
+        room_cutoff_s: float = ROOM_REFLECTION_CUTOFF_S,
+    ) -> None:
+        if fs <= 0:
+            raise SignalError(f"fs must be positive, got {fs}")
+        self.fs = fs
+        self.n_hrir = int(round(hrir_duration_s * fs))
+        self.n_channel = int(round(channel_window_s * fs))
+        self.room_cutoff = int(round(room_cutoff_s * fs))
+        if self.n_hrir < 4 * _PRE_SAMPLES:
+            raise SignalError("hrir_duration_s too short for the tap layout")
+
+    def extract_measurements(
+        self, session: SessionData, fusion: FusionResult
+    ) -> list[NearFieldMeasurement]:
+        """Per-probe near-field HRIRs, windowed around the binaural first taps.
+
+        The window starts just before the *earlier* ear's first tap so the
+        interaural delay is preserved inside the pair; room reflections are
+        truncated per ear relative to its own first tap.
+        """
+        measurements = []
+        for i, probe in enumerate(session.probes):
+            channels = {}
+            taps = {}
+            for ear, recording in ((Ear.LEFT, probe.left), (Ear.RIGHT, probe.right)):
+                channel = estimate_channel(
+                    recording, session.probe_signal, self.n_channel
+                )
+                tap = first_tap_index(channel)
+                channels[ear] = truncate_after(channel, tap + self.room_cutoff)
+                taps[ear] = tap
+            start = max(0, min(taps.values()) - _PRE_SAMPLES)
+            windows = {}
+            for ear in Ear:
+                segment = channels[ear][start : start + self.n_hrir]
+                if segment.shape[0] < self.n_hrir:
+                    segment = np.concatenate(
+                        [segment, np.zeros(self.n_hrir - segment.shape[0])]
+                    )
+                windows[ear] = segment
+            measurements.append(
+                NearFieldMeasurement(
+                    angle_deg=float(fusion.fused_angles_deg[i]),
+                    radius_m=float(fusion.radii_m[i]),
+                    hrir=BinauralIR(
+                        left=windows[Ear.LEFT], right=windows[Ear.RIGHT], fs=self.fs
+                    ),
+                )
+            )
+        return measurements
+
+    def correct_to_model(
+        self, hrir: BinauralIR, head: HeadGeometry, radius_m: float, angle_deg: float
+    ) -> BinauralIR:
+        """Adjust an HRIR pair's first-tap timing/levels to the diffraction model.
+
+        The paper's quality step: given the learned head parameters and the
+        (interpolated) location, the expected interaural time difference and
+        first-tap amplitudes are computable; the measured/interpolated taps
+        are nudged to match while the pinna multipath pattern is preserved.
+        """
+        position = polar_to_cartesian(radius_m, angle_deg)
+        expected = {}
+        for ear in Ear:
+            path = propagation_path(head, position, ear)
+            expected[ear] = (
+                path.length,
+                float(near_field_first_tap_gain(path.length, path.wrap_arc)),
+            )
+        # Model ITD (right minus left, in samples).
+        model_itd = (
+            (expected[Ear.RIGHT][0] - expected[Ear.LEFT][0])
+            / SPEED_OF_SOUND
+            * self.fs
+        )
+
+        taps = {}
+        amps = {}
+        for ear, signal in ((Ear.LEFT, hrir.left), (Ear.RIGHT, hrir.right)):
+            idx = first_tap_index(signal)
+            taps[ear] = refine_tap_position(signal, idx)
+            amps[ear] = float(np.abs(signal[idx]))
+            if amps[ear] == 0.0:
+                raise SignalError("zero first-tap amplitude; cannot correct")
+
+        # Rescale each ear so its first-tap amplitude matches the model.
+        left = hrir.left * (expected[Ear.LEFT][1] / amps[Ear.LEFT])
+        right = hrir.right * (expected[Ear.RIGHT][1] / amps[Ear.RIGHT])
+
+        # Re-time the right ear so the measured ITD equals the model ITD.
+        measured_itd = taps[Ear.RIGHT] - taps[Ear.LEFT]
+        shift = float(model_itd - measured_itd)
+        n = hrir.n_samples
+        if shift >= 0:
+            right = apply_fractional_delay(right, shift, output_length=n)
+        else:
+            advance = int(np.ceil(-shift))
+            right = np.concatenate([right[advance:], np.zeros(advance)])
+            right = apply_fractional_delay(right, shift + advance, output_length=n)
+        return BinauralIR(left=left, right=right, fs=self.fs)
+
+    def build_grid(
+        self,
+        measurements: list[NearFieldMeasurement],
+        head: HeadGeometry,
+        angle_grid_deg: np.ndarray,
+        reference_radius_m: float | None = None,
+    ) -> list[BinauralIR]:
+        """Interpolate measurements onto ``angle_grid_deg`` with model correction.
+
+        Grid angles outside the measured span clamp to the nearest
+        measurement (then get model-corrected for their own angle).
+        """
+        if len(measurements) < 2:
+            raise SignalError("need >= 2 near-field measurements to interpolate")
+        ordered = sorted(measurements, key=lambda m: m.angle_deg)
+        angles = np.array([m.angle_deg for m in ordered])
+        radius = (
+            reference_radius_m
+            if reference_radius_m is not None
+            else float(np.median([m.radius_m for m in ordered]))
+        )
+        grid_entries = []
+        for target in np.asarray(angle_grid_deg, dtype=float):
+            idx = int(np.searchsorted(angles, target))
+            if idx == 0:
+                blended = ordered[0].hrir
+            elif idx >= angles.shape[0]:
+                blended = ordered[-1].hrir
+            else:
+                span = angles[idx] - angles[idx - 1]
+                weight = 0.5 if span <= 0 else float((target - angles[idx - 1]) / span)
+                blended = interpolate_hrir_pair(
+                    ordered[idx - 1].hrir, ordered[idx].hrir, weight,
+                    pre_samples=_PRE_SAMPLES,
+                )
+            grid_entries.append(
+                self.correct_to_model(blended, head, radius, float(target))
+            )
+        return grid_entries

@@ -1,0 +1,180 @@
+"""Acoustic phone localization given candidate head parameters.
+
+Paper Section 4.1, "Estimating Polar Angle theta_i(E) in Step 2": assume head
+parameters ``E = (a, b, c)`` and let ``t1, t2`` be the measured first-tap
+delays at the left/right ears.  The phone must lie on the intersection of two
+iso-delay trajectories — the locus of points whose diffraction delay to the
+left ear is ``t1``, and likewise for the right ear — which generically
+intersect in **two** points (front/back ambiguity, the paper's Figure 10b).
+The IMU angle picks the right one.
+
+:class:`DelayMap` implements this inversion on a polar grid:
+
+1. tabulate ``t_L(r, theta)`` and ``t_R(r, theta)`` over a grid using the
+   vectorized batch path solver (delay is strictly increasing in ``r`` along
+   each angle ray, so each column is invertible);
+2. for a measurement ``(t1, t2)``, solve ``t_L(r, theta) = t1`` for ``r``
+   per angle column, evaluate ``g(theta) = t_R(r(theta), theta) - t2``, and
+   return the sign-change roots of ``g`` — the candidate phone locations.
+
+The map is rebuilt once per candidate ``E`` inside the fusion optimizer, so
+all the heavy lifting is in vectorized numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SPEED_OF_SOUND
+from repro.errors import GeometryError
+from repro.geometry.batch import binaural_delays_batch
+from repro.geometry.head import Ear, HeadGeometry
+from repro.geometry.vec import polar_to_cartesian
+
+#: Default radial grid span (m): from just outside any plausible head to
+#: beyond any plausible arm reach.
+DEFAULT_RADII = (0.16, 1.4, 40)
+
+#: Default angular grid (deg): full circle so both ambiguous intersections
+#: are always found, at ~3 degree resolution before sub-grid refinement.
+DEFAULT_THETAS = (-180.0, 180.0, 121)
+
+
+@dataclass(frozen=True)
+class LocalizationCandidate:
+    """One solution of the two-trajectory intersection."""
+
+    radius_m: float
+    theta_deg: float
+
+    @property
+    def position(self) -> np.ndarray:
+        return polar_to_cartesian(self.radius_m, self.theta_deg)
+
+
+class DelayMap:
+    """Tabulated binaural delay field for one head parameter vector.
+
+    Parameters
+    ----------
+    head:
+        Candidate head geometry ``E``.
+    radii:
+        ``(min, max, count)`` radial grid specification in meters.
+    thetas:
+        ``(min, max, count)`` angular grid specification in degrees.
+    """
+
+    def __init__(
+        self,
+        head: HeadGeometry,
+        radii: tuple[float, float, int] = DEFAULT_RADII,
+        thetas: tuple[float, float, int] = DEFAULT_THETAS,
+        speed_of_sound: float = SPEED_OF_SOUND,
+        model: str = "diffraction",
+    ) -> None:
+        r_min, r_max, n_r = radii
+        t_min, t_max, n_t = thetas
+        if r_min <= 0 or r_max <= r_min or n_r < 4:
+            raise GeometryError(f"invalid radial grid {radii}")
+        if t_max <= t_min or n_t < 8:
+            raise GeometryError(f"invalid angular grid {thetas}")
+        if model not in ("diffraction", "euclidean"):
+            raise GeometryError(
+                f"model must be 'diffraction' or 'euclidean', got {model!r}"
+            )
+        max_axis = max(head.parameters)
+        if r_min <= max_axis:
+            r_min = max_axis + 0.01
+
+        self.head = head
+        self.model = model
+        self.radii = np.linspace(r_min, r_max, n_r)
+        self.thetas_deg = np.linspace(t_min, t_max, n_t)
+
+        grid_r, grid_t = np.meshgrid(self.radii, self.thetas_deg, indexing="ij")
+        sources = polar_to_cartesian(grid_r.ravel(), grid_t.ravel())
+        if model == "diffraction":
+            t_left, t_right = binaural_delays_batch(head, sources, speed_of_sound)
+        else:
+            # The through-the-head straight-line baseline (ablation only).
+            t_left = (
+                np.linalg.norm(sources - head.ear_position(Ear.LEFT), axis=1)
+                / speed_of_sound
+            )
+            t_right = (
+                np.linalg.norm(sources - head.ear_position(Ear.RIGHT), axis=1)
+                / speed_of_sound
+            )
+        self.t_left = t_left.reshape(n_r, n_t)  # (r, theta)
+        self.t_right = t_right.reshape(n_r, n_t)
+
+    def _radius_for_left_delay(self, t1: float) -> np.ndarray:
+        """Per-angle radius solving ``t_L(r, theta) = t1`` (nan if out of range)."""
+        table = self.t_left  # increasing along axis 0
+        below = table < t1
+        idx = below.sum(axis=0)  # first row with t_L >= t1
+        n_r = self.radii.shape[0]
+        valid = (idx > 0) & (idx < n_r)
+        idx_c = np.clip(idx, 1, n_r - 1)
+        t_lo = np.take_along_axis(table, (idx_c - 1)[None, :], axis=0)[0]
+        t_hi = np.take_along_axis(table, idx_c[None, :], axis=0)[0]
+        frac = np.where(t_hi > t_lo, (t1 - t_lo) / (t_hi - t_lo), 0.0)
+        radius = self.radii[idx_c - 1] + frac * (self.radii[idx_c] - self.radii[idx_c - 1])
+        return np.where(valid, radius, np.nan)
+
+    def _right_delay_at(self, radius: np.ndarray) -> np.ndarray:
+        """``t_R`` interpolated at per-angle radii (nan-propagating)."""
+        idx = np.searchsorted(self.radii, radius)
+        n_r = self.radii.shape[0]
+        idx_c = np.clip(idx, 1, n_r - 1)
+        r_lo = self.radii[idx_c - 1]
+        r_hi = self.radii[idx_c]
+        frac = (radius - r_lo) / (r_hi - r_lo)
+        t_lo = np.take_along_axis(self.t_right, (idx_c - 1)[None, :], axis=0)[0]
+        t_hi = np.take_along_axis(self.t_right, idx_c[None, :], axis=0)[0]
+        return t_lo + frac * (t_hi - t_lo)
+
+    def invert(self, t_left: float, t_right: float) -> list[LocalizationCandidate]:
+        """All phone locations consistent with the measured delay pair.
+
+        Returns up to a handful of candidates (generically two: one in
+        front, one behind — the paper's A and B in Figure 10b).  Empty when
+        the delays are inconsistent with any grid location, which the fusion
+        stage penalizes.
+        """
+        if not np.isfinite(t_left) or not np.isfinite(t_right):
+            return []
+        radius = self._radius_for_left_delay(t_left)
+        g = self._right_delay_at(radius) - t_right
+        candidates: list[LocalizationCandidate] = []
+        finite = np.isfinite(g)
+        for i in range(g.shape[0] - 1):
+            if not (finite[i] and finite[i + 1]):
+                continue
+            if g[i] == 0.0 or (g[i] < 0) != (g[i + 1] < 0):
+                span = g[i + 1] - g[i]
+                frac = 0.0 if span == 0 else float(-g[i] / span)
+                theta = float(
+                    self.thetas_deg[i]
+                    + frac * (self.thetas_deg[i + 1] - self.thetas_deg[i])
+                )
+                r_here = float(radius[i] + frac * (radius[i + 1] - radius[i]))
+                if np.isfinite(r_here):
+                    candidates.append(LocalizationCandidate(r_here, theta))
+        return candidates
+
+    def locate(
+        self, t_left: float, t_right: float, imu_angle_deg: float
+    ) -> LocalizationCandidate | None:
+        """The candidate closest to the IMU angle (paper's disambiguation).
+
+        Returns ``None`` when the delays admit no solution under this head
+        parameter vector.
+        """
+        candidates = self.invert(t_left, t_right)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda c: abs(c.theta_deg - imu_angle_deg))

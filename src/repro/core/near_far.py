@@ -1,0 +1,214 @@
+"""Near-to-far HRTF conversion (Section 4.3, Figure 12).
+
+A far-field source at angle theta sends *parallel* rays that intersect the
+near-field measurement trajectory at many points.  Three critical rays
+organize the conversion:
+
+- ray ``B -> L`` that ends at the left ear,
+- ray ``D -> R`` that ends at the right ear,
+- ray ``C -> Q`` that hits the head where the surface is perpendicular to
+  the incoming direction.
+
+Rays crossing the trajectory on the arc ``[C, B]`` diffract toward the left
+ear; rays on ``[C, D]`` go right; rays outside ``[B, D]`` miss both.  UNIQ
+therefore synthesizes the far-field left-ear HRTF as the (first-tap aligned)
+average of the near-field left-ear HRTFs measured on ``[C, B]``, and
+similarly for the right — then fine-tunes the interaural delay and the
+amplitudes using the plane-wave diffraction model with the learned head
+parameters.
+
+The module also contains :func:`ray_decomposition_attempt`, a working
+implementation of the paper's "Attempt 1" (speaker-beamforming
+decomposition), kept to demonstrate *why* it fails: the two-speaker
+beamforming matrix is numerically ill-conditioned, exactly as the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError, SignalError
+from repro.geometry.head import Ear, HeadGeometry
+from repro.geometry.plane_wave import plane_wave_arrival
+from repro.geometry.vec import angle_deg_of, unit_from_angle_deg
+from repro.hrtf.hrir import BinauralIR
+from repro.physics import far_field_first_tap_gain
+from repro.signals.correlation import align_to_first_tap
+from repro.signals.delays import apply_fractional_delay
+from repro.core.interpolation import NearFieldMeasurement
+
+_PRE_SAMPLES = 12
+
+
+def _backtrack_to_radius(anchor: np.ndarray, u: np.ndarray, radius: float) -> np.ndarray:
+    """The point ``anchor - s*u`` (s > 0) lying on the circle of ``radius``.
+
+    ``u`` is the propagation direction, so walking ``-u`` from the anchor
+    retraces the incoming ray toward the source side of the trajectory.
+    """
+    b = float(np.dot(anchor, u))
+    disc = b * b - float(np.dot(anchor, anchor)) + radius * radius
+    if disc < 0:
+        raise GeometryError(
+            f"trajectory radius {radius} too small to intersect ray at {anchor}"
+        )
+    s = b + np.sqrt(disc)
+    return anchor - s * u
+
+
+def critical_trajectory_angles(
+    head: HeadGeometry, theta_deg: float, trajectory_radius_m: float
+) -> tuple[float, float, float]:
+    """The Figure 12 anchor angles ``(phi_B, phi_C, phi_D)`` on the trajectory.
+
+    ``phi_B`` bounds the arc feeding the left ear, ``phi_D`` the right,
+    ``phi_C`` is the normal-incidence divider.
+    """
+    u = -unit_from_angle_deg(theta_deg)  # propagation direction
+    boundary = head.boundary
+    # Q: boundary point most squarely facing the incoming wave.
+    facing = -np.einsum("ij,j->i", boundary.normals, u)
+    q_point = boundary.points[int(np.argmax(facing))]
+    phi_c = float(angle_deg_of(_backtrack_to_radius(q_point, u, trajectory_radius_m)))
+
+    anchors = {}
+    for ear in Ear:
+        arrival = plane_wave_arrival(head, theta_deg, ear)
+        anchor = (
+            head.ear_position(ear)
+            if arrival.grazing_point is None
+            else arrival.grazing_point
+        )
+        anchors[ear] = float(
+            angle_deg_of(_backtrack_to_radius(anchor, u, trajectory_radius_m))
+        )
+    return anchors[Ear.LEFT], phi_c, anchors[Ear.RIGHT]
+
+
+def _arc_interval(phi_from: float, phi_to: float) -> tuple[float, float]:
+    """Normalized (lo, hi) interval between two trajectory angles."""
+    return (phi_from, phi_to) if phi_from <= phi_to else (phi_to, phi_from)
+
+
+@dataclass
+class NearFarConverter:
+    """Synthesizes far-field HRIRs from near-field measurements.
+
+    Parameters
+    ----------
+    fs:
+        Sample rate.
+    min_arc_measurements:
+        If an arc contains fewer measurements than this, the nearest
+        measurements to the arc midpoint are used instead (sparse sweeps).
+    """
+
+    fs: int
+    min_arc_measurements: int = 1
+
+    def convert_angle(
+        self,
+        measurements: list[NearFieldMeasurement],
+        head: HeadGeometry,
+        theta_deg: float,
+        trajectory_radius_m: float,
+    ) -> BinauralIR:
+        """Far-field HRIR pair for one target angle."""
+        if not measurements:
+            raise SignalError("no near-field measurements to convert")
+        n = measurements[0].hrir.n_samples
+        angles = np.array([m.angle_deg for m in measurements])
+
+        phi_b, phi_c, phi_d = critical_trajectory_angles(
+            head, theta_deg, trajectory_radius_m
+        )
+        arcs = {Ear.LEFT: _arc_interval(phi_c, phi_b), Ear.RIGHT: _arc_interval(phi_c, phi_d)}
+
+        averaged = {}
+        for ear, (lo, hi) in arcs.items():
+            in_arc = np.flatnonzero((angles >= lo) & (angles <= hi))
+            if in_arc.shape[0] < self.min_arc_measurements:
+                midpoint = 0.5 * (lo + hi)
+                order = np.argsort(np.abs(angles - midpoint))
+                in_arc = order[: max(self.min_arc_measurements, 1)]
+            stack = [
+                align_to_first_tap(measurements[i].hrir.ear(ear), n, _PRE_SAMPLES)
+                for i in in_arc
+            ]
+            averaged[ear] = np.mean(stack, axis=0)
+
+        # Fine-tune interaural delay and amplitudes from the plane-wave
+        # model with the learned head parameters.  Scaling anchors on the
+        # *first tap* (which the model predicts), not the strongest tap —
+        # a pinna echo can exceed the first tap, and normalizing by it
+        # would corrupt the interaural level difference.
+        arrivals = {ear: plane_wave_arrival(head, theta_deg, ear) for ear in Ear}
+        reference = min(a.delay for a in arrivals.values())
+        tuned = {}
+        for ear in Ear:
+            signal = averaged[ear]
+            first_tap = float(
+                np.max(np.abs(signal[_PRE_SAMPLES - 1 : _PRE_SAMPLES + 2]))
+            )
+            if first_tap == 0.0:
+                raise SignalError("averaged near-field HRIR has no first tap")
+            gain = float(far_field_first_tap_gain(arrivals[ear].wrap_arc)) / first_tap
+            shift = (arrivals[ear].delay - reference) * self.fs
+            tuned[ear] = apply_fractional_delay(signal * gain, shift, output_length=n)
+        return BinauralIR(left=tuned[Ear.LEFT], right=tuned[Ear.RIGHT], fs=self.fs)
+
+    def convert(
+        self,
+        measurements: list[NearFieldMeasurement],
+        head: HeadGeometry,
+        angle_grid_deg: np.ndarray,
+        trajectory_radius_m: float | None = None,
+    ) -> list[BinauralIR]:
+        """Far-field HRIRs for every angle in ``angle_grid_deg``."""
+        radius = (
+            trajectory_radius_m
+            if trajectory_radius_m is not None
+            else float(np.median([m.radius_m for m in measurements]))
+        )
+        return [
+            self.convert_angle(measurements, head, float(theta), radius)
+            for theta in np.asarray(angle_grid_deg, dtype=float)
+        ]
+
+
+def ray_decomposition_attempt(
+    n_rays: int = 19,
+    n_patterns: int = 24,
+    speaker_spacing_m: float = 0.14,
+    frequency_hz: float = 2000.0,
+) -> float:
+    """Condition number of the paper's "Attempt 1" beamforming system.
+
+    The paper tried to decompose each near-field measurement into per-ray
+    components by sweeping time-varying two-speaker beamforming patterns
+    ``w_t(theta)`` (its Eq. 6) and solving the linear system for
+    ``H(X_k, theta_i)``.  With only two speakers the achievable patterns are
+    cosine-shaped and the system matrix is catastrophically rank-deficient.
+    This function builds that matrix for a phone-sized speaker pair and
+    returns its condition number — typically >> 1e6, documenting the
+    failure mode the paper describes.
+    """
+    if n_rays < 2 or n_patterns < 2:
+        raise SignalError("need at least 2 rays and 2 patterns")
+    wavelength = 343.0 / frequency_hz
+    ray_angles = np.deg2rad(np.linspace(0.0, 180.0, n_rays))
+    rows = []
+    for k in range(n_patterns):
+        phase = 2 * np.pi * k / n_patterns
+        # Two-element array factor: |1 + e^{j(kd cos(theta) + phase)}|.
+        array_phase = (
+            2 * np.pi * speaker_spacing_m / wavelength * np.cos(ray_angles) + phase
+        )
+        rows.append(np.abs(1.0 + np.exp(1j * array_phase)))
+    matrix = np.vstack(rows)
+    singular = np.linalg.svd(matrix, compute_uv=False)
+    smallest = float(singular.min())
+    return float(singular.max() / max(smallest, 1e-300))

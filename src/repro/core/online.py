@@ -1,0 +1,252 @@
+"""Online (incremental) sensor fusion: personalize *while* the user sweeps.
+
+The batch :class:`~repro.core.fusion.DiffractionAwareSensorFusion` needs the
+whole sweep before it can optimize.  A real app wants feedback during the
+gesture — "keep going", "slow down", "done, you can stop" — which requires
+an estimator that ingests probes one at a time and keeps a running head
+parameter estimate plus a confidence signal.
+
+:class:`OnlineFusion` does exactly that:
+
+- each arriving probe is deconvolved immediately (same channel front end as
+  the batch path);
+- the head parameter search re-runs on the accumulated probes every
+  ``refit_every`` arrivals, warm-started from the previous estimate (a few
+  optimizer iterations suffice near the optimum, so incremental refits are
+  much cheaper than the cold batch solve);
+- :meth:`OnlineFusion.status` reports the running residual, angular
+  coverage, and whether enough of the semicircle has been measured to stop.
+
+The final state converges to the batch result on the same data (the test
+suite asserts this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize
+
+from repro.constants import DEFAULT_SAMPLE_RATE
+from repro.errors import SignalError
+from repro.geometry.head import HeadGeometry
+from repro.signals.channel import (
+    estimate_channel,
+    first_tap_index,
+    refine_tap_position,
+)
+from repro.core.fusion import DiffractionAwareSensorFusion, FusionResult
+from repro.core.localize import DelayMap
+
+
+@dataclass(frozen=True)
+class OnlineStatus:
+    """A snapshot of the running personalization."""
+
+    n_probes: int
+    head: HeadGeometry | None
+    residual_deg: float
+    coverage_deg: float  # angular span of the sweep so far
+    ready: bool  # enough coverage + stable fit to stop the gesture
+
+    @property
+    def head_parameters(self) -> tuple[float, float, float] | None:
+        return self.head.parameters if self.head is not None else None
+
+
+@dataclass
+class OnlineFusion:
+    """Incremental diffraction-aware sensor fusion.
+
+    Parameters
+    ----------
+    fs:
+        Audio sample rate of the probe recordings.
+    probe_signal:
+        The known probe waveform the phone plays.
+    refit_every:
+        Re-optimize the head parameters after this many new probes.
+    min_probes:
+        Do not attempt a fit before this many probes have arrived.
+    target_coverage_deg:
+        Sweep span after which (given a stable fit) the status turns
+        ``ready``.
+    """
+
+    fs: int = DEFAULT_SAMPLE_RATE
+    probe_signal: np.ndarray | None = None
+    refit_every: int = 8
+    min_probes: int = 10
+    target_coverage_deg: float = 120.0
+    max_refit_iterations: int = 30
+
+    _batch: DiffractionAwareSensorFusion = field(
+        default_factory=DiffractionAwareSensorFusion, repr=False
+    )
+    _t_left: list = field(default_factory=list, repr=False)
+    _t_right: list = field(default_factory=list, repr=False)
+    _alphas: list = field(default_factory=list, repr=False)
+    _times: list = field(default_factory=list, repr=False)
+    _estimate: np.ndarray | None = field(default=None, repr=False)
+    _residual: float = field(default=float("inf"), repr=False)
+
+    def __post_init__(self) -> None:
+        if self.probe_signal is None:
+            from repro.signals.waveforms import probe_chirp
+
+            self.probe_signal = probe_chirp(self.fs)
+        if self.refit_every < 1 or self.min_probes < 5:
+            raise SignalError("refit_every >= 1 and min_probes >= 5 required")
+
+    @property
+    def n_probes(self) -> int:
+        return len(self._alphas)
+
+    def add_probe(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        imu_angle_deg: float,
+        time_s: float,
+    ) -> OnlineStatus:
+        """Ingest one probe (both ear recordings + the current IMU angle).
+
+        Returns the updated status; the fit refreshes every
+        ``refit_every`` arrivals once ``min_probes`` have accumulated.
+        """
+        n_window = int(self._batch.channel_window_s * self.fs)
+        for recording, store in ((left, self._t_left), (right, self._t_right)):
+            channel = estimate_channel(recording, self.probe_signal, n_window)
+            tap = refine_tap_position(channel, first_tap_index(channel))
+            store.append(tap / self.fs)
+        self._alphas.append(float(imu_angle_deg))
+        self._times.append(float(time_s))
+
+        due = (
+            self.n_probes >= self.min_probes
+            and (self.n_probes - self.min_probes) % self.refit_every == 0
+        )
+        if due:
+            self._refit()
+        return self.status()
+
+    def _refit(self) -> None:
+        t_left = np.asarray(self._t_left)
+        t_right = np.asarray(self._t_right)
+        alphas = np.asarray(self._alphas)
+        elapsed = np.asarray(self._times) - self._times[0]
+
+        if self._estimate is None:
+            x0 = np.array([0.09, 0.115, 0.0985, 0.0])
+            step = np.diag([0.008, 0.008, 0.008, 0.5])
+        else:
+            x0 = self._estimate
+            step = np.diag([0.003, 0.003, 0.003, 0.2])
+        result = optimize.minimize(
+            self._batch._cost,
+            x0,
+            args=(t_left, t_right, alphas, elapsed),
+            method="Nelder-Mead",
+            options={
+                "maxiter": self.max_refit_iterations,
+                "xatol": 3e-4,
+                "fatol": 0.1,
+                "initial_simplex": x0 + np.vstack([np.zeros(4), step]),
+            },
+        )
+        if np.all(np.isfinite(result.x)):
+            self._estimate = result.x.copy()
+            self._residual = float(np.sqrt(max(result.fun, 0.0)))
+
+    def status(self) -> OnlineStatus:
+        """The current running estimate and gesture guidance."""
+        head = None
+        if self._estimate is not None:
+            a, b, c = np.clip(
+                self._estimate[:3], [0.065, 0.085, 0.072], [0.115, 0.145, 0.125]
+            )
+            head = HeadGeometry(a=float(a), b=float(b), c=float(c))
+        coverage = (
+            float(np.max(self._alphas) - np.min(self._alphas))
+            if self._alphas
+            else 0.0
+        )
+        ready = (
+            head is not None
+            and coverage >= self.target_coverage_deg
+            and self._residual < 10.0
+        )
+        return OnlineStatus(
+            n_probes=self.n_probes,
+            head=head,
+            residual_deg=self._residual,
+            coverage_deg=coverage,
+            ready=ready,
+        )
+
+    def finalize(self) -> FusionResult:
+        """Run the full batch solve on everything collected so far.
+
+        The online estimate warm-starts nothing here on purpose: the final
+        answer must be identical to what the batch pipeline would produce
+        from the same probes, so applications can trust either path.
+        """
+        if self.n_probes < 5:
+            raise SignalError("need >= 5 probes to finalize")
+        # Reuse the batch machinery by feeding it the already-extracted
+        # delays and IMU angles directly.
+        batch = self._batch
+        t_left = np.asarray(self._t_left)
+        t_right = np.asarray(self._t_right)
+        alphas = np.asarray(self._alphas)
+        elapsed = np.asarray(self._times) - self._times[0]
+
+        x0 = np.array([0.09, 0.115, 0.0985, 0.0])
+        step = np.zeros((4, 4))
+        step[:3, :3] = np.eye(3) * 0.008
+        step[3, 3] = 0.5
+        result = optimize.minimize(
+            batch._cost,
+            x0,
+            args=(t_left, t_right, alphas, elapsed),
+            method="Nelder-Mead",
+            options={
+                "maxiter": batch.max_iterations,
+                "xatol": 2e-4,
+                "fatol": 0.05,
+                "initial_simplex": x0 + np.vstack([np.zeros(4), step]),
+            },
+        )
+        a, b, c = np.clip(
+            result.x[:3], [0.065, 0.085, 0.072], [0.115, 0.145, 0.125]
+        )
+        bias = float(result.x[3])
+        head = HeadGeometry(a=float(a), b=float(b), c=float(c))
+        corrected = alphas - bias * elapsed
+        final_map = DelayMap(
+            head, batch.final_map_radii, batch.final_map_thetas
+        )
+        thetas, radii, solved = batch._localize_all(
+            final_map, t_left, t_right, corrected
+        )
+        fused = np.where(solved, 0.5 * (thetas + corrected), corrected)
+        if solved.any():
+            radii = np.where(solved, radii, np.median(radii[solved]))
+            residual = float(
+                np.sqrt(np.mean((corrected[solved] - thetas[solved]) ** 2))
+            )
+        else:
+            residual = float("inf")
+        return FusionResult(
+            head=head,
+            t_left=t_left,
+            t_right=t_right,
+            imu_angles_deg=corrected,
+            acoustic_angles_deg=thetas,
+            fused_angles_deg=fused,
+            radii_m=radii,
+            residual_deg=residual,
+            solved=solved,
+            gyro_bias_dps=bias,
+        )

@@ -1,0 +1,148 @@
+"""End-to-end UNIQ: session data in, personal HRTF table out.
+
+Mirrors the paper's Figure 6 pipeline: the three inputs (earbud recordings,
+IMU recordings, the played probe) flow through Diffraction-Aware Sensor
+Fusion, Near-Field HRTF Interpolation, and Near-Far Conversion, producing
+the Section 4.4 lookup table that applications (binaural rendering, AoA)
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.constants import DEFAULT_ANGLE_GRID_DEG
+from repro.hrtf.table import HRTFTable
+from repro.simulation.session import SessionData
+from repro.core.compensation import (
+    check_gesture_quality,
+    compensate_recording,
+)
+from repro.core.fusion import DiffractionAwareSensorFusion, FusionResult
+from repro.core.interpolation import NearFieldInterpolator, NearFieldMeasurement
+from repro.core.near_far import NearFarConverter
+
+
+@dataclass
+class UniqConfig:
+    """Pipeline configuration.
+
+    Attributes
+    ----------
+    angle_grid_deg:
+        Output table angle grid.
+    fusion:
+        The sensor-fusion stage (swap in a different delay model or grid
+        resolution for ablations).
+    enforce_gesture_check:
+        When ``True`` (default), a degraded sweep raises
+        :class:`repro.errors.CalibrationError` exactly like the real app
+        asks the user to redo the gesture.
+    """
+
+    angle_grid_deg: tuple[float, ...] = DEFAULT_ANGLE_GRID_DEG
+    fusion: DiffractionAwareSensorFusion = field(
+        default_factory=DiffractionAwareSensorFusion
+    )
+    enforce_gesture_check: bool = True
+
+
+@dataclass(frozen=True)
+class PersonalizationResult:
+    """Everything a personalization run produced.
+
+    Attributes
+    ----------
+    table:
+        The personal HRTF lookup table (near + far, left + right).
+    fusion:
+        The sensor-fusion output: learned head parameters, per-probe fused
+        locations, residuals.
+    measurements:
+        The raw per-probe near-field HRIR measurements.
+    """
+
+    table: HRTFTable
+    fusion: FusionResult
+    measurements: tuple[NearFieldMeasurement, ...]
+
+    @property
+    def head_parameters(self) -> tuple[float, float, float]:
+        """The learned head parameter vector ``E_opt = (a, b, c)``."""
+        return self.fusion.head.parameters
+
+
+class Uniq:
+    """The UNIQ personalization system.
+
+    >>> from repro.simulation import VirtualSubject, MeasurementSession
+    >>> session = MeasurementSession(VirtualSubject.random(1), seed=7).run()
+    >>> result = Uniq().personalize(session)          # doctest: +SKIP
+    >>> result.table.binauralize(sound, theta_deg=60)  # doctest: +SKIP
+    """
+
+    def __init__(self, config: UniqConfig | None = None) -> None:
+        self.config = config if config is not None else UniqConfig()
+
+    def _compensated(
+        self,
+        session: SessionData,
+        system_response: tuple[np.ndarray, np.ndarray] | None,
+    ) -> SessionData:
+        """Equalize all probe recordings by the measured system response."""
+        if system_response is None:
+            return session
+        freqs, gains = system_response
+        probes = tuple(
+            replace(
+                probe,
+                left=compensate_recording(probe.left, session.fs, freqs, gains),
+                right=compensate_recording(probe.right, session.fs, freqs, gains),
+            )
+            for probe in session.probes
+        )
+        return replace(session, probes=probes)
+
+    def personalize(
+        self,
+        session: SessionData,
+        system_response: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> PersonalizationResult:
+        """Run the full pipeline on one measurement session.
+
+        Parameters
+        ----------
+        session:
+            The capture (recordings + IMU + probe signal).
+        system_response:
+            Optional ``(freqs, gains)`` from
+            :func:`repro.core.compensation.estimate_system_response`; when
+            given, all recordings are equalized first (Section 4.6).
+
+        Raises
+        ------
+        CalibrationError
+            If the gesture-quality check fails (and is enforced).
+        """
+        session = self._compensated(session, system_response)
+
+        fusion = self.config.fusion.run(session)
+        if self.config.enforce_gesture_check:
+            check_gesture_quality(fusion)
+
+        grid = np.asarray(self.config.angle_grid_deg, dtype=float)
+        interpolator = NearFieldInterpolator(session.fs)
+        measurements = interpolator.extract_measurements(session, fusion)
+        near_entries = interpolator.build_grid(measurements, fusion.head, grid)
+
+        converter = NearFarConverter(fs=session.fs)
+        far_entries = converter.convert(measurements, fusion.head, grid)
+
+        table = HRTFTable(
+            angles_deg=grid, near=tuple(near_entries), far=tuple(far_entries)
+        )
+        return PersonalizationResult(
+            table=table, fusion=fusion, measurements=tuple(measurements)
+        )

@@ -1,0 +1,205 @@
+"""Self-localization by triangulating known speakers (Section 4.5).
+
+The paper's second AoA application: "earphones could analyze the AoAs of
+music echoes in a shopping mall and enable navigation by triangulating the
+music speakers."  Given speakers at *known* world positions playing *known*
+signals, the earbuds measure each speaker's bearing (the known-source AoA
+estimator deconvolves each speaker's channel out of the mixed recording)
+and solve for the listener's position and facing.
+
+Geometry: with bearings ``b_i`` measured relative to the listener's facing
+``psi``, and speakers at ``s_i``, the unknowns ``(x, y, psi)`` satisfy
+
+    wrap( world_bearing(s_i - p) - psi - b_i ) = 0     for every speaker,
+
+a small nonlinear least-squares problem; three speakers determine the pose.
+Bearings are *signed* (negative = the listener's right): the sign comes from
+the interaural first-tap order, the magnitude from the HRTF-matched AoA —
+so personalization quality propagates directly into positioning accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import ConvergenceError, SignalError
+from repro.geometry.vec import angle_deg_of, wrap_angle_deg
+from repro.hrtf.table import HRTFTable
+from repro.core.aoa import KnownSourceAoAEstimator
+
+
+@dataclass(frozen=True)
+class Speaker:
+    """One fixed loudspeaker: world position + the signal it plays."""
+
+    position: np.ndarray
+    signal: np.ndarray
+
+    def __post_init__(self) -> None:
+        if np.asarray(self.position).shape != (2,):
+            raise SignalError("speaker position must be a 2D point")
+        if self.signal.ndim != 1 or self.signal.shape[0] < 16:
+            raise SignalError("speaker signal must be a 1D array (>= 16 samples)")
+
+
+@dataclass(frozen=True)
+class PoseEstimate:
+    """The triangulated listener pose."""
+
+    position: np.ndarray
+    facing_deg: float
+    residual_deg: float  # RMS bearing misfit at the solution
+
+
+class AcousticTriangulator:
+    """Bearing measurement + pose solving against known speakers.
+
+    Parameters
+    ----------
+    table:
+        The listener's HRTF table (personal or global) used for AoA.
+    """
+
+    def __init__(self, table: HRTFTable) -> None:
+        self.estimator = KnownSourceAoAEstimator(table)
+
+    def signed_bearing(
+        self, left: np.ndarray, right: np.ndarray, source: np.ndarray, fs: int
+    ) -> float:
+        """Signed relative bearing of one known source, degrees.
+
+        Positive = the listener's left (library convention); side
+        resolution and mirroring are handled by
+        :func:`repro.hrtf.full_circle.signed_aoa`.
+        """
+        from repro.hrtf.full_circle import signed_aoa
+
+        return signed_aoa(self.estimator, left, right, fs, source=source)
+
+    def measure_bearings(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        speakers: list[Speaker],
+        fs: int,
+    ) -> np.ndarray:
+        """Per-speaker signed bearings from one mixed binaural recording.
+
+        Each speaker's channel is deconvolved out of the mix with its own
+        known signal; speakers should play mutually low-correlation signals
+        (different chirp bands, different noise) as real installations do.
+        """
+        if not speakers:
+            raise SignalError("need at least one speaker")
+        return np.array(
+            [
+                self.signed_bearing(left, right, speaker.signal, fs)
+                for speaker in speakers
+            ]
+        )
+
+    @staticmethod
+    def solve_pose(
+        bearings_deg: np.ndarray,
+        speakers: list[Speaker],
+        initial_position: np.ndarray | None = None,
+        initial_facing_deg: float = 0.0,
+        facing_offsets_deg: np.ndarray | None = None,
+    ) -> PoseEstimate:
+        """Least-squares pose from signed bearings to known speakers.
+
+        Parameters
+        ----------
+        facing_offsets_deg:
+            Optional per-bearing head-orientation offsets relative to the
+            unknown base facing (from the IMU).  A walking user naturally
+            glances around; measuring the same speakers at several known
+            offsets makes the fit far more robust, since a speaker that
+            sits near the hard +-90 degree region at one orientation is
+            well-measurable at another.  ``speakers`` may repeat.
+
+        Raises
+        ------
+        SignalError
+            With fewer than 3 bearings (the pose is under-determined).
+        ConvergenceError
+            If the solver fails to produce a finite pose.
+        """
+        bearings = np.asarray(bearings_deg, dtype=float)
+        if len(speakers) < 3 or bearings.shape[0] != len(speakers):
+            raise SignalError(
+                "need >= 3 bearings and one speaker entry per bearing"
+            )
+        offsets_deg = (
+            np.zeros(bearings.shape[0])
+            if facing_offsets_deg is None
+            else np.asarray(facing_offsets_deg, dtype=float)
+        )
+        if offsets_deg.shape != bearings.shape:
+            raise SignalError("facing_offsets_deg must match bearings")
+        positions = np.stack([np.asarray(s.position, float) for s in speakers])
+        centroid = positions.mean(axis=0)
+        guess = (
+            np.asarray(initial_position, dtype=float)
+            if initial_position is not None
+            else centroid
+        )
+
+        def residuals(params: np.ndarray) -> np.ndarray:
+            x, y, psi = params
+            offsets = positions - np.array([x, y])
+            # Degenerate when the pose lands on a speaker: bearings there
+            # are undefined, so penalize instead of letting the solver hide.
+            if np.any(np.linalg.norm(offsets, axis=1) < 0.3):
+                return np.full(bearings.shape[0], 180.0)
+            world = np.array([angle_deg_of(offset) for offset in offsets])
+            return np.asarray(
+                wrap_angle_deg(world - psi - offsets_deg - bearings), dtype=float
+            )
+
+        # The bearing residual surface has mirror-image local minima;
+        # multi-start over facing (and a second position seed) and keep the
+        # best fit.
+        starts = [
+            np.array([guess[0], guess[1], initial_facing_deg + offset])
+            for offset in (0.0, 90.0, 180.0, -90.0)
+        ]
+        starts.append(np.array([centroid[0], centroid[1], initial_facing_deg]))
+        best = None
+        best_residual = np.inf
+        for start in starts:
+            # soft_l1 keeps one grossly wrong bearing (a front-back flipped
+            # speaker) from dragging the whole pose off.
+            result = optimize.least_squares(
+                residuals, x0=start, method="trf", loss="soft_l1", f_scale=10.0
+            )
+            if not np.all(np.isfinite(result.x)):
+                continue
+            rms = float(np.sqrt(np.mean(residuals(result.x) ** 2)))
+            if rms < best_residual:
+                best, best_residual = result.x.copy(), rms
+        if best is None:
+            raise ConvergenceError("pose solver diverged from every start")
+        return PoseEstimate(
+            position=best[:2].copy(),
+            facing_deg=float(wrap_angle_deg(best[2])),
+            residual_deg=best_residual,
+        )
+
+    def locate(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        speakers: list[Speaker],
+        fs: int,
+        initial_position: np.ndarray | None = None,
+        initial_facing_deg: float = 0.0,
+    ) -> PoseEstimate:
+        """Measure bearings from a recording and solve the pose in one call."""
+        bearings = self.measure_bearings(left, right, speakers, fs)
+        return self.solve_pose(
+            bearings, speakers, initial_position, initial_facing_deg
+        )

@@ -1,0 +1,186 @@
+"""Dataset utilities: persist capture sessions and build cohort datasets.
+
+A real deployment separates *capture* (seconds, on-device) from
+*processing* (the UNIQ pipeline, possibly elsewhere).  This module
+serializes a complete :class:`~repro.simulation.session.SessionData` —
+recordings, IMU trace, probe waveform, and the evaluation-only ground truth
+— into a single ``.npz``, and batch-generates reproducible cohort datasets
+for offline experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TableError
+from repro.geometry.head import HeadGeometry
+from repro.geometry.trajectory import Trajectory
+from repro.simulation.imu import IMUTrace
+from repro.simulation.person import VirtualSubject
+from repro.simulation.pinna import PinnaModel
+from repro.simulation.session import (
+    MeasurementSession,
+    ProbeMeasurement,
+    SessionData,
+    SessionTruth,
+)
+
+_FORMAT_VERSION = 1
+
+_PINNA_FIELDS = (
+    "base_delays",
+    "delay_mod_amplitude",
+    "delay_mod_order",
+    "delay_mod_phase",
+    "levels",
+    "gain_mod_order",
+    "gain_mod_phase",
+)
+
+
+def _subject_arrays(subject: VirtualSubject) -> dict[str, np.ndarray]:
+    arrays: dict[str, np.ndarray] = {
+        "subject_head": np.array(subject.head.parameters),
+    }
+    for side, pinna in (("left", subject.left_pinna), ("right", subject.right_pinna)):
+        for field in _PINNA_FIELDS:
+            arrays[f"subject_{side}_{field}"] = getattr(pinna, field)
+    return arrays
+
+
+def _subject_from_arrays(data, name: str) -> VirtualSubject:
+    a, b, c = (float(v) for v in data["subject_head"])
+    pinnae = {}
+    for side in ("left", "right"):
+        fields = {field: data[f"subject_{side}_{field}"].copy() for field in _PINNA_FIELDS}
+        pinnae[side] = PinnaModel(**fields)
+    return VirtualSubject(
+        name=name,
+        head=HeadGeometry(a=a, b=b, c=c),
+        left_pinna=pinnae["left"],
+        right_pinna=pinnae["right"],
+    )
+
+
+def save_session(session: SessionData, path: str | os.PathLike) -> None:
+    """Write a complete session (inputs + ground truth) to one npz file."""
+    probes_left = [p.left for p in session.probes]
+    probes_right = [p.right for p in session.probes]
+    max_len = max(rec.shape[0] for rec in probes_left + probes_right)
+
+    def padded(recordings: list[np.ndarray]) -> np.ndarray:
+        out = np.zeros((len(recordings), max_len))
+        for i, rec in enumerate(recordings):
+            out[i, : rec.shape[0]] = rec
+        return out
+
+    trajectory = session.truth.trajectory
+    arrays: dict[str, np.ndarray] = {
+        "version": np.array([_FORMAT_VERSION]),
+        "fs": np.array([session.fs]),
+        "probe_signal": session.probe_signal,
+        "probe_times": np.array([p.time for p in session.probes]),
+        "probe_lengths": np.array(
+            [p.left.shape[0] for p in session.probes], dtype=int
+        ),
+        "probes_left": padded(probes_left),
+        "probes_right": padded(probes_right),
+        "imu_times": session.imu.times,
+        "imu_rate_dps": session.imu.rate_dps,
+        "trajectory_times": trajectory.times,
+        "trajectory_angles_deg": trajectory.angles_deg,
+        "trajectory_radii": trajectory.radii,
+        "trajectory_facing_error_deg": trajectory.facing_error_deg,
+        "probe_sample_indices": session.truth.probe_sample_indices,
+        "subject_name": np.array([session.truth.subject.name]),
+    }
+    arrays.update(_subject_arrays(session.truth.subject))
+    np.savez_compressed(os.fspath(path), **arrays)
+
+
+def load_session(path: str | os.PathLike) -> SessionData:
+    """Load a session previously written by :func:`save_session`."""
+    with np.load(os.fspath(path), allow_pickle=False) as data:
+        try:
+            version = int(data["version"][0])
+            if version != _FORMAT_VERSION:
+                raise TableError(f"unsupported session format version {version}")
+            fs = int(data["fs"][0])
+            lengths = data["probe_lengths"]
+            probes = tuple(
+                ProbeMeasurement(
+                    time=float(t),
+                    left=data["probes_left"][i, : lengths[i]].copy(),
+                    right=data["probes_right"][i, : lengths[i]].copy(),
+                )
+                for i, t in enumerate(data["probe_times"])
+            )
+            imu = IMUTrace(
+                times=data["imu_times"].copy(),
+                rate_dps=data["imu_rate_dps"].copy(),
+            )
+            trajectory = Trajectory(
+                times=data["trajectory_times"].copy(),
+                angles_deg=data["trajectory_angles_deg"].copy(),
+                radii=data["trajectory_radii"].copy(),
+                facing_error_deg=data["trajectory_facing_error_deg"].copy(),
+            )
+            subject = _subject_from_arrays(data, str(data["subject_name"][0]))
+            truth = SessionTruth(
+                subject=subject,
+                trajectory=trajectory,
+                probe_sample_indices=data["probe_sample_indices"].copy(),
+            )
+            return SessionData(
+                fs=fs,
+                probe_signal=data["probe_signal"].copy(),
+                probes=probes,
+                imu=imu,
+                truth=truth,
+            )
+        except KeyError as missing:
+            raise TableError(f"session file missing field {missing}") from missing
+
+
+def generate_cohort_dataset(
+    directory: str | os.PathLike,
+    n_subjects: int = 5,
+    base_seed: int = 1_000,
+    probe_interval_s: float = 0.4,
+) -> list[Path]:
+    """Generate and persist one capture per subject, with a manifest.
+
+    Returns the session file paths.  The manifest (``manifest.json``)
+    records seeds and true head parameters for downstream bookkeeping.
+    """
+    if n_subjects < 1:
+        raise ValueError(f"n_subjects must be >= 1, got {n_subjects}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = []
+    paths = []
+    for i in range(n_subjects):
+        subject = VirtualSubject.random(base_seed + i, name=f"volunteer-{i + 1}")
+        session = MeasurementSession(
+            subject, seed=9_000 + i, probe_interval_s=probe_interval_s
+        ).run()
+        path = directory / f"session_{subject.name}.npz"
+        save_session(session, path)
+        paths.append(path)
+        manifest.append(
+            {
+                "subject": subject.name,
+                "subject_seed": base_seed + i,
+                "session_seed": 9_000 + i,
+                "file": path.name,
+                "true_head_parameters_m": list(subject.head.parameters),
+                "n_probes": session.n_probes,
+            }
+        )
+    with open(directory / "manifest.json", "w") as handle:
+        json.dump(manifest, handle, indent=2)
+    return paths

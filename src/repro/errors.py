@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+Every error the library raises deliberately derives from :class:`ReproError`
+so callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric configuration (degenerate head, point inside head, ...)."""
+
+
+class SignalError(ReproError):
+    """Invalid or unusable signal data (empty, wrong rate, no detectable tap, ...)."""
+
+
+class CalibrationError(ReproError):
+    """A measurement session cannot be used for personalization.
+
+    Raised by the automatic gesture-correction checks of Section 4.6 when the
+    captured trajectory is too degraded (arm dropped, phone too close to the
+    head, optimizer residual too large) and the user must redo the gesture.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An optimization/solver failed to converge to a usable solution."""
+
+
+class TableError(ReproError):
+    """HRTF table access problems (angle out of range, missing field, ...)."""

@@ -1,0 +1,189 @@
+"""Personalized HRTF quality (paper Figures 18, 19, 20).
+
+The paper's success metric: cross-correlate the estimated HRIR against the
+per-subject ground truth, per angle and per ear, and compare against
+
+- the **global template** (lower bound: what products ship today), and
+- a **re-measurement of the ground truth** (upper bound: lab repeatability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hrtf.metrics import hrir_correlation, table_correlations
+from repro.eval.common import get_cohort, measured_ground_truth_table
+
+
+@dataclass(frozen=True)
+class HrirCorrelationResult:
+    """Figure 18 output: per-angle correlation curves (cohort means)."""
+
+    angles_deg: np.ndarray
+    uniq_left: np.ndarray
+    uniq_right: np.ndarray
+    global_left: np.ndarray
+    global_right: np.ndarray
+    remeasured_left: np.ndarray
+    remeasured_right: np.ndarray
+
+    @property
+    def mean_uniq(self) -> tuple[float, float]:
+        return float(self.uniq_left.mean()), float(self.uniq_right.mean())
+
+    @property
+    def mean_global(self) -> tuple[float, float]:
+        return float(self.global_left.mean()), float(self.global_right.mean())
+
+    @property
+    def mean_remeasured(self) -> tuple[float, float]:
+        return (
+            float(self.remeasured_left.mean()),
+            float(self.remeasured_right.mean()),
+        )
+
+    @property
+    def improvement_factor(self) -> float:
+        """How much closer to truth UNIQ is than the global template."""
+        uniq = sum(self.mean_uniq) / 2
+        template = sum(self.mean_global) / 2
+        return uniq / template
+
+
+def fig18_hrir_correlation(cohort_size: int = 5) -> HrirCorrelationResult:
+    """Reproduce Figure 18: correlation-vs-angle for UNIQ/global/re-measured."""
+    cohort = get_cohort(cohort_size)
+    curves = {key: [] for key in ("ul", "ur", "gl", "gr", "rl", "rr")}
+    for i, member in enumerate(cohort):
+        _, u_left, u_right = table_correlations(
+            member.personalization.table, member.ground_truth
+        )
+        _, g_left, g_right = table_correlations(
+            cohort.global_template, member.ground_truth
+        )
+        remeasured = measured_ground_truth_table(
+            member.subject, cohort.angles_deg, seed=500 + i
+        )
+        _, r_left, r_right = table_correlations(remeasured, member.ground_truth)
+        for key, curve in zip(
+            ("ul", "ur", "gl", "gr", "rl", "rr"),
+            (u_left, u_right, g_left, g_right, r_left, r_right),
+        ):
+            curves[key].append(curve)
+    mean = {key: np.mean(np.vstack(stack), axis=0) for key, stack in curves.items()}
+    return HrirCorrelationResult(
+        angles_deg=cohort.angles_deg.copy(),
+        uniq_left=mean["ul"],
+        uniq_right=mean["ur"],
+        global_left=mean["gl"],
+        global_right=mean["gr"],
+        remeasured_left=mean["rl"],
+        remeasured_right=mean["rr"],
+    )
+
+
+@dataclass(frozen=True)
+class VolunteerResult:
+    """Figure 19 output: per-volunteer mean correlations."""
+
+    names: tuple[str, ...]
+    uniq_left: np.ndarray
+    uniq_right: np.ndarray
+    global_left: np.ndarray
+    global_right: np.ndarray
+
+    @property
+    def per_volunteer_gain(self) -> np.ndarray:
+        """UNIQ-over-global factor per volunteer (both ears pooled)."""
+        uniq = 0.5 * (self.uniq_left + self.uniq_right)
+        template = 0.5 * (self.global_left + self.global_right)
+        return uniq / template
+
+
+def fig19_volunteers(cohort_size: int = 5) -> VolunteerResult:
+    """Reproduce Figure 19: personalization gain for every volunteer."""
+    cohort = get_cohort(cohort_size)
+    rows = {key: [] for key in ("ul", "ur", "gl", "gr")}
+    names = []
+    for member in cohort:
+        names.append(member.name)
+        _, u_left, u_right = table_correlations(
+            member.personalization.table, member.ground_truth
+        )
+        _, g_left, g_right = table_correlations(
+            cohort.global_template, member.ground_truth
+        )
+        rows["ul"].append(u_left.mean())
+        rows["ur"].append(u_right.mean())
+        rows["gl"].append(g_left.mean())
+        rows["gr"].append(g_right.mean())
+    return VolunteerResult(
+        names=tuple(names),
+        uniq_left=np.asarray(rows["ul"]),
+        uniq_right=np.asarray(rows["ur"]),
+        global_left=np.asarray(rows["gl"]),
+        global_right=np.asarray(rows["gr"]),
+    )
+
+
+@dataclass(frozen=True)
+class SampleHrirCase:
+    """One Figure 20 panel: an example HRIR with its correlations."""
+
+    label: str
+    angle_deg: float
+    subject_name: str
+    uniq_hrir: np.ndarray
+    truth_hrir: np.ndarray
+    global_hrir: np.ndarray
+    uniq_correlation: float
+    global_correlation: float
+
+
+@dataclass(frozen=True)
+class SampleHrirsResult:
+    """Figure 20 output: best / average / worst estimated HRIRs."""
+
+    best: SampleHrirCase
+    average: SampleHrirCase
+    worst: SampleHrirCase
+
+
+def fig20_sample_hrirs(cohort_size: int = 5) -> SampleHrirsResult:
+    """Reproduce Figure 20: zoom into raw best/average/worst HRIRs."""
+    cohort = get_cohort(cohort_size)
+    cases = []
+    for member in cohort:
+        table = member.personalization.table
+        for i, angle in enumerate(table.angles_deg):
+            estimate = table.far[i]
+            truth = member.ground_truth.far[i]
+            template = cohort.global_template.far[i]
+            c_uniq = float(np.mean(hrir_correlation(estimate, truth)))
+            c_global = float(np.mean(hrir_correlation(template, truth)))
+            cases.append(
+                (c_uniq, c_global, float(angle), member.name, estimate, truth, template)
+            )
+    cases.sort(key=lambda case: case[0])
+
+    def make(label: str, case) -> SampleHrirCase:
+        c_uniq, c_global, angle, name, estimate, truth, template = case
+        n = truth.n_samples
+        return SampleHrirCase(
+            label=label,
+            angle_deg=angle,
+            subject_name=name,
+            uniq_hrir=estimate.aligned(n).left,
+            truth_hrir=truth.aligned(n).left,
+            global_hrir=template.aligned(n).left,
+            uniq_correlation=c_uniq,
+            global_correlation=c_global,
+        )
+
+    return SampleHrirsResult(
+        best=make("best", cases[-1]),
+        average=make("average", cases[len(cases) // 2]),
+        worst=make("worst", cases[0]),
+    )

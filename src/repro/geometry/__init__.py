@@ -1,0 +1,41 @@
+"""Planar geometry substrate: head model, diffraction paths, trajectories.
+
+The paper models the head as two half-ellipses joined at the ears (its
+Figure 8) and shows (Section 2, Figure 5) that sound reaches the shadowed ear
+along a *diffracted* path that hugs the head boundary rather than cutting
+through it.  This package provides:
+
+- :class:`~repro.geometry.head.HeadGeometry` — the (a, b, c) composite
+  ellipse model with a densely sampled convex boundary.
+- :mod:`~repro.geometry.paths` — shortest-path (Euclidean or wrap-around)
+  computation from an external point to an ear, the core of every delay model
+  in the system.
+- :mod:`~repro.geometry.plane_wave` — far-field (parallel ray) arrival delays.
+- :mod:`~repro.geometry.trajectory` — ideal and hand-perturbed phone
+  trajectories around the head.
+"""
+
+from repro.geometry.head import HeadGeometry, Ear
+from repro.geometry.head3d import HeadGeometry3D, direction_to_section
+from repro.geometry.paths import PathResult, propagation_path, path_delay
+from repro.geometry.plane_wave import plane_wave_delays, plane_wave_arrival
+from repro.geometry.trajectory import (
+    Trajectory,
+    circular_trajectory,
+    hand_motion_trajectory,
+)
+
+__all__ = [
+    "HeadGeometry",
+    "HeadGeometry3D",
+    "direction_to_section",
+    "Ear",
+    "PathResult",
+    "propagation_path",
+    "path_delay",
+    "plane_wave_delays",
+    "plane_wave_arrival",
+    "Trajectory",
+    "circular_trajectory",
+    "hand_motion_trajectory",
+]

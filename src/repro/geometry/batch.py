@@ -1,0 +1,123 @@
+"""Vectorized diffraction-path lengths for many sources at once.
+
+UNIQ's sensor-fusion stage re-localizes every probe for every candidate head
+parameter vector the optimizer tries, which needs *tens of thousands* of
+source-to-ear path evaluations per personalization.  This module reimplements
+the wrap-around shortest-path logic of :mod:`repro.geometry.paths` as pure
+array operations over a whole batch of source points: one ``(m_sources,
+n_boundary)`` visibility matrix per ear instead of ``m`` Python-level scans.
+
+Results agree with the scalar solver to boundary-sampling resolution (the
+test suite asserts equality to < 0.1 mm).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import SPEED_OF_SOUND
+from repro.errors import GeometryError
+from repro.geometry.head import Ear, HeadGeometry
+
+
+def _horizon_indices(
+    head: HeadGeometry, sources: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-source visibility horizons over the sampled boundary.
+
+    Returns ``(visible, first_visible, last_visible)`` where ``visible`` is
+    the ``(m, n)`` vertex-visibility matrix and the index arrays give the
+    endpoints of each source's contiguous visible arc.  Computed once and
+    shared between both ears — the dominant cost of batch localization.
+    """
+    boundary = head.boundary
+    diff = sources[:, None, :] - boundary.points[None, :, :]
+    visible = np.einsum("nk,mnk->mn", boundary.normals, diff) > 0.0
+    enters = visible & ~np.roll(visible, 1, axis=1)
+    exits = visible & ~np.roll(visible, -1, axis=1)
+    # Exactly one entry/exit per row for external points of a convex body.
+    return visible, np.argmax(enters, axis=1), np.argmax(exits, axis=1)
+
+
+def _ear_lengths(
+    head: HeadGeometry,
+    sources: np.ndarray,
+    ear: Ear,
+    visible: np.ndarray,
+    first_visible: np.ndarray,
+    last_visible: np.ndarray,
+    inside: np.ndarray,
+) -> np.ndarray:
+    boundary = head.boundary
+    points = boundary.points
+    ear_pos = head.ear_position(ear)
+    ear_index = head.ear_index(ear)
+    ear_visible = visible[:, ear_index]
+    direct_length = np.linalg.norm(sources - ear_pos[None, :], axis=1)
+
+    cum = boundary.cumulative_arc
+    perimeter = boundary.perimeter
+
+    def wrap_length(tangent_index: np.ndarray, travel_sign: int) -> np.ndarray:
+        straight = np.linalg.norm(sources - points[tangent_index], axis=1)
+        forward = (cum[ear_index] - cum[tangent_index]) % perimeter
+        arc = forward if travel_sign >= 0 else (perimeter - forward) % perimeter
+        return straight + arc
+
+    wrapped = np.minimum(
+        wrap_length(last_visible, +1), wrap_length(first_visible, -1)
+    )
+    lengths = np.where(ear_visible, direct_length, wrapped)
+    return np.where(inside, np.nan, lengths)
+
+
+def path_lengths_batch(
+    head: HeadGeometry, sources: np.ndarray, ear: Ear
+) -> np.ndarray:
+    """Shortest-path lengths (m) from each source row to ``ear``.
+
+    Parameters
+    ----------
+    head:
+        The head geometry (any boundary resolution).
+    sources:
+        Array of shape ``(m, 2)``.
+
+    Returns
+    -------
+    Array of shape ``(m,)`` of path lengths.  Sources inside the head yield
+    ``nan`` (the caller decides whether that is an error or an out-of-domain
+    grid cell).
+    """
+    sources = np.asarray(sources, dtype=float)
+    if sources.ndim != 2 or sources.shape[1] != 2:
+        raise GeometryError(f"sources must have shape (m, 2), got {sources.shape}")
+    inside = head.contains(sources)
+    visible, first_visible, last_visible = _horizon_indices(head, sources)
+    return _ear_lengths(
+        head, sources, ear, visible, first_visible, last_visible, inside
+    )
+
+
+def binaural_delays_batch(
+    head: HeadGeometry,
+    sources: np.ndarray,
+    speed_of_sound: float = SPEED_OF_SOUND,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(left, right) first-tap delays in seconds for each source row.
+
+    The visibility scan — the expensive part — is computed once and shared
+    between the two ears.
+    """
+    sources = np.asarray(sources, dtype=float)
+    if sources.ndim != 2 or sources.shape[1] != 2:
+        raise GeometryError(f"sources must have shape (m, 2), got {sources.shape}")
+    inside = head.contains(sources)
+    visible, first_visible, last_visible = _horizon_indices(head, sources)
+    left = _ear_lengths(
+        head, sources, Ear.LEFT, visible, first_visible, last_visible, inside
+    )
+    right = _ear_lengths(
+        head, sources, Ear.RIGHT, visible, first_visible, last_visible, inside
+    )
+    return left / speed_of_sound, right / speed_of_sound

@@ -1,0 +1,171 @@
+"""3D head model: the Section 7 extension of the two-half-ellipse head.
+
+The paper's prototype is 2D; its Section 7 sketches the 3D extension ("the
+user would now need to move the phone on a sphere around the head, and the
+motion tracking equations need to be extended to 3D").  This module supplies
+the geometry for that extension with one additional head parameter:
+
+    E3 = (a, b, c, d)
+
+— half-width ``a`` (the ear axis), front depth ``b``, back depth ``c``, and
+**vertical semi-axis** ``d``.  The head is two half-ellipsoids glued at the
+ear plane, so every plane containing the ear axis cuts the head in exactly
+the 2D composite two-half-ellipse shape the rest of the library already
+handles:
+
+    front section depth  b_eff(t) = 1 / sqrt(cos^2 t / b^2 + sin^2 t / d^2)
+    back  section depth  c_eff(t) = 1 / sqrt(cos^2 t / c^2 + sin^2 t / d^2)
+
+for a section plane tilted by ``t`` from horizontal.  Diffraction paths are
+computed **inside the section plane** that contains the ear axis and the
+source — exact for a sphere, and a standard first-order approximation of
+the true ellipsoid geodesic for human-scale eccentricities.
+
+Coordinates: x out of the left ear, y out of the nose, z up.  A source
+direction is (azimuth theta, elevation phi): theta follows the library's 2D
+convention in the horizontal plane; phi is positive upward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import SPEED_OF_SOUND
+from repro.errors import GeometryError
+from repro.geometry.head import Ear, HeadGeometry
+from repro.geometry.paths import propagation_path
+from repro.geometry.plane_wave import plane_wave_arrival
+
+_MIN_AXIS_M = 0.02
+_MAX_AXIS_M = 0.30
+
+
+def direction_from_angles(azimuth_deg: float, elevation_deg: float) -> np.ndarray:
+    """Unit vector pointing *toward the source* at (azimuth, elevation)."""
+    azimuth = np.deg2rad(azimuth_deg)
+    elevation = np.deg2rad(elevation_deg)
+    return np.array(
+        [
+            np.sin(azimuth) * np.cos(elevation),
+            np.cos(azimuth) * np.cos(elevation),
+            np.sin(elevation),
+        ]
+    )
+
+
+def section_coordinates(point: np.ndarray) -> tuple[float, float, float]:
+    """Decompose a 3D point into its ear-axis section plane.
+
+    Returns ``(tilt_deg, u, v)`` where the section plane is spanned by the
+    ear axis and ``w = (0, cos tilt, sin tilt)`` with ``tilt`` in
+    ``(-90, 90]``, and the in-plane coordinates are ``u`` along the ear
+    axis and ``v`` along ``w`` (``v`` may be negative: behind the head).
+    """
+    point = np.asarray(point, dtype=float)
+    if point.shape != (3,):
+        raise GeometryError(f"expected a 3D point, got shape {point.shape}")
+    y, z = float(point[1]), float(point[2])
+    lateral = float(np.hypot(y, z))
+    if lateral < 1e-12:
+        # On the ear axis itself: any section contains it; pick horizontal.
+        return 0.0, float(point[0]), 0.0
+    raw = float(np.rad2deg(np.arctan2(z, y)))
+    if raw > 90.0:
+        return raw - 180.0, float(point[0]), -lateral
+    if raw <= -90.0:
+        return raw + 180.0, float(point[0]), -lateral
+    return raw, float(point[0]), lateral
+
+
+@dataclass(frozen=True)
+class HeadGeometry3D:
+    """Two half-ellipsoids glued at the ear plane: ``E3 = (a, b, c, d)``."""
+
+    a: float
+    b: float
+    c: float
+    d: float
+    n_boundary: int = 720
+    _sections: dict = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for name, value in (("a", self.a), ("b", self.b), ("c", self.c), ("d", self.d)):
+            if not np.isfinite(value) or not _MIN_AXIS_M <= value <= _MAX_AXIS_M:
+                raise GeometryError(
+                    f"head axis {name}={value!r} outside plausible range "
+                    f"[{_MIN_AXIS_M}, {_MAX_AXIS_M}] m"
+                )
+        object.__setattr__(self, "_sections", {})
+
+    @classmethod
+    def average(cls) -> "HeadGeometry3D":
+        """Population-average 3D head (vertical semi-axis ~11.5 cm)."""
+        return cls(a=0.0875, b=0.110, c=0.095, d=0.115)
+
+    @property
+    def parameters(self) -> tuple[float, float, float, float]:
+        return (self.a, self.b, self.c, self.d)
+
+    def effective_depths(self, tilt_deg: float) -> tuple[float, float]:
+        """(b_eff, c_eff) of the section plane tilted by ``tilt_deg``."""
+        if not -90.0 < tilt_deg <= 90.0 + 1e-9:
+            raise GeometryError(f"tilt must be in (-90, 90], got {tilt_deg}")
+        tilt = np.deg2rad(tilt_deg)
+        cos2 = np.cos(tilt) ** 2
+        sin2 = np.sin(tilt) ** 2
+        b_eff = 1.0 / np.sqrt(cos2 / self.b**2 + sin2 / self.d**2)
+        c_eff = 1.0 / np.sqrt(cos2 / self.c**2 + sin2 / self.d**2)
+        return float(b_eff), float(c_eff)
+
+    def section(self, tilt_deg: float) -> HeadGeometry:
+        """The 2D head cross-section in the tilted ear-axis plane (cached)."""
+        key = round(float(tilt_deg), 6)
+        if key not in self._sections:
+            b_eff, c_eff = self.effective_depths(float(tilt_deg))
+            self._sections[key] = HeadGeometry(
+                a=self.a, b=b_eff, c=c_eff, n_boundary=self.n_boundary
+            )
+        return self._sections[key]
+
+    def path_delay(self, source_xyz: np.ndarray, ear: Ear) -> float:
+        """First-tap delay (s) from a 3D point source, via its section plane."""
+        tilt, u, v = section_coordinates(np.asarray(source_xyz, dtype=float))
+        section = self.section(tilt)
+        return (
+            propagation_path(section, np.array([u, v]), ear).length
+            / SPEED_OF_SOUND
+        )
+
+    def plane_wave_delays(
+        self, azimuth_deg: float, elevation_deg: float
+    ) -> tuple[float, float]:
+        """(left, right) far-field arrival delays for one source direction."""
+        direction = direction_from_angles(azimuth_deg, elevation_deg)
+        tilt, u, v = section_coordinates(direction)
+        theta_in_plane = float(np.rad2deg(np.arctan2(u, v)))
+        section = self.section(tilt)
+        left = plane_wave_arrival(section, theta_in_plane, Ear.LEFT)
+        right = plane_wave_arrival(section, theta_in_plane, Ear.RIGHT)
+        return left.delay, right.delay
+
+    def interaural_delay(
+        self, azimuth_deg: float, elevation_deg: float
+    ) -> float:
+        """Far-field ITD ``t_left - t_right`` (s) for (azimuth, elevation)."""
+        left, right = self.plane_wave_delays(azimuth_deg, elevation_deg)
+        return left - right
+
+
+def direction_to_section(
+    azimuth_deg: float, elevation_deg: float
+) -> tuple[float, float]:
+    """Map a (azimuth, elevation) direction to ``(tilt_deg, in_plane_deg)``.
+
+    Every direction lies on exactly one great circle through the ear axis;
+    this returns that circle's tilt and the direction's angle within it.
+    """
+    direction = direction_from_angles(azimuth_deg, elevation_deg)
+    tilt, u, v = section_coordinates(direction)
+    return tilt, float(np.rad2deg(np.arctan2(u, v)))

@@ -1,0 +1,134 @@
+"""Far-field (plane wave) arrival geometry.
+
+When an emulated or real source is far from the head (beyond ~1 m, paper
+Section 1 footnote 1), its rays arrive essentially parallel.  The wavefront
+is then a line sweeping across the head, and each ear's arrival time is set
+by (i) where the ear sits along the propagation direction and (ii) — for the
+shadowed ear — the extra wrap around the head from the grazing point, exactly
+as in the near-field case but with a line source at infinity.
+
+Delays returned here are *relative to the wavefront passing the head center*;
+only inter-aural differences and tap structure are physically meaningful,
+which is all the HRTF pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import SPEED_OF_SOUND
+from repro.errors import GeometryError
+from repro.geometry.head import Ear, HeadGeometry
+from repro.geometry.paths import _boundary_tangent_at
+from repro.geometry.vec import unit_from_angle_deg
+
+
+@dataclass(frozen=True)
+class PlaneWaveArrival:
+    """Arrival of a plane wave at one ear.
+
+    Attributes
+    ----------
+    delay:
+        Arrival time (s) relative to the wavefront crossing the head center.
+        May be negative for the illuminated ear.
+    direct:
+        Whether the ear is on the illuminated side.
+    wrap_arc:
+        Boundary arc length traveled in the shadow (0 if illuminated).
+    grazing_point:
+        Boundary point where the shadowed path leaves the wavefront.
+    arrival_direction:
+        Unit propagation direction at the ear (plane-wave direction when
+        illuminated, boundary tangent when wrapped).
+    """
+
+    delay: float
+    direct: bool
+    wrap_arc: float
+    grazing_point: Optional[np.ndarray]
+    arrival_direction: np.ndarray
+
+
+def plane_wave_arrival(
+    head: HeadGeometry,
+    theta_deg: float,
+    ear: Ear,
+    speed_of_sound: float = SPEED_OF_SOUND,
+) -> PlaneWaveArrival:
+    """Arrival of a plane wave from source direction ``theta_deg`` at ``ear``.
+
+    ``theta_deg`` is the direction the sound *comes from* (library
+    convention: 0 = front, 90 = left, 180 = back), so the wave propagates
+    along ``-unit(theta)``.
+    """
+    if not np.isfinite(theta_deg):
+        raise GeometryError(f"theta_deg must be finite, got {theta_deg!r}")
+    u = -unit_from_angle_deg(float(theta_deg))  # propagation direction
+    ear_pos = head.ear_position(ear)
+
+    # Illuminated when the outward normal faces the incoming wave.
+    if float(np.dot(head.outward_normal(ear_pos), u)) < 0.0:
+        return PlaneWaveArrival(
+            delay=float(np.dot(ear_pos, u)) / speed_of_sound,
+            direct=True,
+            wrap_arc=0.0,
+            grazing_point=None,
+            arrival_direction=u,
+        )
+
+    boundary = head.boundary
+    illuminated = np.einsum("ij,j->i", boundary.normals, u) < 0.0
+    if not illuminated.any():
+        raise GeometryError("degenerate boundary: no illuminated vertex")
+
+    enters = illuminated & ~np.roll(illuminated, 1)
+    exits = illuminated & ~np.roll(illuminated, -1)
+    first_lit = int(np.flatnonzero(enters)[0])
+    last_lit = int(np.flatnonzero(exits)[0])
+
+    ear_index = head.ear_index(ear)
+    candidates = []
+    for grazing_index, travel_sign in ((last_lit, +1), (first_lit, -1)):
+        grazing = boundary.points[grazing_index]
+        arc = boundary.arc_between(grazing_index, ear_index, travel_sign)
+        delay = (float(np.dot(grazing, u)) + arc) / speed_of_sound
+        candidates.append((delay, arc, grazing_index, travel_sign))
+
+    delay, arc, grazing_index, travel_sign = min(candidates, key=lambda c: c[0])
+    return PlaneWaveArrival(
+        delay=delay,
+        direct=False,
+        wrap_arc=arc,
+        grazing_point=boundary.points[grazing_index].copy(),
+        arrival_direction=_boundary_tangent_at(head, ear_index, travel_sign),
+    )
+
+
+def plane_wave_delays(
+    head: HeadGeometry,
+    theta_deg: float,
+    speed_of_sound: float = SPEED_OF_SOUND,
+) -> tuple[float, float]:
+    """(left, right) plane-wave arrival delays for one source direction."""
+    left = plane_wave_arrival(head, theta_deg, Ear.LEFT, speed_of_sound)
+    right = plane_wave_arrival(head, theta_deg, Ear.RIGHT, speed_of_sound)
+    return (left.delay, right.delay)
+
+
+def interaural_delay(
+    head: HeadGeometry,
+    theta_deg: float,
+    speed_of_sound: float = SPEED_OF_SOUND,
+) -> float:
+    """Far-field interaural time difference ``t_left - t_right`` (seconds).
+
+    Negative when the source is on the left (the left ear hears it first).
+    This is the ``t(theta)`` template the binaural AoA estimator matches the
+    measured first-tap difference against (paper Section 4.5).
+    """
+    left, right = plane_wave_delays(head, theta_deg, speed_of_sound)
+    return left - right

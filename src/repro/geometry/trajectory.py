@@ -1,0 +1,180 @@
+"""Phone trajectories around the head: ideal arcs and hand-held motion.
+
+UNIQ asks the user to sweep the phone in front of the face, screen facing the
+eyes, from one side to the other.  A real arm does this imperfectly: the
+radius wobbles, the sweep speed varies, the phone does not point exactly at
+the head, and sometimes the arm droops (the failure mode the gesture checker
+of Section 4.6 detects).  :func:`hand_motion_trajectory` synthesizes all of
+these effects with seeded randomness; :func:`circular_trajectory` is the
+ideal reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.vec import polar_to_cartesian
+
+
+def _smooth_noise(rng: np.random.Generator, n: int, scale: float, smoothness: int) -> np.ndarray:
+    """Zero-mean band-limited noise: white noise box-filtered ``smoothness`` wide."""
+    if n <= 0:
+        return np.zeros(0)
+    raw = rng.standard_normal(n + smoothness)
+    kernel = np.ones(smoothness) / smoothness
+    smooth = np.convolve(raw, kernel, mode="valid")[:n]
+    std = smooth.std()
+    if std > 0:
+        smooth = smooth / std
+    return scale * (smooth - smooth.mean())
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A timed phone path in head-centered polar coordinates.
+
+    Attributes
+    ----------
+    times:
+        Sample timestamps (s), shape ``(n,)``, strictly increasing.
+    angles_deg:
+        True polar angle of the phone at each time (library convention).
+    radii:
+        True distance from the head center (m).
+    facing_error_deg:
+        Orientation error: the phone's facing direction minus the true polar
+        angle.  Zero for a perfectly aimed phone.  The gyroscope senses the
+        phone's *orientation* rate, so this error leaks into IMU angles —
+        the dominant error source the paper reports for Figure 17.
+    """
+
+    times: np.ndarray
+    angles_deg: np.ndarray
+    radii: np.ndarray
+    facing_error_deg: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.times.shape[0]
+        for name in ("angles_deg", "radii", "facing_error_deg"):
+            if getattr(self, name).shape != (n,):
+                raise GeometryError(f"{name} must match times shape ({n},)")
+        if n >= 2 and not np.all(np.diff(self.times) > 0):
+            raise GeometryError("times must be strictly increasing")
+        if np.any(self.radii <= 0):
+            raise GeometryError("radii must be positive")
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def duration(self) -> float:
+        """Total sweep time in seconds."""
+        return float(self.times[-1] - self.times[0]) if len(self) else 0.0
+
+    def positions(self) -> np.ndarray:
+        """Cartesian phone positions, shape ``(n, 2)``."""
+        return polar_to_cartesian(self.radii, self.angles_deg)
+
+    def orientations_deg(self) -> np.ndarray:
+        """Phone facing direction over time (polar angle + facing error)."""
+        return self.angles_deg + self.facing_error_deg
+
+    def angular_velocity_dps(self) -> np.ndarray:
+        """True phone *orientation* rate (deg/s) — what an ideal gyro senses."""
+        return np.gradient(self.orientations_deg(), self.times)
+
+    def subsample(self, indices: np.ndarray) -> "Trajectory":
+        """A trajectory restricted to the given sample indices."""
+        idx = np.asarray(indices, dtype=int)
+        return Trajectory(
+            times=self.times[idx],
+            angles_deg=self.angles_deg[idx],
+            radii=self.radii[idx],
+            facing_error_deg=self.facing_error_deg[idx],
+        )
+
+
+def circular_trajectory(
+    radius: float = 0.45,
+    angle_start_deg: float = 0.0,
+    angle_end_deg: float = 180.0,
+    duration_s: float = 20.0,
+    rate_hz: float = 100.0,
+) -> Trajectory:
+    """An ideal constant-speed arc at fixed radius, perfectly aimed phone."""
+    if duration_s <= 0 or rate_hz <= 0:
+        raise GeometryError("duration_s and rate_hz must be positive")
+    n = max(2, int(round(duration_s * rate_hz)))
+    times = np.arange(n) / rate_hz
+    angles = np.linspace(angle_start_deg, angle_end_deg, n)
+    return Trajectory(
+        times=times,
+        angles_deg=angles,
+        radii=np.full(n, float(radius)),
+        facing_error_deg=np.zeros(n),
+    )
+
+
+def hand_motion_trajectory(
+    rng: np.random.Generator,
+    radius_mean: float = 0.45,
+    radius_wobble: float = 0.03,
+    angle_start_deg: float = 0.0,
+    angle_end_deg: float = 180.0,
+    duration_s: float = 20.0,
+    rate_hz: float = 100.0,
+    speed_unevenness: float = 0.25,
+    facing_error_std_deg: float = 3.0,
+    arm_drop_probability: float = 0.0,
+    arm_drop_depth: float = 0.15,
+) -> Trajectory:
+    """A hand-held sweep with realistic gesture imperfections.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source; pass a seeded generator for reproducibility.
+    radius_wobble:
+        Standard deviation (m) of the slow radius drift around
+        ``radius_mean``.
+    speed_unevenness:
+        Fractional variation of the angular sweep speed (0 = perfectly even).
+    facing_error_std_deg:
+        Standard deviation of the slowly varying phone aiming error.
+    arm_drop_probability:
+        Probability that the sweep contains one "arm drop" event — a segment
+        where the radius collapses by ``arm_drop_depth`` fraction, the bad
+        gesture the Section 4.6 checks must flag.
+    """
+    if duration_s <= 0 or rate_hz <= 0:
+        raise GeometryError("duration_s and rate_hz must be positive")
+    n = max(2, int(round(duration_s * rate_hz)))
+    times = np.arange(n) / rate_hz
+    smoothness = max(2, int(rate_hz))  # ~1 s correlation time
+
+    # Uneven sweep speed: warp progress through the arc monotonically.
+    speed = 1.0 + np.clip(
+        _smooth_noise(rng, n, speed_unevenness, smoothness), -0.9, None
+    )
+    progress = np.cumsum(speed)
+    progress = (progress - progress[0]) / (progress[-1] - progress[0])
+    angles = angle_start_deg + (angle_end_deg - angle_start_deg) * progress
+
+    radii = radius_mean + _smooth_noise(rng, n, radius_wobble, smoothness)
+    if rng.random() < arm_drop_probability:
+        drop_center = rng.uniform(0.3, 0.7) * n
+        drop_width = rng.uniform(0.08, 0.2) * n
+        dip = np.exp(-0.5 * ((np.arange(n) - drop_center) / drop_width) ** 2)
+        radii = radii * (1.0 - arm_drop_depth * dip)
+    radii = np.maximum(radii, 0.15)
+
+    facing = _smooth_noise(rng, n, facing_error_std_deg, smoothness)
+    return Trajectory(
+        times=times,
+        angles_deg=angles,
+        radii=radii,
+        facing_error_deg=facing,
+    )

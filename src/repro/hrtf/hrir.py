@@ -1,0 +1,116 @@
+"""Binaural impulse-response pair: the time-domain form of one HRTF entry.
+
+The paper moves freely between the frequency-domain HRTF and its time-domain
+counterpart, the head related impulse response (HRIR); alignment,
+interpolation, and the similarity metric all happen on HRIRs, while rendering
+and the unknown-source AoA matching happen on spectra.  This container keeps
+the pair together with its sample rate and provides those conversions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SPEED_OF_SOUND
+from repro.errors import SignalError
+from repro.geometry.head import Ear
+from repro.signals.channel import first_tap_index, refine_tap_position
+from repro.signals.correlation import align_to_first_tap
+
+
+@dataclass(frozen=True)
+class BinauralIR:
+    """A left/right impulse-response pair at one source configuration."""
+
+    left: np.ndarray
+    right: np.ndarray
+    fs: int
+
+    def __post_init__(self) -> None:
+        if self.left.ndim != 1 or self.right.ndim != 1:
+            raise SignalError("HRIRs must be 1D arrays")
+        if self.left.shape != self.right.shape:
+            raise SignalError(
+                f"left ({self.left.shape[0]}) and right ({self.right.shape[0]}) "
+                "HRIRs must have equal length"
+            )
+        if self.left.shape[0] < 2:
+            raise SignalError("HRIRs must have at least 2 samples")
+        if self.fs <= 0:
+            raise SignalError(f"sample rate must be positive, got {self.fs}")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.left.shape[0])
+
+    @property
+    def duration_s(self) -> float:
+        return self.n_samples / self.fs
+
+    def ear(self, ear: Ear) -> np.ndarray:
+        """The impulse response of one ear."""
+        return self.left if ear is Ear.LEFT else self.right
+
+    def first_tap_delays_s(self) -> tuple[float, float]:
+        """Sub-sample-refined first-tap times (s) for (left, right)."""
+        out = []
+        for signal in (self.left, self.right):
+            idx = first_tap_index(signal)
+            out.append(refine_tap_position(signal, idx) / self.fs)
+        return out[0], out[1]
+
+    def interaural_delay_s(self) -> float:
+        """First-tap time difference ``t_left - t_right`` (s).
+
+        Negative when the left ear hears the source first.
+        """
+        t_left, t_right = self.first_tap_delays_s()
+        return t_left - t_right
+
+    def interaural_path_difference_m(self) -> float:
+        """The interaural delay expressed as a path-length difference (m)."""
+        return self.interaural_delay_s() * SPEED_OF_SOUND
+
+    def aligned(self, length: int | None = None, pre_samples: int = 4) -> "BinauralIR":
+        """Both ears aligned to their own first taps (interaural delay removed).
+
+        Used before shape comparison/interpolation, where only the multipath
+        *pattern* matters and residual bulk delay would corrupt averaging.
+        """
+        n = length if length is not None else self.n_samples
+        return BinauralIR(
+            left=align_to_first_tap(self.left, n, pre_samples),
+            right=align_to_first_tap(self.right, n, pre_samples),
+            fs=self.fs,
+        )
+
+    def to_frequency(self, n_fft: int | None = None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(freqs, H_left, H_right): the one-sided HRTF spectra."""
+        n = n_fft if n_fft is not None else self.n_samples
+        if n < self.n_samples:
+            raise SignalError("n_fft must be >= the HRIR length")
+        freqs = np.fft.rfftfreq(n, d=1.0 / self.fs)
+        return freqs, np.fft.rfft(self.left, n), np.fft.rfft(self.right, n)
+
+    def apply(self, signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Binauralize a mono signal: ``(Y_left, Y_right) = (H_l * s, H_r * s)``.
+
+        This is the paper's Section 4.4 filtering step.
+        """
+        signal = np.asarray(signal, dtype=float)
+        if signal.ndim != 1 or signal.shape[0] < 1:
+            raise SignalError("signal must be a non-empty 1D array")
+        return np.convolve(signal, self.left), np.convolve(signal, self.right)
+
+    def scaled(self, factor: float) -> "BinauralIR":
+        """Both ears scaled by ``factor``."""
+        return BinauralIR(self.left * factor, self.right * factor, self.fs)
+
+    def normalized(self) -> "BinauralIR":
+        """Peak-normalized copy (max absolute tap across both ears = 1)."""
+        peak = max(np.max(np.abs(self.left)), np.max(np.abs(self.right)))
+        if peak == 0.0:
+            raise SignalError("cannot normalize an all-zero HRIR pair")
+        return self.scaled(1.0 / peak)

@@ -1,0 +1,54 @@
+"""HRTF table serialization.
+
+Tables round-trip through a single ``.npz`` file so a personalization run on
+one machine can ship its result to an earbud application on another — the
+deployment story of paper Section 4.4.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import TableError
+from repro.hrtf.hrir import BinauralIR
+from repro.hrtf.table import HRTFTable
+
+_FORMAT_VERSION = 1
+
+
+def save_table(table: HRTFTable, path: str | os.PathLike) -> None:
+    """Write a table to ``path`` as a compressed npz archive."""
+    arrays: dict[str, np.ndarray] = {
+        "version": np.array([_FORMAT_VERSION]),
+        "fs": np.array([table.fs]),
+        "angles_deg": table.angles_deg,
+        "near_left": np.stack([ir.left for ir in table.near]),
+        "near_right": np.stack([ir.right for ir in table.near]),
+        "far_left": np.stack([ir.left for ir in table.far]),
+        "far_right": np.stack([ir.right for ir in table.far]),
+    }
+    np.savez_compressed(os.fspath(path), **arrays)
+
+
+def load_table(path: str | os.PathLike) -> HRTFTable:
+    """Load a table previously written by :func:`save_table`."""
+    with np.load(os.fspath(path)) as data:
+        try:
+            version = int(data["version"][0])
+            if version != _FORMAT_VERSION:
+                raise TableError(f"unsupported table format version {version}")
+            fs = int(data["fs"][0])
+            angles = data["angles_deg"]
+            near = tuple(
+                BinauralIR(left=l.copy(), right=r.copy(), fs=fs)
+                for l, r in zip(data["near_left"], data["near_right"])
+            )
+            far = tuple(
+                BinauralIR(left=l.copy(), right=r.copy(), fs=fs)
+                for l, r in zip(data["far_left"], data["far_right"])
+            )
+        except KeyError as missing:
+            raise TableError(f"table file missing field {missing}") from missing
+    return HRTFTable(angles_deg=angles, near=near, far=far)

@@ -1,0 +1,62 @@
+"""HRTF quality metrics: the paper's cross-correlation similarity.
+
+Figures 18-20 evaluate an estimated HRIR by its maximum normalized
+cross-correlation against the ground-truth HRIR of the same subject and
+angle.  Correlation is computed on first-tap-aligned responses so that a pure
+bulk-delay offset (which the ear cannot perceive) does not depress the score,
+while tap *pattern* differences (which it can) do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.hrtf.hrir import BinauralIR
+from repro.hrtf.table import HRTFTable
+from repro.signals.correlation import max_normalized_correlation
+
+
+def hrir_correlation(estimate: BinauralIR, truth: BinauralIR) -> tuple[float, float]:
+    """Per-ear similarity ``(c_left, c_right)`` between two HRIR pairs.
+
+    Both pairs are first-tap aligned independently; each ear's score is the
+    peak normalized cross-correlation, in ``[-1, 1]`` (1 = identical shape).
+    """
+    if estimate.fs != truth.fs:
+        raise SignalError("cannot compare HRIRs at different sample rates")
+    n = max(estimate.n_samples, truth.n_samples)
+    est = estimate.aligned(n)
+    ref = truth.aligned(n)
+    return (
+        max_normalized_correlation(est.left, ref.left),
+        max_normalized_correlation(est.right, ref.right),
+    )
+
+
+def table_correlations(
+    estimate: HRTFTable,
+    truth: HRTFTable,
+    field: str = "far",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-angle similarity of two tables on the estimate's angle grid.
+
+    Returns ``(angles_deg, c_left, c_right)``.  The truth table is looked up
+    (with interpolation) at each of the estimate's angles.
+    """
+    angles = estimate.angles_deg
+    c_left = np.zeros(angles.shape[0])
+    c_right = np.zeros(angles.shape[0])
+    for i, angle in enumerate(angles):
+        est_ir = estimate.nearest(float(angle), field)
+        ref_ir = truth.lookup(float(angle), field)
+        c_left[i], c_right[i] = hrir_correlation(est_ir, ref_ir)
+    return angles.copy(), c_left, c_right
+
+
+def mean_table_correlation(
+    estimate: HRTFTable, truth: HRTFTable, field: str = "far"
+) -> tuple[float, float]:
+    """Mean-over-angles per-ear similarity (the Figure 19 summary numbers)."""
+    _, c_left, c_right = table_correlations(estimate, truth, field)
+    return float(c_left.mean()), float(c_right.mean())

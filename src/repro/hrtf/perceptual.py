@@ -1,0 +1,147 @@
+"""Perceptually motivated HRTF distance metrics.
+
+The waveform cross-correlation of Figures 18-20 treats every sample
+equally, but human spatial hearing keys on three specific cues:
+
+- **ITD** — the interaural time difference (dominant below ~1.5 kHz);
+- **ILD** — the interaural level difference (dominant above ~3 kHz);
+- **monaural spectral shape** — the pinna's direction-dependent coloration,
+  compared on a log-frequency (roughly critical-band) grid.
+
+Section 7 of the paper points to exactly this kind of metric
+(Ananthabhotla et al., "A framework for designing head-related transfer
+function distance metrics that capture localization perception") as the
+right yardstick for externalization.  This module implements the cue
+errors and a fixed-weight composite distance; the weights follow the cue
+just-noticeable differences (~20 us ITD, ~1 dB ILD, ~1 dB per-band
+spectral) so a distance of 1.0 is roughly "one JND on every cue".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.hrtf.hrir import BinauralIR
+from repro.hrtf.table import HRTFTable
+
+#: Log-spaced analysis band edges (Hz), approximating critical bands.
+DEFAULT_BAND_EDGES = tuple(float(f) for f in np.geomspace(300.0, 12_000.0, 13))
+
+#: Cue just-noticeable differences used to normalize the composite.
+ITD_JND_S = 20e-6
+ILD_JND_DB = 1.0
+SPECTRAL_JND_DB = 1.0
+
+
+def itd_error_s(estimate: BinauralIR, truth: BinauralIR) -> float:
+    """Absolute interaural-time-difference error (seconds)."""
+    return abs(estimate.interaural_delay_s() - truth.interaural_delay_s())
+
+
+def _broadband_ild_db(pair: BinauralIR) -> float:
+    left_energy = float(np.sum(pair.left**2))
+    right_energy = float(np.sum(pair.right**2))
+    if left_energy == 0.0 or right_energy == 0.0:
+        raise SignalError("cannot compute ILD of a silent ear")
+    return 10.0 * np.log10(left_energy / right_energy)
+
+
+def ild_error_db(estimate: BinauralIR, truth: BinauralIR) -> float:
+    """Absolute broadband interaural-level-difference error (dB)."""
+    return abs(_broadband_ild_db(estimate) - _broadband_ild_db(truth))
+
+
+def _band_magnitudes_db(
+    signal: np.ndarray, fs: int, edges: tuple[float, ...]
+) -> np.ndarray:
+    n_fft = max(1024, int(2 ** np.ceil(np.log2(signal.shape[0]))))
+    spectrum = np.abs(np.fft.rfft(signal, n_fft)) ** 2
+    freqs = np.fft.rfftfreq(n_fft, d=1.0 / fs)
+    bands = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (freqs >= lo) & (freqs < hi)
+        power = float(spectrum[mask].mean()) if mask.any() else 0.0
+        bands.append(10.0 * np.log10(max(power, 1e-20)))
+    return np.asarray(bands)
+
+
+def spectral_distortion_db(
+    estimate: BinauralIR,
+    truth: BinauralIR,
+    band_edges: tuple[float, ...] = DEFAULT_BAND_EDGES,
+) -> float:
+    """Mean absolute per-band magnitude error (dB), averaged over both ears.
+
+    Each ear's band spectrum is mean-removed first, so a pure broadband
+    gain offset (inaudible as coloration) does not count as distortion.
+    """
+    if estimate.fs != truth.fs:
+        raise SignalError("cannot compare HRIRs at different sample rates")
+    if len(band_edges) < 2:
+        raise SignalError("need at least two band edges")
+    errors = []
+    for ear_est, ear_truth in (
+        (estimate.left, truth.left),
+        (estimate.right, truth.right),
+    ):
+        est_db = _band_magnitudes_db(ear_est, estimate.fs, band_edges)
+        truth_db = _band_magnitudes_db(ear_truth, truth.fs, band_edges)
+        est_db = est_db - est_db.mean()
+        truth_db = truth_db - truth_db.mean()
+        errors.append(np.mean(np.abs(est_db - truth_db)))
+    return float(np.mean(errors))
+
+
+@dataclass(frozen=True)
+class PerceptualDistance:
+    """The three cue errors plus their JND-normalized composite."""
+
+    itd_error_s: float
+    ild_error_db: float
+    spectral_distortion_db: float
+
+    @property
+    def composite(self) -> float:
+        """Mean number of JNDs across the three cues (lower is better)."""
+        return float(
+            np.mean(
+                [
+                    self.itd_error_s / ITD_JND_S,
+                    self.ild_error_db / ILD_JND_DB,
+                    self.spectral_distortion_db / SPECTRAL_JND_DB,
+                ]
+            )
+        )
+
+
+def perceptual_distance(estimate: BinauralIR, truth: BinauralIR) -> PerceptualDistance:
+    """All perceptual cue errors between an estimated and a true HRIR pair."""
+    return PerceptualDistance(
+        itd_error_s=itd_error_s(estimate, truth),
+        ild_error_db=ild_error_db(estimate, truth),
+        spectral_distortion_db=spectral_distortion_db(estimate, truth),
+    )
+
+
+def table_perceptual_distance(
+    estimate: HRTFTable, truth: HRTFTable, field: str = "far"
+) -> PerceptualDistance:
+    """Cue errors averaged over the estimate table's angle grid."""
+    itd = []
+    ild = []
+    spectral = []
+    for angle in estimate.angles_deg:
+        est_ir = estimate.nearest(float(angle), field)
+        truth_ir = truth.lookup(float(angle), field)
+        distance = perceptual_distance(est_ir, truth_ir)
+        itd.append(distance.itd_error_s)
+        ild.append(distance.ild_error_db)
+        spectral.append(distance.spectral_distortion_db)
+    return PerceptualDistance(
+        itd_error_s=float(np.mean(itd)),
+        ild_error_db=float(np.mean(ild)),
+        spectral_distortion_db=float(np.mean(spectral)),
+    )

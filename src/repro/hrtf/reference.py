@@ -1,0 +1,81 @@
+"""Reference tables: per-subject ground truth and the global template.
+
+Evaluation needs two reference points (paper Section 1, "success metric"):
+
+- the **ground truth**: the subject's real HRTF, which the paper measures in
+  an anechoic lab with an overhead camera.  Here it is rendered directly
+  from the subject's true model — the simulator's exact tap trains.
+- the **global template**: the average-person HRTF shipped in products,
+  the personalization *lower* bound.  Here it is the ground truth of the
+  population-average subject.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_ANGLE_GRID_DEG, DEFAULT_SAMPLE_RATE
+from repro.errors import TableError
+from repro.hrtf.hrir import BinauralIR
+from repro.hrtf.table import HRTFTable
+from repro.geometry.vec import polar_to_cartesian
+from repro.simulation.person import VirtualSubject
+from repro.simulation.propagation import (
+    render_far_field_hrir,
+    render_near_field_hrir,
+)
+
+#: Near-field reference radius for table construction (m): a typical arm's
+#: phone-holding distance, comfortably inside the 1 m near-field boundary.
+NEAR_TABLE_RADIUS_M = 0.45
+
+
+def ground_truth_table(
+    subject: VirtualSubject,
+    angles_deg: np.ndarray | None = None,
+    fs: int = DEFAULT_SAMPLE_RATE,
+    near_radius_m: float = NEAR_TABLE_RADIUS_M,
+) -> HRTFTable:
+    """The subject's exact HRTF table, rendered from the true model.
+
+    This plays the role of the paper's lab-measured ground truth: the upper
+    bound personalization is compared against.
+    """
+    angles = (
+        np.asarray(angles_deg, dtype=float)
+        if angles_deg is not None
+        else np.asarray(DEFAULT_ANGLE_GRID_DEG, dtype=float)
+    )
+    if angles.ndim != 1 or angles.shape[0] < 2:
+        raise TableError("need at least 2 angles for a table")
+    near = []
+    far = []
+    for angle in angles:
+        position = polar_to_cartesian(near_radius_m, float(angle))
+        n_left, n_right = render_near_field_hrir(subject, position, fs)
+        near.append(BinauralIR(left=n_left, right=n_right, fs=fs))
+        f_left, f_right = render_far_field_hrir(subject, float(angle), fs)
+        far.append(BinauralIR(left=f_left, right=f_right, fs=fs))
+    return HRTFTable(angles_deg=angles, near=tuple(near), far=tuple(far))
+
+
+def global_template_table(
+    angles_deg: np.ndarray | None = None,
+    fs: int = DEFAULT_SAMPLE_RATE,
+    near_radius_m: float = NEAR_TABLE_RADIUS_M,
+) -> HRTFTable:
+    """The one-size-fits-all template table shipped in products.
+
+    Real products embed the HRTF of one lab mannequin (classically KEMAR) —
+    a *specific* head and pinna, not a population mean.  The template is
+    therefore the ground truth of a dedicated held-out subject that never
+    appears in any evaluation cohort.
+    """
+    return ground_truth_table(
+        template_subject(), angles_deg, fs, near_radius_m
+    )
+
+
+def template_subject() -> VirtualSubject:
+    """The held-out 'lab mannequin' whose HRTF is the global template."""
+    return VirtualSubject.random(seed=424_242, name="kemar")

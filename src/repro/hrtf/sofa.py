@@ -1,0 +1,109 @@
+"""SOFA-convention HRTF interchange (SimpleFreeFieldHRIR layout).
+
+The de-facto interchange format for HRTFs is SOFA (AES69,
+"SimpleFreeFieldHRIR"): measurements ``M`` x receivers ``R=2`` x samples
+``N``, with per-measurement source positions in spherical coordinates.
+Real SOFA files are netCDF, which is unavailable offline — so this module
+writes the *same logical layout* into an ``.npz`` with SOFA-named arrays.
+Converting to a genuine ``.sofa`` is then a mechanical netCDF re-wrap,
+and any SOFA-aware pipeline maps 1:1 onto these fields:
+
+- ``Data_IR``            (M, 2, N) float
+- ``Data_SamplingRate``  scalar, Hz
+- ``SourcePosition``     (M, 3): azimuth deg, elevation deg, distance m
+- ``ListenerPosition``   (1, 3), ``ReceiverPosition`` (2, 3)
+- ``GLOBAL_Conventions`` / ``GLOBAL_SOFAConventions`` metadata strings
+
+Angle convention note: SOFA azimuth is counter-clockwise from the front
+(+90 = left), which happens to coincide with this library's ``theta`` for
+the measured left semicircle, so no remapping is needed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import TableError
+from repro.hrtf.hrir import BinauralIR
+from repro.hrtf.table import HRTFTable
+
+_CONVENTION = "SimpleFreeFieldHRIR"
+
+#: Nominal source distance recorded for far-field entries (m).
+FAR_FIELD_SOFA_DISTANCE_M = 2.0
+
+
+def export_sofa_like(
+    table: HRTFTable,
+    path: str | os.PathLike,
+    field: str = "far",
+    title: str = "UNIQ personalized HRTF",
+) -> None:
+    """Write a table's entries in the SimpleFreeFieldHRIR layout.
+
+    Parameters
+    ----------
+    table:
+        The personal table; one SOFA measurement per grid angle.
+    field:
+        ``"far"`` (distance recorded as 2 m) or ``"near"`` (0.45 m).
+    """
+    if field not in ("near", "far"):
+        raise TableError(f"field must be 'near' or 'far', got {field!r}")
+    entries = table.far if field == "far" else table.near
+    distance = FAR_FIELD_SOFA_DISTANCE_M if field == "far" else 0.45
+    n = entries[0].n_samples
+    data_ir = np.stack(
+        [np.stack([entry.left, entry.right]) for entry in entries]
+    )  # (M, 2, N)
+    source_positions = np.stack(
+        [
+            np.array([float(angle), 0.0, distance])
+            for angle in table.angles_deg
+        ]
+    )
+    # Receivers: the two ears, +-9 cm along the interaural axis.
+    receiver_positions = np.array([[0.09, 0.0, 0.0], [-0.09, 0.0, 0.0]])
+    np.savez_compressed(
+        os.fspath(path),
+        GLOBAL_Conventions=np.array(["SOFA-like"]),
+        GLOBAL_SOFAConventions=np.array([_CONVENTION]),
+        GLOBAL_Title=np.array([title]),
+        Data_IR=data_ir,
+        Data_SamplingRate=np.array([float(table.fs)]),
+        SourcePosition=source_positions,
+        ListenerPosition=np.zeros((1, 3)),
+        ReceiverPosition=receiver_positions,
+    )
+
+
+def import_sofa_like(path: str | os.PathLike) -> tuple[np.ndarray, list[BinauralIR], int]:
+    """Read a SimpleFreeFieldHRIR-layout npz.
+
+    Returns ``(azimuths_deg, hrir_pairs, fs)``.  Only the fields the layout
+    mandates are consumed, so files written by other tooling following the
+    same convention load too.
+    """
+    with np.load(os.fspath(path), allow_pickle=False) as data:
+        try:
+            convention = str(data["GLOBAL_SOFAConventions"][0])
+            if convention != _CONVENTION:
+                raise TableError(
+                    f"unsupported SOFA convention {convention!r}"
+                )
+            fs = int(data["Data_SamplingRate"][0])
+            data_ir = data["Data_IR"]
+            positions = data["SourcePosition"]
+        except KeyError as missing:
+            raise TableError(f"file missing SOFA field {missing}") from missing
+    if data_ir.ndim != 3 or data_ir.shape[1] != 2:
+        raise TableError(f"Data_IR must be (M, 2, N), got {data_ir.shape}")
+    if positions.shape != (data_ir.shape[0], 3):
+        raise TableError("SourcePosition must be (M, 3)")
+    pairs = [
+        BinauralIR(left=ir[0].copy(), right=ir[1].copy(), fs=fs)
+        for ir in data_ir
+    ]
+    return positions[:, 0].copy(), pairs, fs

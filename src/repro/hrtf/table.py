@@ -1,0 +1,159 @@
+"""The angle-indexed HRTF lookup table exported to applications.
+
+Paper Section 4.4: "The near and far-field HRTFs estimated by UNIQ can now
+be exported to earphone applications as a lookup table.  The table is indexed
+by theta, and for each theta_i, there are 4 vector entries" — left/right
+near-field and left/right far-field.  :class:`HRTFTable` stores exactly that,
+with interpolated queries at arbitrary angles (first-tap-aligned linear HRIR
+interpolation plus interaural-delay interpolation, the same technique as the
+near-field interpolation module of Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import TableError
+from repro.hrtf.hrir import BinauralIR
+from repro.signals.channel import first_tap_index, refine_tap_position
+from repro.signals.delays import apply_fractional_delay
+from repro.signals.correlation import align_to_first_tap
+
+#: The two distance regimes the table distinguishes.
+FIELDS = ("near", "far")
+
+
+def interpolate_hrir_pair(
+    low: BinauralIR, high: BinauralIR, weight: float, pre_samples: int = 8
+) -> BinauralIR:
+    """First-tap-aligned linear interpolation between two HRIR pairs.
+
+    Each ear's responses are aligned to their first taps, blended linearly,
+    and the blended response is re-delayed to the linearly interpolated
+    first-tap time — preventing the "spurious echoes" the paper warns about
+    when misaligned impulse responses are averaged.
+    """
+    if low.fs != high.fs:
+        raise TableError("cannot interpolate HRIRs with different sample rates")
+    if weight <= 0.0:
+        return BinauralIR(low.left.copy(), low.right.copy(), low.fs)
+    if weight >= 1.0:
+        return BinauralIR(high.left.copy(), high.right.copy(), high.fs)
+    n = max(low.n_samples, high.n_samples)
+    ears = []
+    for a, b in ((low.left, high.left), (low.right, high.right)):
+        tap_a = refine_tap_position(a, first_tap_index(a))
+        tap_b = refine_tap_position(b, first_tap_index(b))
+        # Alignment shifts by the *integer* tap position, so each aligned
+        # response keeps its sub-sample residue; account for the blended
+        # residue when re-delaying or the fraction would be counted twice.
+        aligned_a = align_to_first_tap(a, n, pre_samples)
+        aligned_b = align_to_first_tap(b, n, pre_samples)
+        blended = (1.0 - weight) * aligned_a + weight * aligned_b
+        residue = (1.0 - weight) * (tap_a % 1.0) + weight * (tap_b % 1.0)
+        target_tap = (1.0 - weight) * tap_a + weight * tap_b
+        shift = target_tap - pre_samples - residue
+        if shift < 0:
+            # Target tap earlier than the alignment point: trim leading zeros.
+            lead = int(np.ceil(-shift))
+            blended = np.concatenate([blended[lead:], np.zeros(lead)])
+            shift += lead
+        ears.append(apply_fractional_delay(blended, shift, output_length=n))
+    return BinauralIR(left=ears[0], right=ears[1], fs=low.fs)
+
+
+@dataclass(frozen=True)
+class HRTFTable:
+    """Personal HRTF lookup table over a grid of source angles.
+
+    Attributes
+    ----------
+    angles_deg:
+        Sorted, strictly increasing angle grid (degrees, 0 = front,
+        90 = left, 180 = back — the paper's measurement span).
+    near, far:
+        One :class:`BinauralIR` per grid angle for each distance regime.
+    """
+
+    angles_deg: np.ndarray
+    near: tuple[BinauralIR, ...]
+    far: tuple[BinauralIR, ...]
+
+    def __post_init__(self) -> None:
+        angles = np.asarray(self.angles_deg, dtype=float)
+        if angles.ndim != 1 or angles.shape[0] < 2:
+            raise TableError("table needs at least 2 angles")
+        if not np.all(np.diff(angles) > 0):
+            raise TableError("angles_deg must be strictly increasing")
+        for name, entries in (("near", self.near), ("far", self.far)):
+            if len(entries) != angles.shape[0]:
+                raise TableError(
+                    f"{name} has {len(entries)} entries for {angles.shape[0]} angles"
+                )
+        rates = {ir.fs for ir in self.near} | {ir.fs for ir in self.far}
+        if len(rates) != 1:
+            raise TableError(f"mixed sample rates in table: {sorted(rates)}")
+
+    @property
+    def fs(self) -> int:
+        return self.near[0].fs
+
+    @property
+    def n_angles(self) -> int:
+        return int(self.angles_deg.shape[0])
+
+    def __iter__(self) -> Iterator[tuple[float, BinauralIR, BinauralIR]]:
+        """Iterate ``(angle, near_ir, far_ir)`` rows."""
+        for i, angle in enumerate(self.angles_deg):
+            yield float(angle), self.near[i], self.far[i]
+
+    def _entries(self, field: str) -> tuple[BinauralIR, ...]:
+        if field not in FIELDS:
+            raise TableError(f"field must be one of {FIELDS}, got {field!r}")
+        return self.near if field == "near" else self.far
+
+    def angle_span(self) -> tuple[float, float]:
+        """(min, max) angle covered by the table."""
+        return float(self.angles_deg[0]), float(self.angles_deg[-1])
+
+    def nearest(self, theta_deg: float, field: str = "far") -> BinauralIR:
+        """The stored entry at the grid angle closest to ``theta_deg``."""
+        entries = self._entries(field)
+        index = int(np.argmin(np.abs(self.angles_deg - theta_deg)))
+        return entries[index]
+
+    def lookup(self, theta_deg: float, field: str = "far") -> BinauralIR:
+        """HRIR pair at an arbitrary angle, interpolating between grid points.
+
+        Raises
+        ------
+        TableError
+            If ``theta_deg`` falls outside the table's angular span.
+        """
+        lo, hi = self.angle_span()
+        if not lo <= theta_deg <= hi:
+            raise TableError(
+                f"angle {theta_deg} outside table span [{lo}, {hi}]"
+            )
+        entries = self._entries(field)
+        idx = int(np.searchsorted(self.angles_deg, theta_deg))
+        if idx < self.n_angles and self.angles_deg[idx] == theta_deg:
+            return entries[idx]
+        low, high = entries[idx - 1], entries[idx]
+        span = self.angles_deg[idx] - self.angles_deg[idx - 1]
+        weight = float((theta_deg - self.angles_deg[idx - 1]) / span)
+        return interpolate_hrir_pair(low, high, weight)
+
+    def binauralize(
+        self, signal: np.ndarray, theta_deg: float, far: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Filter a mono signal to a binaural pair from direction ``theta_deg``.
+
+        The Section 4.4 application step: pick near/far by the emulated
+        distance, look up (interpolating if needed), convolve.
+        """
+        ir = self.lookup(theta_deg, "far" if far else "near")
+        return ir.apply(signal)

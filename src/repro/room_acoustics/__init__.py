@@ -1,0 +1,19 @@
+"""Room acoustics: image-source room impulse responses + binaural rendering.
+
+Paper Section 7, "Integrating Room Multipath": "a real immersive experience
+can only be achieved by filtering the earphone sound with both the room
+impulse response (RIR) and the HRTF."  This package implements that
+integration — the piece the paper leaves as future work:
+
+- :mod:`~repro.room_acoustics.image_source` — a 2D shoebox image-source
+  model that enumerates wall reflections as *directional* virtual sources;
+- :mod:`~repro.room_acoustics.binaural_room` — renders a source inside a
+  room by passing **each image source through the HRTF for its own arrival
+  direction**, which is precisely why a plain (single-direction) RIR
+  convolution is not enough for externalization.
+"""
+
+from repro.room_acoustics.image_source import ImageSource, ShoeboxRoom
+from repro.room_acoustics.binaural_room import BinauralRoomRenderer
+
+__all__ = ["ImageSource", "ShoeboxRoom", "BinauralRoomRenderer"]

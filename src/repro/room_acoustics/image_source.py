@@ -1,0 +1,172 @@
+"""2D shoebox image-source model.
+
+The classic Allen-Berkley construction, in the horizontal plane the rest of
+the library lives in: reflections off the four walls of a rectangular room
+are replaced by *image sources* — mirrored copies of the source — each an
+independent free-field arrival with its own direction, delay, and
+accumulated wall absorption.  Directionality is the point: a binaural
+renderer must apply a *different* HRTF to every image.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SPEED_OF_SOUND
+from repro.errors import GeometryError
+from repro.geometry.vec import angle_deg_of
+from repro.physics import spreading_gain
+
+
+@dataclass(frozen=True)
+class ImageSource:
+    """One virtual source: a specific sequence of wall reflections.
+
+    Attributes
+    ----------
+    position:
+        Image location in room coordinates (m).
+    order:
+        Number of wall bounces (0 = the direct sound).
+    gain:
+        Amplitude factor: accumulated wall reflection coefficients times
+        spherical spreading to the listener.
+    delay_s:
+        Propagation time to the listener.
+    arrival_angle_deg:
+        Direction of arrival *in the listener's head frame* (library
+        convention: 0 = the way the listener faces, 90 = their left).
+    """
+
+    position: np.ndarray
+    order: int
+    gain: float
+    delay_s: float
+    arrival_angle_deg: float
+
+
+@dataclass(frozen=True)
+class ShoeboxRoom:
+    """A rectangular room: ``[0, width] x [0, depth]`` meters.
+
+    Parameters
+    ----------
+    width, depth:
+        Room dimensions (m).
+    absorption:
+        Wall energy absorption coefficient in (0, 1]; the amplitude
+        reflection coefficient is ``sqrt(1 - absorption)``.
+    """
+
+    width: float
+    depth: float
+    absorption: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.depth <= 0:
+            raise GeometryError(
+                f"room dimensions must be positive, got {self.width}x{self.depth}"
+            )
+        if not 0.0 < self.absorption <= 1.0:
+            raise GeometryError(
+                f"absorption must be in (0, 1], got {self.absorption}"
+            )
+
+    @property
+    def reflection_coefficient(self) -> float:
+        return float(np.sqrt(1.0 - self.absorption))
+
+    def _contains(self, point: np.ndarray) -> bool:
+        return bool(
+            0.0 < point[0] < self.width and 0.0 < point[1] < self.depth
+        )
+
+    def image_sources(
+        self,
+        source: np.ndarray,
+        listener: np.ndarray,
+        listener_facing_deg: float = 0.0,
+        max_order: int = 3,
+        min_gain: float = 1e-3,
+    ) -> list[ImageSource]:
+        """Enumerate image sources up to ``max_order`` reflections.
+
+        Parameters
+        ----------
+        source, listener:
+            Positions in room coordinates; both must be inside the room.
+        listener_facing_deg:
+            Which way the listener faces, measured in room coordinates the
+            same way the library measures theta (0 = +y, 90 = +x).  Arrival
+            angles are returned relative to this facing.
+        min_gain:
+            Images weaker than this are dropped.
+
+        Returns
+        -------
+        Image sources sorted by delay (the direct sound first).
+        """
+        source = np.asarray(source, dtype=float)
+        listener = np.asarray(listener, dtype=float)
+        if not self._contains(source):
+            raise GeometryError(f"source {source} outside the room")
+        if not self._contains(listener):
+            raise GeometryError(f"listener {listener} outside the room")
+        if max_order < 0:
+            raise GeometryError(f"max_order must be >= 0, got {max_order}")
+
+        reflection = self.reflection_coefficient
+        images = []
+        span = range(-max_order, max_order + 1)
+        for nx, ny in itertools.product(span, span):
+            # Mirror count along each axis; the image position follows the
+            # standard unfolding of the room lattice.
+            order = abs(nx) + abs(ny)
+            if order > max_order:
+                continue
+            x = self._image_coordinate(source[0], self.width, nx)
+            y = self._image_coordinate(source[1], self.depth, ny)
+            position = np.array([x, y])
+            offset = position - listener
+            distance = float(np.linalg.norm(offset))
+            if distance < 1e-6:
+                continue
+            gain = float(reflection**order * spreading_gain(distance))
+            if gain < min_gain:
+                continue
+            room_bearing = float(angle_deg_of(offset))
+            arrival = room_bearing - listener_facing_deg
+            # Wrap to (-180, 180].
+            arrival = float(-((-arrival + 180.0) % 360.0 - 180.0))
+            images.append(
+                ImageSource(
+                    position=position,
+                    order=order,
+                    gain=gain,
+                    delay_s=distance / SPEED_OF_SOUND,
+                    arrival_angle_deg=arrival,
+                )
+            )
+        images.sort(key=lambda img: img.delay_s)
+        return images
+
+    @staticmethod
+    def _image_coordinate(coordinate: float, size: float, n: int) -> float:
+        """Mirrored coordinate after the ``n``-th lattice unfolding.
+
+        Even ``n`` translates the room; odd ``n`` additionally mirrors, so
+        e.g. ``n = -1`` reflects across the wall at 0 and ``n = +1`` across
+        the wall at ``size``.
+        """
+        if n % 2 == 0:
+            return n * size + coordinate
+        return n * size + (size - coordinate)
+
+    def reverberation_time_s(self) -> float:
+        """Crude Sabine RT60 estimate for sanity checks (2D adaptation)."""
+        area = self.width * self.depth
+        perimeter = 2 * (self.width + self.depth)
+        return float(0.16 * area / max(self.absorption * perimeter, 1e-9))

@@ -1,0 +1,180 @@
+"""Acoustic channel estimation and tap analysis.
+
+The earbud records ``y = h * s + noise`` where ``s`` is the known probe the
+phone played and ``h`` is the acoustic channel (the near-field HRIR plus
+room effects).  The paper recovers ``h`` by deconvolving the recording with
+the source (Section 4.1, Figure 9) and then works with the channel's *taps*:
+
+- the **first tap** is the diffraction path and anchors localization;
+- later taps are pinna/face multipath (kept — they are the personal HRIR);
+- taps later than ~2.5 ms are room reflections and are truncated away
+  (Section 4.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+
+
+def estimate_channel(
+    recording: np.ndarray,
+    source: np.ndarray,
+    length: int,
+    regularization: float = 1e-3,
+) -> np.ndarray:
+    """Estimate the impulse response mapping ``source`` to ``recording``.
+
+    Regularized frequency-domain deconvolution (Wiener-style):
+    ``H = Y * conj(S) / (|S|^2 + reg * max|S|^2)``.  The returned impulse
+    response contains the first ``length`` samples of the estimate.
+
+    Parameters
+    ----------
+    recording, source:
+        1D arrays at the same sample rate; the recording must be at least as
+        long as the source.
+    length:
+        Number of impulse-response samples to return.
+    regularization:
+        Relative Tikhonov floor applied to the source spectrum; guards the
+        bands where the probe carries no energy.
+    """
+    recording = np.asarray(recording, dtype=float)
+    source = np.asarray(source, dtype=float)
+    if recording.ndim != 1 or source.ndim != 1:
+        raise SignalError("estimate_channel expects 1D arrays")
+    if source.shape[0] < 8:
+        raise SignalError("source too short to deconvolve")
+    if recording.shape[0] < source.shape[0]:
+        raise SignalError(
+            f"recording ({recording.shape[0]}) shorter than source "
+            f"({source.shape[0]})"
+        )
+    if length < 1:
+        raise SignalError(f"length must be >= 1, got {length}")
+
+    n_fft = int(2 ** np.ceil(np.log2(recording.shape[0] + source.shape[0])))
+    spectrum_y = np.fft.rfft(recording, n_fft)
+    spectrum_s = np.fft.rfft(source, n_fft)
+    power = np.abs(spectrum_s) ** 2
+    floor = regularization * power.max()
+    if floor == 0.0:
+        raise SignalError("source signal is all zeros")
+    impulse = np.fft.irfft(
+        spectrum_y * np.conj(spectrum_s) / (power + floor), n_fft
+    )
+    if length > impulse.shape[0]:
+        padded = np.zeros(length)
+        padded[: impulse.shape[0]] = impulse
+        return padded
+    return impulse[:length].copy()
+
+
+def first_tap_index(
+    impulse: np.ndarray,
+    threshold_ratio: float = 0.25,
+    search_ahead: int = 3,
+) -> int:
+    """Index of the first significant tap of an impulse response.
+
+    Finds the first sample whose magnitude reaches ``threshold_ratio`` of
+    the global peak, then climbs to the *first local* magnitude maximum
+    (bounded by ``search_ahead`` samples).  Climbing to the first local max
+    — not the strongest within a window — matters when a strong pinna echo
+    follows the first tap within a few samples: the first tap, not the
+    echo, is the diffraction-path arrival that localization needs.
+    """
+    impulse = np.asarray(impulse, dtype=float)
+    if impulse.ndim != 1 or impulse.shape[0] == 0:
+        raise SignalError("first_tap_index expects a non-empty 1D array")
+    magnitude = np.abs(impulse)
+    peak = magnitude.max()
+    if peak == 0.0:
+        raise SignalError("impulse response is all zeros; no tap to find")
+    above = np.flatnonzero(magnitude >= threshold_ratio * peak)
+    index = int(above[0])
+    stop = min(index + max(1, search_ahead), magnitude.shape[0] - 1)
+    while index < stop and magnitude[index + 1] > magnitude[index]:
+        index += 1
+    return index
+
+
+def refine_tap_position(impulse: np.ndarray, index: int) -> float:
+    """Sub-sample tap position via parabolic interpolation of the magnitude.
+
+    Returns a fractional index; falls back to ``index`` at the array edges.
+    """
+    magnitude = np.abs(np.asarray(impulse, dtype=float))
+    if not 0 <= index < magnitude.shape[0]:
+        raise SignalError(f"index {index} outside impulse response")
+    if index == 0 or index == magnitude.shape[0] - 1:
+        return float(index)
+    left, center, right = magnitude[index - 1 : index + 2]
+    denom = left - 2 * center + right
+    if denom >= 0:  # not a local max / flat: no refinement possible
+        return float(index)
+    shift = 0.5 * (left - right) / denom
+    return float(index + np.clip(shift, -0.5, 0.5))
+
+
+def find_taps(
+    impulse: np.ndarray,
+    max_taps: int = 8,
+    threshold_ratio: float = 0.15,
+    min_separation: int = 4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Locate the significant taps of an impulse response.
+
+    Returns ``(indices, amplitudes)`` sorted by time.  A tap is a local
+    magnitude maximum at least ``threshold_ratio`` of the global peak and at
+    least ``min_separation`` samples away from a stronger tap.
+    """
+    impulse = np.asarray(impulse, dtype=float)
+    if impulse.ndim != 1 or impulse.shape[0] < 3:
+        raise SignalError("find_taps expects a 1D array with >= 3 samples")
+    magnitude = np.abs(impulse)
+    peak = magnitude.max()
+    if peak == 0.0:
+        return np.zeros(0, dtype=int), np.zeros(0)
+    is_local_max = np.zeros_like(magnitude, dtype=bool)
+    is_local_max[1:-1] = (magnitude[1:-1] >= magnitude[:-2]) & (
+        magnitude[1:-1] >= magnitude[2:]
+    )
+    candidates = np.flatnonzero(is_local_max & (magnitude >= threshold_ratio * peak))
+    # Greedy non-maximum suppression, strongest first.
+    order = candidates[np.argsort(magnitude[candidates])[::-1]]
+    kept: list[int] = []
+    for idx in order:
+        if all(abs(idx - other) >= min_separation for other in kept):
+            kept.append(int(idx))
+        if len(kept) >= max_taps:
+            break
+    kept.sort()
+    kept_arr = np.asarray(kept, dtype=int)
+    return kept_arr, impulse[kept_arr]
+
+
+def truncate_after(
+    impulse: np.ndarray,
+    cutoff_index: int,
+    taper: int = 8,
+) -> np.ndarray:
+    """Zero the impulse response after ``cutoff_index`` with a cosine taper.
+
+    This is the paper's room-reflection removal: taps arriving later than
+    the head/pinna multipath window are environmental echoes, not HRTF.
+    """
+    impulse = np.asarray(impulse, dtype=float)
+    out = impulse.copy()
+    if cutoff_index < 0:
+        raise SignalError(f"cutoff_index must be >= 0, got {cutoff_index}")
+    if cutoff_index >= out.shape[0]:
+        return out
+    taper = max(0, min(taper, out.shape[0] - cutoff_index))
+    if taper > 0:
+        ramp = 0.5 * (1 + np.cos(np.pi * np.arange(taper) / taper))
+        out[cutoff_index : cutoff_index + taper] *= ramp
+    out[cutoff_index + taper :] = 0.0
+    return out

@@ -1,0 +1,71 @@
+"""Spectral helpers: amplitude spectra and magnitude-response filtering.
+
+Used by the hardware simulation (speaker/microphone coloration, paper
+Figure 16), the compensation stage (Section 4.6), and the analysis of why
+speech is a hard unknown source (energy concentrated at low frequencies,
+Figure 22 discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+
+
+def amplitude_spectrum(signal: np.ndarray, fs: int) -> tuple[np.ndarray, np.ndarray]:
+    """One-sided amplitude spectrum of a real signal.
+
+    Returns ``(frequencies, amplitudes)`` with linear amplitude scaling.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 1 or signal.shape[0] < 2:
+        raise SignalError("amplitude_spectrum expects a 1D signal of >= 2 samples")
+    if fs <= 0:
+        raise SignalError(f"sample rate must be positive, got {fs}")
+    spectrum = np.fft.rfft(signal)
+    freqs = np.fft.rfftfreq(signal.shape[0], d=1.0 / fs)
+    return freqs, np.abs(spectrum) * (2.0 / signal.shape[0])
+
+
+def apply_frequency_response(
+    signal: np.ndarray,
+    fs: int,
+    response_freqs: np.ndarray,
+    response_gains: np.ndarray,
+) -> np.ndarray:
+    """Filter ``signal`` by a magnitude response given at sample frequencies.
+
+    The response is interpolated (linearly in gain, log-ish handled by the
+    caller) onto the FFT grid and applied with zero phase — adequate for
+    simulating transducer coloration, where only the magnitude matters to
+    the downstream compensation stage.
+    """
+    signal = np.asarray(signal, dtype=float)
+    response_freqs = np.asarray(response_freqs, dtype=float)
+    response_gains = np.asarray(response_gains, dtype=float)
+    if signal.ndim != 1 or signal.shape[0] < 2:
+        raise SignalError("apply_frequency_response expects a 1D signal")
+    if response_freqs.shape != response_gains.shape or response_freqs.ndim != 1:
+        raise SignalError("response arrays must be 1D and matching")
+    if np.any(np.diff(response_freqs) <= 0):
+        raise SignalError("response_freqs must be strictly increasing")
+    spectrum = np.fft.rfft(signal)
+    grid = np.fft.rfftfreq(signal.shape[0], d=1.0 / fs)
+    gains = np.interp(grid, response_freqs, response_gains)
+    return np.fft.irfft(spectrum * gains, signal.shape[0])
+
+
+def band_energy_ratio(
+    signal: np.ndarray, fs: int, f_low: float, f_high: float
+) -> float:
+    """Fraction of total signal energy inside ``[f_low, f_high]`` Hz."""
+    if not 0 <= f_low < f_high:
+        raise SignalError(f"invalid band [{f_low}, {f_high}]")
+    freqs, amps = amplitude_spectrum(signal, fs)
+    energy = amps**2
+    total = float(energy.sum())
+    if total == 0.0:
+        raise SignalError("signal has no energy")
+    in_band = energy[(freqs >= f_low) & (freqs <= f_high)]
+    return float(in_band.sum() / total)

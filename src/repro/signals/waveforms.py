@@ -1,0 +1,189 @@
+"""Test and probe waveform generators.
+
+The phone plays *designed* sounds during personalization — we use linear
+chirps like the paper (frequency sweeps excite the whole band so the channel
+deconvolves cleanly).  The AoA evaluation (paper Figure 22) additionally
+needs *unknown* ambient signals: white noise, music, and speech.  Real
+recordings are unavailable offline, so :func:`music_like` and
+:func:`speech_like` synthesize signals with the spectral structure the paper
+calls out — music spreads energy across harmonics of several notes, while
+speech concentrates energy in low base/harmonic frequencies (which is why the
+paper finds speech AoA hardest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_SAMPLE_RATE
+from repro.errors import SignalError
+
+
+def _n_samples(duration_s: float, fs: int) -> int:
+    if duration_s <= 0:
+        raise SignalError(f"duration must be positive, got {duration_s}")
+    if fs <= 0:
+        raise SignalError(f"sample rate must be positive, got {fs}")
+    n = int(round(duration_s * fs))
+    if n < 2:
+        raise SignalError(f"duration {duration_s}s too short at {fs} Hz")
+    return n
+
+
+def _fade(signal: np.ndarray, fs: int, fade_s: float = 0.002) -> np.ndarray:
+    """Apply a raised-cosine fade-in/out to avoid spectral splatter."""
+    n = signal.shape[0]
+    m = min(n // 2, max(1, int(fade_s * fs)))
+    window = 0.5 * (1 - np.cos(np.pi * np.arange(m) / m))
+    shaped = signal.copy()
+    shaped[:m] *= window
+    shaped[-m:] *= window[::-1]
+    return shaped
+
+
+def chirp(
+    f_start: float,
+    f_end: float,
+    duration_s: float,
+    fs: int = DEFAULT_SAMPLE_RATE,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """Linear frequency sweep from ``f_start`` to ``f_end`` Hz.
+
+    The instantaneous frequency moves linearly; edges are faded so the sweep
+    is band-limited.
+    """
+    if not 0 < f_start < fs / 2 or not 0 < f_end < fs / 2:
+        raise SignalError(
+            f"chirp band [{f_start}, {f_end}] must lie in (0, {fs / 2}) Hz"
+        )
+    n = _n_samples(duration_s, fs)
+    t = np.arange(n) / fs
+    phase = 2 * np.pi * (f_start * t + 0.5 * (f_end - f_start) * t**2 / duration_s)
+    return _fade(amplitude * np.sin(phase), fs)
+
+
+def probe_chirp(fs: int = DEFAULT_SAMPLE_RATE, duration_s: float = 0.025) -> np.ndarray:
+    """The default personalization probe: a short wideband sweep.
+
+    25 ms covering 200 Hz - 16 kHz: long enough for good SNR after matched
+    filtering, short enough that the phone barely moves during one probe
+    (at ~10 deg/s sweep speed the phone moves <0.3 deg per probe).
+    """
+    return chirp(200.0, min(16_000.0, 0.45 * fs), duration_s, fs)
+
+
+def white_noise(
+    duration_s: float,
+    fs: int = DEFAULT_SAMPLE_RATE,
+    rng: np.random.Generator | None = None,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """Gaussian white noise, unit std scaled by ``amplitude``."""
+    rng = rng if rng is not None else np.random.default_rng()
+    n = _n_samples(duration_s, fs)
+    return _fade(amplitude * rng.standard_normal(n), fs)
+
+
+def tone(
+    frequency: float,
+    duration_s: float,
+    fs: int = DEFAULT_SAMPLE_RATE,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """A pure sinusoid with faded edges."""
+    if not 0 < frequency < fs / 2:
+        raise SignalError(f"tone frequency {frequency} outside (0, {fs / 2})")
+    n = _n_samples(duration_s, fs)
+    t = np.arange(n) / fs
+    return _fade(amplitude * np.sin(2 * np.pi * frequency * t), fs)
+
+
+def music_like(
+    duration_s: float,
+    fs: int = DEFAULT_SAMPLE_RATE,
+    rng: np.random.Generator | None = None,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """A synthetic music-like signal: note sequence with rich harmonics.
+
+    Random notes from a pentatonic scale, each with 6 decaying harmonics and
+    a plucked envelope, plus a faint broadband transient at each onset.  The
+    resulting spectrum spreads energy between ~200 Hz and ~8 kHz, giving the
+    AoA estimator mid/high-band information (paper: music performs close to
+    white noise).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    n = _n_samples(duration_s, fs)
+    out = np.zeros(n)
+    scale = 220.0 * 2 ** (np.array([0, 2, 4, 7, 9, 12, 14, 16]) / 12.0)
+    note_len = int(0.18 * fs)
+    t_note = np.arange(note_len) / fs
+    envelope = np.exp(-t_note * 9.0)
+    for start in range(0, n, note_len):
+        f0 = float(rng.choice(scale)) * float(rng.choice([1.0, 2.0, 4.0]))
+        segment = np.zeros(note_len)
+        for harmonic in range(1, 7):
+            f = f0 * harmonic
+            if f >= 0.45 * fs:
+                break
+            segment += (1.0 / harmonic) * np.sin(
+                2 * np.pi * f * t_note + rng.uniform(0, 2 * np.pi)
+            )
+        segment *= envelope
+        segment[: note_len // 20] += 0.3 * rng.standard_normal(note_len // 20)
+        stop = min(start + note_len, n)
+        out[start:stop] += segment[: stop - start]
+    peak = np.max(np.abs(out))
+    if peak > 0:
+        out = out / peak
+    return _fade(amplitude * out, fs)
+
+
+def speech_like(
+    duration_s: float,
+    fs: int = DEFAULT_SAMPLE_RATE,
+    rng: np.random.Generator | None = None,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """A synthetic speech-like signal: low-pitched harmonic bursts.
+
+    Voiced segments are glottal-pulse-like harmonic stacks (f0 ~ 90-220 Hz)
+    shaped by two slowly moving formant resonances below ~3 kHz, separated by
+    pauses and weak fricative noise.  Energy concentrates at low frequencies
+    — the property the paper blames for speech being the hardest unknown
+    source (Figure 22c).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    n = _n_samples(duration_s, fs)
+    out = np.zeros(n)
+    pos = 0
+    while pos < n:
+        voiced = rng.random() < 0.7
+        seg_len = int(rng.uniform(0.08, 0.25) * fs)
+        seg_len = min(seg_len, n - pos)
+        if seg_len <= 8:
+            break
+        t_seg = np.arange(seg_len) / fs
+        if voiced:
+            f0 = rng.uniform(90.0, 220.0)
+            segment = np.zeros(seg_len)
+            for harmonic in range(1, 25):
+                f = f0 * harmonic
+                if f >= 4000.0:
+                    break
+                formant1 = np.exp(-0.5 * ((f - rng.uniform(300, 900)) / 250.0) ** 2)
+                formant2 = np.exp(-0.5 * ((f - rng.uniform(1200, 2600)) / 400.0) ** 2)
+                gain = (formant1 + 0.5 * formant2 + 0.05) / harmonic**0.5
+                segment += gain * np.sin(2 * np.pi * f * t_seg + rng.uniform(0, 2 * np.pi))
+            segment *= np.hanning(seg_len)
+        else:
+            # Weak fricative or pause.
+            level = 0.15 if rng.random() < 0.5 else 0.0
+            segment = level * rng.standard_normal(seg_len) * np.hanning(seg_len)
+        out[pos : pos + seg_len] += segment
+        pos += seg_len
+    peak = np.max(np.abs(out))
+    if peak > 0:
+        out = out / peak
+    return _fade(amplitude * out, fs)

@@ -1,0 +1,53 @@
+"""The virtual acoustic world standing in for the paper's physical testbed.
+
+The paper evaluates on 5 human volunteers wearing in-ear microphones, a
+phone-mounted speaker, and an overhead ground-truth camera.  This package
+simulates that entire physical layer with explicit, seeded randomness:
+
+- :mod:`~repro.simulation.pinna` — parametric per-person pinna multipath;
+- :mod:`~repro.simulation.person` — virtual subjects (head + two pinnae);
+- :mod:`~repro.simulation.hardware` — speaker/microphone coloration & noise;
+- :mod:`~repro.simulation.imu` — gyroscope error model and integration;
+- :mod:`~repro.simulation.room` — late room reflections;
+- :mod:`~repro.simulation.propagation` — tap-level binaural rendering for
+  near-field point sources and far-field plane waves;
+- :mod:`~repro.simulation.session` — one full personalization capture;
+- :mod:`~repro.simulation.population` — subject cohorts and the average
+  subject behind the "global HRTF" baseline.
+"""
+
+from repro.simulation.pinna import PinnaModel
+from repro.simulation.person import VirtualSubject
+from repro.simulation.person3d import VirtualSubject3D, render_far_field_hrir_3d
+from repro.simulation.hardware import SpeakerMicResponse
+from repro.simulation.imu import GyroscopeModel, IMUTrace, integrate_gyro
+from repro.simulation.room import RoomModel
+from repro.simulation.propagation import (
+    render_near_field_hrir,
+    render_far_field_hrir,
+    record_near_field,
+    record_far_field,
+)
+from repro.simulation.session import MeasurementSession, ProbeMeasurement, SessionData
+from repro.simulation.population import make_population, average_subject
+
+__all__ = [
+    "PinnaModel",
+    "VirtualSubject",
+    "VirtualSubject3D",
+    "render_far_field_hrir_3d",
+    "SpeakerMicResponse",
+    "GyroscopeModel",
+    "IMUTrace",
+    "integrate_gyro",
+    "RoomModel",
+    "render_near_field_hrir",
+    "render_far_field_hrir",
+    "record_near_field",
+    "record_far_field",
+    "MeasurementSession",
+    "ProbeMeasurement",
+    "SessionData",
+    "make_population",
+    "average_subject",
+]

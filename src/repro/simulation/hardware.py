@@ -1,0 +1,83 @@
+"""Speaker / microphone hardware response and measurement noise.
+
+The paper's Figure 16 shows the frequency response of its phone-speaker +
+in-ear-microphone pair: unstable below ~50 Hz, reasonably flat (within a few
+dB of ripple) across 100 Hz - 10 kHz, rolling off toward 20 kHz.  UNIQ
+compensates this response by a co-located calibration measurement
+(Section 4.6).  :class:`SpeakerMicResponse` synthesizes such a curve with
+seeded ripple so the compensation stage has something real to undo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.signals.spectrum import apply_frequency_response
+
+#: Frequencies at which the synthetic response is tabulated (log spaced).
+_N_TABLE = 256
+_F_MIN = 10.0
+_F_MAX = 24_000.0
+
+
+@dataclass(frozen=True)
+class SpeakerMicResponse:
+    """A magnitude-only transducer chain response.
+
+    Attributes
+    ----------
+    freqs:
+        Tabulated frequencies (Hz), strictly increasing.
+    gains:
+        Linear magnitude gains at ``freqs``.
+    """
+
+    freqs: np.ndarray
+    gains: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.freqs.shape != self.gains.shape or self.freqs.ndim != 1:
+            raise SignalError("freqs and gains must be matching 1D arrays")
+        if np.any(np.diff(self.freqs) <= 0):
+            raise SignalError("freqs must be strictly increasing")
+        if np.any(self.gains < 0):
+            raise SignalError("gains must be non-negative")
+
+    @classmethod
+    def ideal(cls) -> "SpeakerMicResponse":
+        """A perfectly flat chain (for isolating algorithmic error)."""
+        freqs = np.geomspace(_F_MIN, _F_MAX, _N_TABLE)
+        return cls(freqs=freqs, gains=np.ones(_N_TABLE))
+
+    @classmethod
+    def typical(cls, rng: np.random.Generator | None = None) -> "SpeakerMicResponse":
+        """A Figure-16-like response: LF instability, mid flatness, HF rolloff."""
+        rng = rng if rng is not None else np.random.default_rng(2021)
+        freqs = np.geomspace(_F_MIN, _F_MAX, _N_TABLE)
+        # High-pass character of a tiny speaker: ~24 dB/oct below 80 Hz.
+        highpass = 1.0 / np.sqrt(1.0 + (80.0 / freqs) ** 4)
+        # Gentle top-end rolloff above 12 kHz.
+        lowpass = 1.0 / np.sqrt(1.0 + (freqs / 15_000.0) ** 4)
+        # Smooth +-3 dB ripple across the band plus wild sub-50 Hz wiggle.
+        ripple_db = np.convolve(
+            rng.normal(0.0, 5.0, _N_TABLE + 24), np.ones(25) / 25, mode="valid"
+        )
+        wild = np.where(freqs < 50.0, rng.normal(0.0, 8.0, _N_TABLE), 0.0)
+        gains = highpass * lowpass * 10 ** ((ripple_db + wild) / 20.0)
+        return cls(freqs=freqs, gains=gains)
+
+    def gain_at(self, frequency: float | np.ndarray) -> np.ndarray:
+        """Linear gain at arbitrary frequencies (interpolated, clamped ends)."""
+        return np.interp(np.asarray(frequency, dtype=float), self.freqs, self.gains)
+
+    def apply(self, signal: np.ndarray, fs: int) -> np.ndarray:
+        """Filter a signal through the transducer chain."""
+        return apply_frequency_response(signal, fs, self.freqs, self.gains)
+
+    def response_db(self) -> tuple[np.ndarray, np.ndarray]:
+        """(freqs, gain in dB) for plotting / Figure 16 reproduction."""
+        with np.errstate(divide="ignore"):
+            return self.freqs.copy(), 20.0 * np.log10(np.maximum(self.gains, 1e-12))

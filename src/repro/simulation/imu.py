@@ -1,0 +1,100 @@
+"""Gyroscope simulation and the integration step UNIQ runs on real IMU data.
+
+The phone's gyroscope senses the phone's *orientation* rate.  Because the
+user keeps the screen facing their eyes, orientation tracks the polar angle
+(paper Section 4.1 step 1) — up to the aiming error of a human arm, plus the
+classic MEMS error terms: a slowly drifting bias, white rate noise, and a
+small scale-factor error.  Integrating the measured rate accumulates the bias
+into angle drift, which is exactly why the paper fuses acoustics instead of
+trusting the IMU alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.geometry.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class IMUTrace:
+    """Timestamped gyroscope samples (the z-axis rate, deg/s)."""
+
+    times: np.ndarray
+    rate_dps: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.times.shape != self.rate_dps.shape or self.times.ndim != 1:
+            raise SignalError("times and rate_dps must be matching 1D arrays")
+        if self.times.shape[0] >= 2 and not np.all(np.diff(self.times) > 0):
+            raise SignalError("IMU timestamps must be strictly increasing")
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+
+@dataclass(frozen=True)
+class GyroscopeModel:
+    """MEMS gyroscope error model.
+
+    Attributes
+    ----------
+    bias_dps:
+        Constant rate bias (deg/s).  Consumer MEMS parts sit around
+        0.1-1 deg/s after factory calibration.
+    bias_walk_dps:
+        Standard deviation of the slowly wandering part of the bias.
+    noise_std_dps:
+        White rate noise standard deviation per sample.
+    scale_error:
+        Multiplicative scale factor error (0.01 = 1 % too fast).
+    """
+
+    bias_dps: float = 0.3
+    bias_walk_dps: float = 0.05
+    noise_std_dps: float = 0.4
+    scale_error: float = 0.005
+
+    @classmethod
+    def ideal(cls) -> "GyroscopeModel":
+        """A perfect gyroscope (for ablations)."""
+        return cls(bias_dps=0.0, bias_walk_dps=0.0, noise_std_dps=0.0, scale_error=0.0)
+
+    def measure(
+        self, trajectory: Trajectory, rng: np.random.Generator | None = None
+    ) -> IMUTrace:
+        """Simulate gyro output for a phone following ``trajectory``."""
+        rng = rng if rng is not None else np.random.default_rng()
+        true_rate = trajectory.angular_velocity_dps()
+        n = true_rate.shape[0]
+        if n == 0:
+            raise SignalError("cannot measure an empty trajectory")
+        dt = np.gradient(trajectory.times) if n > 1 else np.ones(1)
+        # Bias random-walks slowly around its constant part.
+        walk = np.cumsum(rng.normal(0.0, self.bias_walk_dps, n) * np.sqrt(dt))
+        measured = (
+            (1.0 + self.scale_error) * true_rate
+            + self.bias_dps
+            + walk
+            + rng.normal(0.0, self.noise_std_dps, n)
+        )
+        return IMUTrace(times=trajectory.times.copy(), rate_dps=measured)
+
+
+def integrate_gyro(trace: IMUTrace, initial_angle_deg: float = 0.0) -> np.ndarray:
+    """Trapezoidal integration of gyro rate into orientation angles (deg).
+
+    This is UNIQ's step 1: "the IMU measurements are integrated to obtain
+    the phone's orientation alpha".  The output has one angle per IMU sample;
+    bias shows up as a linearly growing drift.
+    """
+    if len(trace) == 0:
+        raise SignalError("cannot integrate an empty IMU trace")
+    if len(trace) == 1:
+        return np.array([initial_angle_deg])
+    dt = np.diff(trace.times)
+    increments = 0.5 * (trace.rate_dps[1:] + trace.rate_dps[:-1]) * dt
+    return initial_angle_deg + np.concatenate([[0.0], np.cumsum(increments)])

@@ -1,0 +1,140 @@
+"""Parametric pinna multipath model.
+
+Section 2 of the paper establishes two empirical facts about the pinna:
+
+1. For one person, the pinna's impulse response varies smoothly and almost
+   1:1 with the arrival angle (Figure 2a: strongly diagonal correlation
+   matrix at ~20 degree resolution).
+2. Across people, pinna responses at the same angle are markedly different
+   (Figure 2b), which is the whole case for personalization.
+
+We model the pinna as a train of micro-echoes added to the direct arrival.
+Each echo ``j`` has a delay and gain that vary *smoothly* with the local
+arrival direction ``gamma`` through low-order sinusoids whose coefficients
+are drawn per subject and per ear:
+
+    delay_j(gamma) = base_j + amp_j * sin(k_j * gamma + phase_j)
+    gain_j(gamma)  = level_j * (0.7 + 0.3 * sin(m_j * gamma + psi_j))
+
+Low harmonic orders ``k_j, m_j`` in {1, 2, 3} give the within-person angular
+smoothness of fact (1); the random per-person coefficients give the
+across-person dissimilarity of fact (2).  Echo delays span 0.05-0.9 ms, the
+physical scale of pinna/head-surface micro-multipath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+
+#: Default number of micro-echoes per pinna.  Six strong echoes whose combined
+#: energy rivals the first tap's makes the HRIR *shape* (not the trivial
+#: direct tap) dominate similarity metrics — real pinnae do the same, which
+#: is why the paper's cross-user correlations sit around 0.3-0.7 (Fig. 2b).
+DEFAULT_N_ECHOES = 6
+
+_DELAY_MIN_S = 0.05e-3
+_DELAY_MAX_S = 0.9e-3
+
+
+@dataclass(frozen=True)
+class PinnaModel:
+    """Angle-dependent micro-echo train for one ear of one subject.
+
+    All arrays have shape ``(n_echoes,)``.  Delays are seconds *after* the
+    first (direct/diffracted) tap; gains are relative to the first tap's
+    amplitude.
+    """
+
+    base_delays: np.ndarray
+    delay_mod_amplitude: np.ndarray
+    delay_mod_order: np.ndarray
+    delay_mod_phase: np.ndarray
+    levels: np.ndarray
+    gain_mod_order: np.ndarray
+    gain_mod_phase: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.base_delays.shape[0]
+        if n == 0:
+            raise SignalError("pinna model needs at least one echo")
+        for name in (
+            "delay_mod_amplitude",
+            "delay_mod_order",
+            "delay_mod_phase",
+            "levels",
+            "gain_mod_order",
+            "gain_mod_phase",
+        ):
+            if getattr(self, name).shape != (n,):
+                raise SignalError(f"{name} must have shape ({n},)")
+        if np.any(self.base_delays <= 0):
+            raise SignalError("echo base delays must be positive")
+
+    @property
+    def n_echoes(self) -> int:
+        return int(self.base_delays.shape[0])
+
+    @classmethod
+    def random(
+        cls,
+        rng: np.random.Generator,
+        n_echoes: int = DEFAULT_N_ECHOES,
+        dispersion: float = 1.0,
+    ) -> "PinnaModel":
+        """Draw a random pinna.
+
+        ``dispersion`` scales how far this pinna strays from the population
+        center; 0 yields the population-average pinna used by the global
+        template, 1 a typical individual.
+        """
+        if n_echoes < 1:
+            raise SignalError("n_echoes must be >= 1")
+        # Population-center echo train: roughly log-spaced delays with
+        # decaying levels (early reflections from concha, helix, lobe...).
+        # Individual pinna micro-geometry is essentially idiosyncratic, so at
+        # full dispersion the echo delays are drawn afresh per subject rather
+        # than perturbed around the center — this is what drives the paper's
+        # low cross-user correlations (Fig. 2b).  Levels are set so the echo
+        # train carries energy comparable to the first tap, as real pinna
+        # resonances do.
+        center_delays = np.geomspace(0.08e-3, 0.7e-3, n_echoes)
+        blend = min(max(dispersion, 0.0), 1.0)
+        personal_delays = np.sort(rng.uniform(_DELAY_MIN_S, 0.85e-3, n_echoes))
+        base = (1.0 - blend) * center_delays + blend * personal_delays
+        base = np.clip(base, _DELAY_MIN_S, _DELAY_MAX_S)
+        center_levels = 1.45 * np.exp(-np.arange(n_echoes) / 4.0)
+        levels = center_levels * np.exp(dispersion * rng.normal(0.0, 0.5, n_echoes))
+        return cls(
+            base_delays=base,
+            delay_mod_amplitude=dispersion
+            * rng.uniform(0.03e-3, 0.15e-3, n_echoes)
+            + (1.0 - min(dispersion, 1.0)) * 0.05e-3,
+            delay_mod_order=rng.integers(1, 4, n_echoes).astype(float),
+            delay_mod_phase=rng.uniform(0.0, 2 * np.pi, n_echoes),
+            levels=np.clip(levels, 0.02, 1.5),
+            gain_mod_order=rng.integers(1, 4, n_echoes).astype(float),
+            gain_mod_phase=rng.uniform(0.0, 2 * np.pi, n_echoes),
+        )
+
+    def echoes(self, arrival_angle_deg: float) -> tuple[np.ndarray, np.ndarray]:
+        """(delays_s, gains) of the echo train for one arrival direction.
+
+        ``arrival_angle_deg`` is the direction (library polar convention) of
+        the propagation vector at the ear — near-field and far-field sources
+        at the same nominal angle produce slightly different local arrival
+        directions, which is precisely why near/far HRTFs differ.
+        """
+        if not np.isfinite(arrival_angle_deg):
+            raise SignalError(f"arrival angle must be finite, got {arrival_angle_deg!r}")
+        gamma = np.deg2rad(float(arrival_angle_deg))
+        delays = self.base_delays + self.delay_mod_amplitude * np.sin(
+            self.delay_mod_order * gamma + self.delay_mod_phase
+        )
+        gains = self.levels * (
+            0.7 + 0.3 * np.sin(self.gain_mod_order * gamma + self.gain_mod_phase)
+        )
+        return np.clip(delays, _DELAY_MIN_S, _DELAY_MAX_S), gains

@@ -1,0 +1,235 @@
+"""Tap-level binaural rendering: the simulator's acoustic ground truth.
+
+Every recording the virtual earbuds make is a convolution of the played
+signal with a *tap train* per ear:
+
+1. the **first tap** at the diffraction-path delay, attenuated by spherical
+   spreading and by an exponential shadow loss proportional to how far the
+   wave had to creep around the head;
+2. the **pinna micro-echoes** following the first tap (the personal part);
+3. optional **room reflections** several milliseconds later.
+
+Near-field sources are points (:func:`render_near_field_hrir`); far-field
+sources are plane waves (:func:`render_far_field_hrir`).  The same code path
+also produces the *ground-truth HRIRs* that evaluation compares against —
+the simulator equivalent of the paper's anechoic-lab measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_HRIR_DURATION_S,
+    DEFAULT_SAMPLE_RATE,
+    SPEED_OF_SOUND,
+)
+from repro.errors import SignalError
+from repro.geometry.head import Ear
+from repro.geometry.paths import propagation_path
+from repro.geometry.plane_wave import plane_wave_arrival
+from repro.geometry.vec import angle_deg_of
+from repro.physics import far_field_first_tap_gain, near_field_first_tap_gain
+from repro.signals.delays import DEFAULT_KERNEL_HALF_WIDTH, add_tap
+from repro.simulation.hardware import SpeakerMicResponse
+from repro.simulation.person import VirtualSubject
+from repro.simulation.room import RoomModel
+
+#: Where the first tap sits inside a rendered HRIR window (s).  Leaves room
+#: for the interpolation kernel's acausal skirt.
+HRIR_PRE_DELAY_S = 0.4e-3
+
+
+def _taps_for_ear(
+    subject: VirtualSubject, source: np.ndarray, ear: Ear
+) -> tuple[np.ndarray, np.ndarray]:
+    """Absolute-time tap train (delays_s, gains) for a near-field point source."""
+    path = propagation_path(subject.head, source, ear)
+    if path.length <= 0:
+        raise SignalError("source coincides with the ear")
+    first_gain = float(near_field_first_tap_gain(path.length, path.wrap_arc))
+    first_delay = path.length / SPEED_OF_SOUND
+    arrival_angle = angle_deg_of(path.arrival_direction)
+    echo_delays, echo_gains = subject.pinna(ear).echoes(arrival_angle)
+    delays = np.concatenate([[first_delay], first_delay + echo_delays])
+    gains = np.concatenate([[first_gain], first_gain * echo_gains])
+    return delays, gains
+
+
+def _far_taps_for_ear(
+    subject: VirtualSubject, theta_deg: float, ear: Ear
+) -> tuple[np.ndarray, np.ndarray]:
+    """Tap train for a plane wave, delays relative to the head-center wavefront."""
+    arrival = plane_wave_arrival(subject.head, theta_deg, ear)
+    first_gain = float(far_field_first_tap_gain(arrival.wrap_arc))
+    arrival_angle = angle_deg_of(arrival.arrival_direction)
+    echo_delays, echo_gains = subject.pinna(ear).echoes(arrival_angle)
+    delays = np.concatenate([[arrival.delay], arrival.delay + echo_delays])
+    gains = np.concatenate([[first_gain], first_gain * echo_gains])
+    return delays, gains
+
+
+def taps_to_ir(
+    delays_s: np.ndarray,
+    gains: np.ndarray,
+    fs: int,
+    n_samples: int,
+) -> np.ndarray:
+    """Render a tap train into a sampled impulse response."""
+    delays_s = np.asarray(delays_s, dtype=float)
+    gains = np.asarray(gains, dtype=float)
+    if delays_s.shape != gains.shape or delays_s.ndim != 1:
+        raise SignalError("delays and gains must be matching 1D arrays")
+    if np.any(delays_s < 0):
+        raise SignalError("tap delays must be non-negative")
+    out = np.zeros(n_samples)
+    for delay, gain in zip(delays_s, gains):
+        add_tap(out, delay * fs, gain)
+    return out
+
+
+def render_near_field_hrir(
+    subject: VirtualSubject,
+    source: np.ndarray,
+    fs: int = DEFAULT_SAMPLE_RATE,
+    duration_s: float = DEFAULT_HRIR_DURATION_S,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ground-truth near-field HRIR pair for a point source.
+
+    Interaural timing is preserved; the earlier ear's first tap is placed at
+    :data:`HRIR_PRE_DELAY_S` so the window is position-independent.
+    """
+    source = np.asarray(source, dtype=float)
+    n = int(round(duration_s * fs))
+    taps = {ear: _taps_for_ear(subject, source, ear) for ear in Ear}
+    reference = min(taps[ear][0][0] for ear in Ear) - HRIR_PRE_DELAY_S
+    left = taps_to_ir(taps[Ear.LEFT][0] - reference, taps[Ear.LEFT][1], fs, n)
+    right = taps_to_ir(taps[Ear.RIGHT][0] - reference, taps[Ear.RIGHT][1], fs, n)
+    return left, right
+
+
+def render_far_field_hrir(
+    subject: VirtualSubject,
+    theta_deg: float,
+    fs: int = DEFAULT_SAMPLE_RATE,
+    duration_s: float = DEFAULT_HRIR_DURATION_S,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ground-truth far-field HRIR pair for a plane wave from ``theta_deg``."""
+    n = int(round(duration_s * fs))
+    taps = {ear: _far_taps_for_ear(subject, theta_deg, ear) for ear in Ear}
+    reference = min(taps[ear][0][0] for ear in Ear) - HRIR_PRE_DELAY_S
+    left = taps_to_ir(taps[Ear.LEFT][0] - reference, taps[Ear.LEFT][1], fs, n)
+    right = taps_to_ir(taps[Ear.RIGHT][0] - reference, taps[Ear.RIGHT][1], fs, n)
+    return left, right
+
+
+def _record(
+    tap_trains: dict[Ear, tuple[np.ndarray, np.ndarray]],
+    signal: np.ndarray,
+    fs: int,
+    rng: np.random.Generator,
+    hardware: SpeakerMicResponse | None,
+    room: RoomModel | None,
+    noise_std: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convolve a signal with per-ear tap trains plus room/hardware/noise."""
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 1 or signal.shape[0] < 2:
+        raise SignalError("signal must be a 1D array with >= 2 samples")
+    if noise_std < 0:
+        raise SignalError(f"noise_std must be >= 0, got {noise_std}")
+
+    max_delay = max(float(d.max()) for d, _ in tap_trains.values())
+    tail = 0.0 if room is None else room.first_echo_s + room.max_tail_s
+    ir_len = (
+        int(np.ceil((max_delay + tail) * fs)) + 2 * DEFAULT_KERNEL_HALF_WIDTH + 4
+    )
+    outputs = {}
+    for ear, (delays, gains) in tap_trains.items():
+        if room is not None:
+            echo_delays, echo_gains = room.echo_taps(rng)
+            delays = np.concatenate([delays, delays[0] + echo_delays])
+            gains = np.concatenate([gains, gains[0] * echo_gains])
+        ir = taps_to_ir(delays, gains, fs, ir_len)
+        recording = np.convolve(signal, ir)
+        if hardware is not None:
+            recording = hardware.apply(recording, fs)
+        recording = recording + rng.normal(0.0, noise_std, recording.shape[0])
+        outputs[ear] = recording
+    return outputs[Ear.LEFT], outputs[Ear.RIGHT]
+
+
+def record_at_boundary_point(
+    subject: VirtualSubject,
+    source: np.ndarray,
+    boundary_index: int,
+    signal: np.ndarray,
+    fs: int = DEFAULT_SAMPLE_RATE,
+    rng: np.random.Generator | None = None,
+    noise_std: float = 0.005,
+) -> np.ndarray:
+    """Recording at a bare microphone pasted on the head surface.
+
+    Used by the Section 2 diffraction experiment (paper Figure 4/5): a test
+    microphone is moved along the cheek, so there is no pinna in the path —
+    just the direct-or-diffracted first arrival.
+    """
+    from repro.geometry.paths import path_to_boundary_point
+
+    rng = rng if rng is not None else np.random.default_rng()
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 1 or signal.shape[0] < 2:
+        raise SignalError("signal must be a 1D array with >= 2 samples")
+    path = path_to_boundary_point(subject.head, np.asarray(source, float), boundary_index)
+    gain = float(near_field_first_tap_gain(path.length, path.wrap_arc))
+    delay = path.length / SPEED_OF_SOUND
+    ir_len = int(np.ceil(delay * fs)) + 2 * DEFAULT_KERNEL_HALF_WIDTH + 4
+    ir = taps_to_ir(np.array([delay]), np.array([gain]), fs, ir_len)
+    recording = np.convolve(signal, ir)
+    return recording + rng.normal(0.0, noise_std, recording.shape[0])
+
+
+def record_near_field(
+    subject: VirtualSubject,
+    source: np.ndarray,
+    signal: np.ndarray,
+    fs: int = DEFAULT_SAMPLE_RATE,
+    rng: np.random.Generator | None = None,
+    hardware: SpeakerMicResponse | None = None,
+    room: RoomModel | None = None,
+    noise_std: float = 0.005,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Binaural earbud recordings of ``signal`` played at a near-field point.
+
+    Absolute propagation delay is preserved (phone and earbuds are
+    synchronized in the paper's prototype), so first-tap *absolute* delays
+    are meaningful to the localization stage.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    source = np.asarray(source, dtype=float)
+    taps = {ear: _taps_for_ear(subject, source, ear) for ear in Ear}
+    return _record(taps, signal, fs, rng, hardware, room, noise_std)
+
+
+def record_far_field(
+    subject: VirtualSubject,
+    theta_deg: float,
+    signal: np.ndarray,
+    fs: int = DEFAULT_SAMPLE_RATE,
+    rng: np.random.Generator | None = None,
+    hardware: SpeakerMicResponse | None = None,
+    room: RoomModel | None = None,
+    noise_std: float = 0.005,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Binaural recordings of a far-field (plane wave) source at ``theta_deg``.
+
+    Delays are offset so the earliest tap lands at :data:`HRIR_PRE_DELAY_S`
+    — only interaural structure is physical for a source at infinity.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    taps = {ear: _far_taps_for_ear(subject, theta_deg, ear) for ear in Ear}
+    reference = min(taps[ear][0][0] for ear in Ear) - HRIR_PRE_DELAY_S
+    shifted = {
+        ear: (delays - reference, gains) for ear, (delays, gains) in taps.items()
+    }
+    return _record(shifted, signal, fs, rng, hardware, room, noise_std)

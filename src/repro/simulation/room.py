@@ -1,0 +1,69 @@
+"""Late room reflections.
+
+Home users measure in normal rooms, not anechoic chambers.  Room echoes
+arrive well after the head/pinna multipath (a wall 1 m away adds >= 6 ms),
+which is what lets UNIQ truncate them out (Section 4.6).  The model here is a
+sparse exponentially decaying tap train — enough structure to verify that the
+truncation stage actually protects the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+
+
+@dataclass(frozen=True)
+class RoomModel:
+    """Sparse specular room-echo generator.
+
+    Attributes
+    ----------
+    first_echo_s:
+        Earliest reflection arrival after the direct sound (s).
+    decay_time_s:
+        Exponential energy decay constant of the echo train.
+    echo_density_hz:
+        Average number of distinct echoes per second of IR tail.
+    level:
+        Amplitude of the first reflection relative to the direct tap.
+    """
+
+    first_echo_s: float = 0.007
+    decay_time_s: float = 0.05
+    echo_density_hz: float = 400.0
+    level: float = 0.35
+    max_tail_s: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.first_echo_s <= 0 or self.decay_time_s <= 0:
+            raise SignalError("room time constants must be positive")
+        if not 0 <= self.level <= 1:
+            raise SignalError(f"room level must be in [0, 1], got {self.level}")
+
+    @classmethod
+    def anechoic(cls) -> "RoomModel | None":
+        """No room at all (the paper's lab upper-bound condition)."""
+        return None
+
+    @classmethod
+    def typical_living_room(cls) -> "RoomModel":
+        """A reverberant but ordinary domestic room."""
+        return cls()
+
+    def echo_taps(self, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        """Draw one realization of room echoes: ``(delays_s, gains)``.
+
+        Delays are relative to the direct-path arrival.  Gains alternate in
+        sign randomly (wall reflections flip phase depending on impedance).
+        """
+        n = max(1, int(self.echo_density_hz * self.max_tail_s))
+        delays = np.sort(
+            rng.uniform(self.first_echo_s, self.first_echo_s + self.max_tail_s, n)
+        )
+        envelope = self.level * np.exp(-(delays - self.first_echo_s) / self.decay_time_s)
+        gains = envelope * rng.uniform(0.4, 1.0, n) * rng.choice([-1.0, 1.0], n)
+        return delays, gains

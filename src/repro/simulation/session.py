@@ -1,0 +1,157 @@
+"""One full personalization capture: the phone sweep around the head.
+
+:class:`MeasurementSession` plays the role of the paper's measurement
+procedure: the user sweeps the phone along a (hand-perturbed) arc while the
+phone chirps every ~quarter second and logs its gyroscope.  Its
+:meth:`~MeasurementSession.run` method returns a :class:`SessionData` holding
+exactly the three inputs UNIQ's algorithm is allowed to see — the earbud
+recordings, the IMU trace, and the played probe — plus a ``truth`` block
+(phone positions, the subject model) that only evaluation code may touch,
+standing in for the paper's overhead ground-truth camera.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import DEFAULT_SAMPLE_RATE
+from repro.errors import SignalError
+from repro.geometry.trajectory import Trajectory, hand_motion_trajectory
+from repro.simulation.hardware import SpeakerMicResponse
+from repro.simulation.imu import GyroscopeModel, IMUTrace
+from repro.simulation.person import VirtualSubject
+from repro.simulation.propagation import record_near_field
+from repro.simulation.room import RoomModel
+from repro.signals.waveforms import probe_chirp
+
+
+@dataclass(frozen=True)
+class ProbeMeasurement:
+    """Earbud recordings of one probe emission."""
+
+    time: float
+    left: np.ndarray
+    right: np.ndarray
+
+
+@dataclass(frozen=True)
+class SessionTruth:
+    """Ground truth for evaluation only (the 'overhead camera').
+
+    Algorithm code must never read this — it is what UNIQ estimates.
+    """
+
+    subject: VirtualSubject
+    trajectory: Trajectory
+    probe_sample_indices: np.ndarray
+
+    def probe_angles_deg(self) -> np.ndarray:
+        """True polar angle of the phone at each probe emission."""
+        return self.trajectory.angles_deg[self.probe_sample_indices]
+
+    def probe_radii(self) -> np.ndarray:
+        """True phone distance from the head center at each probe."""
+        return self.trajectory.radii[self.probe_sample_indices]
+
+    def probe_positions(self) -> np.ndarray:
+        """True Cartesian phone positions at each probe, shape ``(n, 2)``."""
+        return self.trajectory.positions()[self.probe_sample_indices]
+
+
+@dataclass(frozen=True)
+class SessionData:
+    """Everything one capture produced.
+
+    ``probes``, ``imu``, ``probe_signal`` and ``fs`` are the algorithm's
+    inputs; ``truth`` is evaluation-only.
+    """
+
+    fs: int
+    probe_signal: np.ndarray
+    probes: tuple[ProbeMeasurement, ...]
+    imu: IMUTrace
+    truth: SessionTruth
+
+    @property
+    def n_probes(self) -> int:
+        return len(self.probes)
+
+
+@dataclass
+class MeasurementSession:
+    """Configuration and execution of one simulated capture.
+
+    Parameters mirror the physical setup: which subject wears the earbuds,
+    how their arm moves, the probe repetition interval, hardware coloration,
+    room acoustics, microphone noise, and gyro quality.  All randomness
+    flows from ``seed``.
+    """
+
+    subject: VirtualSubject
+    seed: int = 0
+    fs: int = DEFAULT_SAMPLE_RATE
+    probe_interval_s: float = 0.25
+    trajectory: Trajectory | None = None
+    gyro: GyroscopeModel = field(default_factory=GyroscopeModel)
+    hardware: SpeakerMicResponse | None = None
+    room: RoomModel | None = field(default_factory=RoomModel.typical_living_room)
+    noise_std: float = 0.005
+    probe_signal: np.ndarray | None = None
+
+    def run(self) -> SessionData:
+        """Simulate the capture and return the session data."""
+        rng = np.random.default_rng(self.seed)
+        trajectory = self.trajectory
+        if trajectory is None:
+            trajectory = hand_motion_trajectory(rng)
+        probe = (
+            self.probe_signal
+            if self.probe_signal is not None
+            else probe_chirp(self.fs)
+        )
+        if self.probe_interval_s <= 0:
+            raise SignalError("probe_interval_s must be positive")
+
+        emission_times = np.arange(
+            trajectory.times[0], trajectory.times[-1], self.probe_interval_s
+        )
+        if emission_times.shape[0] < 3:
+            raise SignalError(
+                "trajectory too short for the probe interval; need >= 3 probes"
+            )
+        indices = np.searchsorted(trajectory.times, emission_times)
+        indices = np.clip(indices, 0, len(trajectory) - 1)
+        positions = trajectory.positions()
+
+        probes = []
+        for idx in indices:
+            left, right = record_near_field(
+                self.subject,
+                positions[idx],
+                probe,
+                fs=self.fs,
+                rng=rng,
+                hardware=self.hardware,
+                room=self.room,
+                noise_std=self.noise_std,
+            )
+            probes.append(
+                ProbeMeasurement(
+                    time=float(trajectory.times[idx]), left=left, right=right
+                )
+            )
+
+        imu = self.gyro.measure(trajectory, rng)
+        return SessionData(
+            fs=self.fs,
+            probe_signal=probe,
+            probes=tuple(probes),
+            imu=imu,
+            truth=SessionTruth(
+                subject=self.subject,
+                trajectory=trajectory,
+                probe_sample_indices=indices,
+            ),
+        )

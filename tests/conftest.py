@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (sessions, personalization results) are session-scoped so
+the whole suite pays for them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.head import HeadGeometry
+from repro.geometry.trajectory import circular_trajectory
+from repro.simulation.person import VirtualSubject
+from repro.simulation.session import MeasurementSession
+
+
+@pytest.fixture(scope="session")
+def average_head() -> HeadGeometry:
+    return HeadGeometry.average()
+
+
+@pytest.fixture(scope="session")
+def subject() -> VirtualSubject:
+    return VirtualSubject.random(42, name="test-subject")
+
+
+@pytest.fixture(scope="session")
+def other_subject() -> VirtualSubject:
+    return VirtualSubject.random(43, name="other-subject")
+
+
+@pytest.fixture(scope="session")
+def small_session(subject):
+    """A compact but realistic capture: 16 s sweep, ~32 probes at 48 kHz."""
+    return MeasurementSession(
+        subject,
+        seed=7,
+        probe_interval_s=0.5,
+        trajectory=None,
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def clean_session(subject):
+    """An idealized capture: perfect circle, no room echo, low noise."""
+    return MeasurementSession(
+        subject,
+        seed=8,
+        probe_interval_s=0.5,
+        trajectory=circular_trajectory(radius=0.45, duration_s=15.0),
+        room=None,
+        noise_std=0.001,
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,94 @@
+"""Tests for the Attempt-2 blind decoupling solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.core.decomposition import (
+    blind_decoupling_attempt,
+    decoupling_consistency,
+)
+from repro.signals.delays import add_tap
+
+
+def _bilinear_channel(
+    amplitudes, delays, kernel, length: int = 128
+) -> np.ndarray:
+    train = np.zeros(length)
+    for amplitude, delay in zip(amplitudes, delays):
+        add_tap(train, delay, amplitude, half_width=8)
+    return np.convolve(train, kernel)[:length]
+
+
+@pytest.fixture()
+def synthetic():
+    rng = np.random.default_rng(0)
+    kernel = np.zeros(24)
+    kernel[0] = 1.0
+    kernel[5] = -0.6
+    kernel[11] = 0.4
+    amplitudes = np.array([1.0, 0.5])
+    delays = np.array([20.0, 27.0])
+    channel = _bilinear_channel(amplitudes, delays, kernel)
+    return channel, delays, kernel
+
+
+class TestSolver:
+    def test_fits_bilinear_data(self, synthetic):
+        channel, delays, _ = synthetic
+        result = blind_decoupling_attempt(
+            channel, delays, kernel_length=24, rng=np.random.default_rng(1)
+        )
+        assert result.reconstruction_error < 0.05
+
+    def test_scale_ambiguity_normalized(self, synthetic):
+        channel, delays, _ = synthetic
+        result = blind_decoupling_attempt(
+            channel, delays, kernel_length=24, rng=np.random.default_rng(2)
+        )
+        assert np.linalg.norm(result.pinna_kernel) == pytest.approx(1.0)
+
+    def test_single_ray_recovers_kernel_shape(self):
+        """With ONE ray the factorization is unique up to scale/shift."""
+        rng = np.random.default_rng(3)
+        kernel = rng.standard_normal(24)
+        channel = _bilinear_channel(np.array([1.0]), np.array([20.0]), kernel)
+        result = blind_decoupling_attempt(
+            channel, np.array([20.0]), kernel_length=24,
+            rng=np.random.default_rng(4),
+        )
+        from repro.signals.correlation import max_normalized_correlation
+
+        assert result.reconstruction_error < 0.05
+        # Up to the inherent sign ambiguity (A, h) ~ (-A, -h).
+        similarity = max(
+            max_normalized_correlation(result.pinna_kernel, kernel),
+            max_normalized_correlation(-result.pinna_kernel, kernel),
+        )
+        assert similarity > 0.95
+
+    def test_validation(self, synthetic):
+        channel, delays, _ = synthetic
+        with pytest.raises(SignalError):
+            blind_decoupling_attempt(np.zeros(10), delays, kernel_length=24)
+        with pytest.raises(SignalError):
+            blind_decoupling_attempt(channel, np.array([-1.0]))
+        with pytest.raises(SignalError):
+            blind_decoupling_attempt(np.zeros(128), delays)
+
+
+class TestConsistencyStudy:
+    def test_multi_ray_factorization_not_unique(self, synthetic):
+        """The paper's negative result: restarts disagree with many rays."""
+        channel, _, _ = synthetic
+        # Offer the solver an overcomplete ray set.
+        delays = np.array([18.0, 20.0, 23.0, 27.0, 31.0])
+        study = decoupling_consistency(channel, delays, n_restarts=4)
+        assert study.best_error < 0.1  # the model fits...
+        assert study.kernel_agreement < 0.9  # ...but not uniquely
+
+    def test_study_shapes(self, synthetic):
+        channel, delays, _ = synthetic
+        study = decoupling_consistency(channel, delays, n_restarts=3)
+        assert len(study.results) == 3
+        assert study.best_error <= study.mean_error

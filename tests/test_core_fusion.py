@@ -1,0 +1,93 @@
+"""Tests for diffraction-aware sensor fusion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.core.fusion import DiffractionAwareSensorFusion
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+@pytest.fixture(scope="module")
+def fusion():
+    return DiffractionAwareSensorFusion()
+
+
+@pytest.fixture(scope="module")
+def fusion_result(fusion, small_session):
+    return fusion.run(small_session)
+
+
+class TestDelayExtraction:
+    def test_delays_match_truth(self, fusion, small_session):
+        t_left, t_right = fusion.extract_probe_delays(small_session)
+        from repro.geometry.paths import binaural_delays
+
+        positions = small_session.truth.probe_positions()
+        head = small_session.truth.subject.head
+        for i in (0, len(positions) // 2, len(positions) - 1):
+            expect_l, expect_r = binaural_delays(head, positions[i])
+            assert t_left[i] == pytest.approx(expect_l, abs=6e-5)
+            assert t_right[i] == pytest.approx(expect_r, abs=6e-5)
+
+    def test_imu_angles_track_truth(self, fusion, small_session):
+        alphas = fusion.imu_angles(small_session)
+        truth = small_session.truth.probe_angles_deg()
+        # Gyro drift allows several degrees, but the sweep shape must hold.
+        assert np.corrcoef(alphas, truth)[0, 1] > 0.995
+        assert np.max(np.abs(alphas - truth)) < 25.0
+
+
+class TestFusionRun:
+    def test_localization_accuracy(self, fusion_result, small_session):
+        truth = small_session.truth.probe_angles_deg()
+        errors = np.abs(fusion_result.fused_angles_deg - truth)
+        assert np.median(errors) < 6.0
+
+    def test_head_parameters_plausible(self, fusion_result, small_session):
+        true_params = np.asarray(small_session.truth.subject.head.parameters)
+        estimated = np.asarray(fusion_result.head.parameters)
+        assert np.all(np.abs(estimated - true_params) < 0.04)
+
+    def test_radii_close_to_truth(self, fusion_result, small_session):
+        true_radii = small_session.truth.probe_radii()
+        solved = fusion_result.solved
+        error = np.abs(fusion_result.radii_m[solved] - true_radii[solved])
+        assert np.median(error) < 0.05
+
+    def test_most_probes_solved(self, fusion_result):
+        assert np.mean(fusion_result.solved) > 0.8
+
+    def test_residual_finite_and_small(self, fusion_result):
+        assert fusion_result.residual_deg < 12.0
+
+    def test_gyro_bias_recovered(self, fusion_result):
+        """The session gyro has ~0.3 dps bias; fusion should see O(that)."""
+        assert abs(fusion_result.gyro_bias_dps) < 2.0
+
+    def test_acoustic_angles_near_imu(self, fusion_result):
+        solved = fusion_result.solved
+        gap = np.abs(
+            fusion_result.acoustic_angles_deg[solved]
+            - fusion_result.imu_angles_deg[solved]
+        )
+        assert np.median(gap) < 10.0
+
+
+class TestCleanSession:
+    def test_near_perfect_on_clean_capture(self, clean_session):
+        fusion = DiffractionAwareSensorFusion()
+        result = fusion.run(clean_session)
+        truth = clean_session.truth.probe_angles_deg()
+        errors = np.abs(result.fused_angles_deg - truth)
+        assert np.median(errors) < 3.0
+
+
+class TestValidation:
+    def test_too_few_probes_raises(self, fusion, small_session):
+        from dataclasses import replace
+
+        crippled = replace(small_session, probes=small_session.probes[:3])
+        with pytest.raises(SignalError):
+            fusion.run(crippled)

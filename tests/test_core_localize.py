@@ -1,0 +1,109 @@
+"""Tests for delay-map localization (the fusion inner loop)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.head import HeadGeometry
+from repro.geometry.paths import binaural_delays, euclidean_delay
+from repro.geometry.head import Ear
+from repro.geometry.vec import polar_to_cartesian
+from repro.core.localize import DelayMap
+
+
+@pytest.fixture(scope="module")
+def delay_map(average_head):
+    return DelayMap(average_head)
+
+
+class TestInversion:
+    @pytest.mark.parametrize(
+        "radius, theta",
+        [(0.45, 30.0), (0.45, 90.0), (0.3, 150.0), (0.7, 10.0), (0.5, 170.0)],
+    )
+    def test_recovers_true_location(self, average_head, delay_map, radius, theta):
+        t_left, t_right = binaural_delays(
+            average_head, polar_to_cartesian(radius, theta)
+        )
+        candidate = delay_map.locate(t_left, t_right, imu_angle_deg=theta + 4.0)
+        assert candidate is not None
+        assert candidate.theta_deg == pytest.approx(theta, abs=0.5)
+        assert candidate.radius_m == pytest.approx(radius, abs=0.01)
+
+    def test_two_candidates_front_back(self, average_head, delay_map):
+        t_left, t_right = binaural_delays(average_head, polar_to_cartesian(0.45, 40.0))
+        candidates = delay_map.invert(t_left, t_right)
+        assert len(candidates) == 2
+        thetas = sorted(c.theta_deg for c in candidates)
+        assert thetas[0] == pytest.approx(40.0, abs=1.0)
+        # The ambiguous twin is roughly the front-back mirror.
+        assert 120.0 < thetas[1] < 180.0
+
+    def test_imu_disambiguates_to_back(self, average_head, delay_map):
+        t_left, t_right = binaural_delays(average_head, polar_to_cartesian(0.45, 40.0))
+        candidates = delay_map.invert(t_left, t_right)
+        back = max(c.theta_deg for c in candidates)
+        chosen = delay_map.locate(t_left, t_right, imu_angle_deg=back + 3.0)
+        assert chosen.theta_deg == pytest.approx(back, abs=0.5)
+
+    def test_impossible_delays_return_empty(self, delay_map):
+        assert delay_map.invert(1e-5, 1e-5) == []
+        assert delay_map.locate(1e-5, 1e-5, 0.0) is None
+
+    def test_nan_delays_return_empty(self, delay_map):
+        assert delay_map.invert(float("nan"), 1e-3) == []
+
+    def test_candidate_position_property(self, average_head, delay_map):
+        t_left, t_right = binaural_delays(average_head, polar_to_cartesian(0.5, 60.0))
+        candidate = delay_map.locate(t_left, t_right, 60.0)
+        np.testing.assert_allclose(
+            candidate.position,
+            polar_to_cartesian(candidate.radius_m, candidate.theta_deg),
+        )
+
+    @given(radius=st.floats(0.3, 1.0), theta=st.floats(5.0, 175.0))
+    @settings(max_examples=25, deadline=None)
+    def test_inversion_property(self, radius, theta):
+        head = HeadGeometry.average()
+        dm = DelayMap(head)
+        t_left, t_right = binaural_delays(head, polar_to_cartesian(radius, theta))
+        candidate = dm.locate(t_left, t_right, theta)
+        assert candidate is not None
+        assert abs(candidate.theta_deg - theta) < 1.5
+        assert abs(candidate.radius_m - radius) < 0.02
+
+
+class TestEuclideanModel:
+    def test_euclidean_map_differs_from_diffraction(self, average_head):
+        euclid = DelayMap(average_head, model="euclidean")
+        source = polar_to_cartesian(0.45, 60.0)
+        t_left, t_right = binaural_delays(average_head, source)  # physical
+        candidate = euclid.locate(t_left, t_right, 60.0)
+        # The straight-line model misinterprets the wrapped delay.
+        assert candidate is None or abs(candidate.theta_deg - 60.0) > 2.0
+
+    def test_euclidean_inverts_euclidean(self, average_head):
+        euclid = DelayMap(average_head, model="euclidean")
+        source = polar_to_cartesian(0.45, 60.0)
+        t_left = euclidean_delay(average_head, source, Ear.LEFT)
+        t_right = euclidean_delay(average_head, source, Ear.RIGHT)
+        candidate = euclid.locate(t_left, t_right, 60.0)
+        assert candidate is not None
+        assert candidate.theta_deg == pytest.approx(60.0, abs=1.0)
+
+
+class TestValidation:
+    def test_invalid_grid_raises(self, average_head):
+        with pytest.raises(GeometryError):
+            DelayMap(average_head, radii=(0.5, 0.2, 10))
+        with pytest.raises(GeometryError):
+            DelayMap(average_head, thetas=(0.0, 10.0, 4))
+
+    def test_invalid_model_raises(self, average_head):
+        with pytest.raises(GeometryError):
+            DelayMap(average_head, model="psychic")
+
+    def test_radial_grid_clears_head(self, average_head):
+        dm = DelayMap(average_head, radii=(0.01, 1.0, 10))
+        assert dm.radii[0] > max(average_head.parameters)

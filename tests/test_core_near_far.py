@@ -1,0 +1,100 @@
+"""Tests for near-to-far HRTF conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.core.fusion import DiffractionAwareSensorFusion
+from repro.core.interpolation import NearFieldInterpolator
+from repro.core.near_far import (
+    NearFarConverter,
+    critical_trajectory_angles,
+    ray_decomposition_attempt,
+)
+from repro.geometry.plane_wave import interaural_delay
+from repro.hrtf.hrir import BinauralIR
+from repro.hrtf.metrics import hrir_correlation
+from repro.simulation.propagation import render_far_field_hrir
+
+FS = 48_000
+
+
+@pytest.fixture(scope="module")
+def near_measurements(clean_session):
+    fusion = DiffractionAwareSensorFusion().run(clean_session)
+    interpolator = NearFieldInterpolator(clean_session.fs)
+    return fusion, interpolator.extract_measurements(clean_session, fusion)
+
+
+class TestCriticalAngles:
+    def test_ordering_around_target(self, average_head):
+        phi_b, phi_c, phi_d = critical_trajectory_angles(average_head, 45.0, 0.45)
+        # C sits near the target direction; B (left ear) beyond it; D before.
+        assert phi_d < phi_c < phi_b
+        assert abs(phi_c - 45.0) < 20.0
+
+    def test_frontal_target_symmetric(self, average_head):
+        phi_b, phi_c, phi_d = critical_trajectory_angles(average_head, 0.0, 0.45)
+        assert phi_c == pytest.approx(0.0, abs=3.0)
+        assert phi_b == pytest.approx(-phi_d, abs=3.0)
+
+    def test_radius_too_small_raises(self, average_head):
+        from repro.errors import GeometryError
+
+        with pytest.raises(GeometryError):
+            critical_trajectory_angles(average_head, 45.0, 0.05)
+
+
+class TestConversion:
+    def test_far_itd_matches_model(self, near_measurements):
+        fusion, measurements = near_measurements
+        converter = NearFarConverter(fs=FS)
+        for theta in (20.0, 60.0, 140.0):
+            far = converter.convert_angle(measurements, fusion.head, theta, 0.45)
+            expected = interaural_delay(fusion.head, theta)
+            assert far.interaural_delay_s() == pytest.approx(expected, abs=4e-5)
+
+    def test_far_entries_correlate_with_truth(self, clean_session, near_measurements):
+        fusion, measurements = near_measurements
+        subject = clean_session.truth.subject
+        converter = NearFarConverter(fs=FS)
+        grid = np.arange(15.0, 166.0, 30.0)
+        entries = converter.convert(measurements, fusion.head, grid)
+        scores = []
+        for angle, entry in zip(grid, entries):
+            truth_l, truth_r = render_far_field_hrir(subject, float(angle), FS)
+            truth = BinauralIR(left=truth_l, right=truth_r, fs=FS)
+            scores.append(np.mean(hrir_correlation(entry, truth)))
+        assert np.mean(scores) > 0.55
+
+    def test_conversion_beats_raw_near_itd(self, clean_session, near_measurements):
+        """The module's purpose: far ITDs are wrong if near HRIRs are reused."""
+        fusion, measurements = near_measurements
+        converter = NearFarConverter(fs=FS)
+        theta = 45.0
+        far = converter.convert_angle(measurements, fusion.head, theta, 0.45)
+        true_itd = interaural_delay(clean_session.truth.subject.head, theta)
+        nearest = min(measurements, key=lambda m: abs(m.angle_deg - theta))
+        near_itd_error = abs(nearest.hrir.interaural_delay_s() - true_itd)
+        far_itd_error = abs(far.interaural_delay_s() - true_itd)
+        assert far_itd_error < near_itd_error
+
+    def test_empty_measurements_raise(self, near_measurements):
+        fusion, _ = near_measurements
+        converter = NearFarConverter(fs=FS)
+        with pytest.raises(SignalError):
+            converter.convert_angle([], fusion.head, 45.0, 0.45)
+
+
+class TestRayDecomposition:
+    def test_attempt_is_ill_conditioned(self):
+        """The paper's Attempt 1 fails: two speakers cannot form narrow
+        beams, so the decomposition system is catastrophically conditioned."""
+        condition = ray_decomposition_attempt()
+        # Solving a system conditioned worse than ~1e3 amplifies measurement
+        # noise thousands-fold — unusable, exactly as the paper reports.
+        assert condition > 1e3
+
+    def test_rejects_degenerate_setup(self):
+        with pytest.raises(SignalError):
+            ray_decomposition_attempt(n_rays=1)

@@ -1,0 +1,91 @@
+"""Tests for online (incremental) sensor fusion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.core.fusion import DiffractionAwareSensorFusion
+from repro.core.online import OnlineFusion
+
+
+def _feed_session(online: OnlineFusion, session, fusion_helper):
+    """Push a session's probes through the online estimator in order."""
+    alphas = fusion_helper.imu_angles(session)
+    statuses = []
+    for probe, alpha in zip(session.probes, alphas):
+        statuses.append(
+            online.add_probe(probe.left, probe.right, float(alpha), probe.time)
+        )
+    return statuses
+
+
+@pytest.fixture(scope="module")
+def helper():
+    return DiffractionAwareSensorFusion()
+
+
+@pytest.fixture(scope="module")
+def fed(small_session, helper):
+    online = OnlineFusion(
+        fs=small_session.fs, probe_signal=small_session.probe_signal
+    )
+    statuses = _feed_session(online, small_session, helper)
+    return online, statuses
+
+
+class TestIncrementalBehaviour:
+    def test_no_estimate_before_min_probes(self, fed):
+        _, statuses = fed
+        early = statuses[5]  # below the default min_probes of 10
+        assert early.head is None
+        assert not early.ready
+
+    def test_estimate_appears_after_min_probes(self, fed):
+        _, statuses = fed
+        assert statuses[-1].head is not None
+
+    def test_coverage_grows_monotonically(self, fed):
+        _, statuses = fed
+        coverage = [status.coverage_deg for status in statuses]
+        assert all(b >= a for a, b in zip(coverage, coverage[1:]))
+
+    def test_becomes_ready_during_sweep(self, fed):
+        _, statuses = fed
+        assert statuses[-1].ready
+        first_ready = next(i for i, s in enumerate(statuses) if s.ready)
+        # Ready before the very end: the app can tell the user to stop.
+        assert first_ready < len(statuses) - 1
+
+    def test_running_head_plausible(self, fed):
+        online, _ = fed
+        status = online.status()
+        for value in status.head_parameters:
+            assert 0.06 < value < 0.15
+
+
+class TestFinalize:
+    def test_finalize_matches_batch(self, small_session, helper, fed):
+        online, _ = fed
+        final = online.finalize()
+        batch = helper.run(small_session)
+        # Same data -> same solver family: the answers agree closely.
+        np.testing.assert_allclose(
+            final.head.parameters, batch.head.parameters, atol=0.01
+        )
+        truth = small_session.truth.probe_angles_deg()
+        final_err = np.median(np.abs(final.fused_angles_deg - truth))
+        batch_err = np.median(np.abs(batch.fused_angles_deg - truth))
+        assert final_err < batch_err + 1.5
+
+    def test_finalize_needs_probes(self):
+        online = OnlineFusion()
+        with pytest.raises(SignalError):
+            online.finalize()
+
+
+class TestValidation:
+    def test_bad_config_rejected(self):
+        with pytest.raises(SignalError):
+            OnlineFusion(refit_every=0)
+        with pytest.raises(SignalError):
+            OnlineFusion(min_probes=2)

@@ -1,0 +1,114 @@
+"""Tests for the application-side binaural renderer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.core.rendering import BinauralRenderer, SpatialSource
+from repro.hrtf.reference import ground_truth_table
+from repro.signals.waveforms import tone
+
+FS = 48_000
+
+
+@pytest.fixture(scope="module")
+def renderer(subject):
+    table = ground_truth_table(subject, np.arange(0.0, 181.0, 10.0), FS)
+    return BinauralRenderer(table)
+
+
+class TestSpatialSource:
+    def test_field_classification(self):
+        signal = np.ones(64)
+        assert SpatialSource(signal, 45.0, distance_m=2.0).is_far_field
+        assert not SpatialSource(signal, 45.0, distance_m=0.4).is_far_field
+
+    def test_rejects_empty_signal(self):
+        with pytest.raises(SignalError):
+            SpatialSource(np.zeros(0), 45.0)
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(SignalError):
+            SpatialSource(np.ones(16), 45.0, distance_m=0.0)
+
+
+class TestRender:
+    def test_left_source_louder_on_left(self, renderer):
+        signal = tone(2000.0, 0.05, FS)
+        left, right = renderer.render(SpatialSource(signal, 80.0, 2.0))
+        assert np.sum(left**2) > 2 * np.sum(right**2)
+
+    def test_frontal_source_balanced(self, renderer):
+        signal = tone(2000.0, 0.05, FS)
+        left, right = renderer.render(SpatialSource(signal, 0.0, 2.0))
+        ratio = np.sum(left**2) / np.sum(right**2)
+        # Pinnae are asymmetric, so "balanced" means within a few dB.
+        assert 0.3 < ratio < 3.0
+
+    def test_distance_attenuates(self, renderer):
+        signal = tone(2000.0, 0.05, FS)
+        near, _ = renderer.render(SpatialSource(signal, 45.0, 1.5))
+        far, _ = renderer.render(SpatialSource(signal, 45.0, 6.0))
+        assert np.sum(far**2) < np.sum(near**2) / 4
+
+    def test_near_field_uses_near_table(self, renderer):
+        signal = tone(2000.0, 0.05, FS)
+        near_pair = renderer.render(SpatialSource(signal, 45.0, 0.45))
+        far_pair = renderer.render(SpatialSource(signal, 45.0, 2.0))
+        assert not np.allclose(near_pair[0], far_pair[0][: near_pair[0].shape[0]])
+
+    def test_itd_direction(self, renderer, subject):
+        """A left-side source must reach the left ear earlier."""
+        impulse = np.zeros(256)
+        impulse[0] = 1.0
+        left, right = renderer.render(SpatialSource(impulse, 70.0, 2.0))
+        from repro.signals.channel import first_tap_index
+
+        assert first_tap_index(left) < first_tap_index(right)
+
+
+class TestScene:
+    def test_scene_mixes_sources(self, renderer):
+        signal = tone(1000.0, 0.05, FS)
+        a = SpatialSource(signal, 30.0, 2.0)
+        b = SpatialSource(signal, 150.0, 2.0)
+        mixed_l, mixed_r = renderer.render_scene([a, b])
+        single_l, _ = renderer.render(a)
+        assert mixed_l.shape[0] >= single_l.shape[0]
+        assert np.sum(mixed_l**2) > np.sum(single_l**2) * 0.9
+
+    def test_empty_scene_raises(self, renderer):
+        with pytest.raises(SignalError):
+            renderer.render_scene([])
+
+
+class TestMoving:
+    def test_moving_source_output_shape(self, renderer):
+        n = FS // 4
+        signal = tone(1500.0, 0.25, FS)[:n]
+        angles = np.linspace(10.0, 170.0, n)
+        left, right = renderer.render_moving(signal, angles, FS)
+        assert left.shape == right.shape
+        assert left.shape[0] > n
+
+    def test_moving_source_pans(self, renderer):
+        """Energy shifts from the right ear to the left as theta sweeps 10->170."""
+        n = FS // 2
+        signal = tone(1500.0, 0.5, FS)[:n]
+        angles = np.linspace(10.0, 170.0, n)
+        left, right = renderer.render_moving(signal, angles, FS)
+        first_half = slice(0, n // 3)
+        # At small theta the source is nearly frontal: balanced-ish.
+        # The ILD (left over right) must grow as it moves toward the left.
+        ratio_start = np.sum(left[first_half] ** 2) / np.sum(right[first_half] ** 2)
+        mid = slice(n // 3, 2 * n // 3)
+        ratio_mid = np.sum(left[mid] ** 2) / np.sum(right[mid] ** 2)
+        assert ratio_mid > ratio_start
+
+    def test_mismatched_shapes_raise(self, renderer):
+        with pytest.raises(SignalError):
+            renderer.render_moving(np.ones(100), np.ones(50), FS)
+
+    def test_rate_mismatch_raises(self, renderer):
+        with pytest.raises(SignalError):
+            renderer.render_moving(np.ones(100), np.ones(100), 44_100)

@@ -1,0 +1,81 @@
+"""Tests for session serialization and cohort dataset generation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_cohort_dataset, load_session, save_session
+from repro.errors import TableError
+from repro.core.fusion import DiffractionAwareSensorFusion
+
+
+class TestSessionRoundtrip:
+    def test_roundtrip_preserves_inputs(self, small_session, tmp_path):
+        path = tmp_path / "session.npz"
+        save_session(small_session, path)
+        loaded = load_session(path)
+        assert loaded.fs == small_session.fs
+        assert loaded.n_probes == small_session.n_probes
+        np.testing.assert_allclose(loaded.probe_signal, small_session.probe_signal)
+        np.testing.assert_allclose(
+            loaded.probes[3].left, small_session.probes[3].left
+        )
+        np.testing.assert_allclose(loaded.imu.rate_dps, small_session.imu.rate_dps)
+
+    def test_roundtrip_preserves_truth(self, small_session, tmp_path):
+        path = tmp_path / "session.npz"
+        save_session(small_session, path)
+        loaded = load_session(path)
+        assert (
+            loaded.truth.subject.head.parameters
+            == small_session.truth.subject.head.parameters
+        )
+        np.testing.assert_allclose(
+            loaded.truth.probe_angles_deg(),
+            small_session.truth.probe_angles_deg(),
+        )
+        np.testing.assert_allclose(
+            loaded.truth.subject.left_pinna.base_delays,
+            small_session.truth.subject.left_pinna.base_delays,
+        )
+
+    def test_loaded_session_is_processable(self, small_session, tmp_path):
+        """The pipeline runs identically on a reloaded capture."""
+        path = tmp_path / "session.npz"
+        save_session(small_session, path)
+        loaded = load_session(path)
+        fusion = DiffractionAwareSensorFusion()
+        t_orig = fusion.extract_probe_delays(small_session)
+        t_load = fusion.extract_probe_delays(loaded)
+        np.testing.assert_allclose(t_load[0], t_orig[0])
+        np.testing.assert_allclose(t_load[1], t_orig[1])
+
+    def test_missing_field_raises(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, version=np.array([1]))
+        with pytest.raises(TableError):
+            load_session(path)
+
+
+class TestCohortDataset:
+    def test_generates_files_and_manifest(self, tmp_path):
+        paths = generate_cohort_dataset(tmp_path / "cohort", n_subjects=2)
+        assert len(paths) == 2
+        assert all(p.exists() for p in paths)
+        with open(tmp_path / "cohort" / "manifest.json") as handle:
+            manifest = json.load(handle)
+        assert len(manifest) == 2
+        assert manifest[0]["subject"] == "volunteer-1"
+        assert len(manifest[0]["true_head_parameters_m"]) == 3
+
+    def test_dataset_reproducible(self, tmp_path):
+        paths_a = generate_cohort_dataset(tmp_path / "a", n_subjects=1)
+        paths_b = generate_cohort_dataset(tmp_path / "b", n_subjects=1)
+        a = load_session(paths_a[0])
+        b = load_session(paths_b[0])
+        np.testing.assert_array_equal(a.probes[0].left, b.probes[0].left)
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            generate_cohort_dataset(tmp_path, n_subjects=0)

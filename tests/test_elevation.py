@@ -1,0 +1,145 @@
+"""Tests for 3D subjects, the HRTF field, and spherical personalization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError, SignalError
+from repro.geometry.head3d import HeadGeometry3D
+from repro.hrtf.hrir import BinauralIR
+from repro.hrtf.metrics import hrir_correlation
+from repro.simulation.person3d import VirtualSubject3D, render_far_field_hrir_3d
+from repro.core.elevation import (
+    HRTFField,
+    SphericalPersonalizer,
+    capture_rings,
+)
+from repro.core.pipeline import UniqConfig
+
+FS = 48_000
+GRID = tuple(float(a) for a in range(0, 181, 15))
+
+
+@pytest.fixture(scope="session")
+def subject3d():
+    return VirtualSubject3D.random(31)
+
+
+@pytest.fixture(scope="session")
+def result3d(subject3d):
+    sessions = capture_rings(subject3d, tilts_deg=(-30.0, 0.0, 30.0), seed=5)
+    personalizer = SphericalPersonalizer(UniqConfig(angle_grid_deg=GRID))
+    return personalizer.personalize(sessions)
+
+
+class TestVirtualSubject3D:
+    def test_reproducible(self):
+        a = VirtualSubject3D.random(9)
+        b = VirtualSubject3D.random(9)
+        assert a.head.parameters == b.head.parameters
+        assert a.elevation_coupling_left == b.elevation_coupling_left
+
+    def test_effective_subject_at_zero_tilt(self, subject3d):
+        effective = subject3d.effective_subject(0.0)
+        assert effective.head.parameters == pytest.approx(
+            (subject3d.head.a, subject3d.head.b, subject3d.head.c)
+        )
+        np.testing.assert_allclose(
+            effective.left_pinna.echoes(50.0)[0],
+            subject3d.left_pinna.echoes(50.0)[0],
+        )
+
+    def test_tilt_shifts_pinna(self, subject3d):
+        """The effective pinna at tilt t equals the base pinna shifted."""
+        tilt = 30.0
+        effective = subject3d.effective_subject(tilt)
+        shift = subject3d.elevation_coupling_left * tilt
+        d_eff, g_eff = effective.left_pinna.echoes(50.0)
+        d_base, g_base = subject3d.left_pinna.echoes(50.0 + shift)
+        np.testing.assert_allclose(d_eff, d_base, atol=1e-12)
+        np.testing.assert_allclose(g_eff, g_base, atol=1e-12)
+
+    def test_elevation_changes_hrir(self, subject3d):
+        flat_l, _ = render_far_field_hrir_3d(subject3d, 60.0, 0.0, FS)
+        up_l, _ = render_far_field_hrir_3d(subject3d, 60.0, 30.0, FS)
+        assert not np.allclose(flat_l, up_l)
+
+
+class TestHRTFField:
+    def test_lookup_at_ring_elevation_matches_ring(self, result3d):
+        field = result3d.field
+        # Azimuth 0 at elevation 30 lies exactly on the +30 ring at
+        # in-plane angle 0.
+        entry = field.lookup(0.0, 30.0)
+        ring = result3d.ring_results[30.0].table.lookup(0.0, "far")
+        np.testing.assert_allclose(entry.left, ring.left)
+
+    def test_lookup_clamps_beyond_rings(self, result3d):
+        top = result3d.field.lookup(0.0, 80.0)
+        ring_top = result3d.field.lookup(0.0, 30.0)
+        np.testing.assert_allclose(top.left, ring_top.left)
+
+    def test_binauralize_shapes(self, result3d):
+        left, right = result3d.field.binauralize(np.ones(128), 60.0, 15.0)
+        assert left.shape == right.shape
+
+    def test_validation(self, result3d):
+        with pytest.raises(GeometryError):
+            HRTFField(
+                ring_tilts_deg=np.array([30.0, 0.0]),
+                ring_tables=result3d.field.ring_tables[:2],
+            )
+        with pytest.raises(GeometryError):
+            HRTFField(
+                ring_tilts_deg=np.array([0.0]),
+                ring_tables=result3d.field.ring_tables,
+            )
+
+
+class TestSphericalPersonalization:
+    def test_head3d_recovered_within_tolerance(self, result3d, subject3d):
+        truth = np.asarray(subject3d.head.parameters)
+        estimate = np.asarray(result3d.head_parameters)
+        assert np.all(np.abs(estimate - truth) < 0.045)
+
+    def test_field_beats_flat_table_at_elevation(self, result3d, subject3d):
+        """The extension's point: elevation-aware lookup wins off-plane."""
+        flat_table = result3d.ring_results[0.0].table
+        gains = []
+        for az in (45.0, 90.0, 135.0):
+            for el in (25.0, -25.0):
+                truth_l, truth_r = render_far_field_hrir_3d(subject3d, az, el, FS)
+                truth = BinauralIR(left=truth_l, right=truth_r, fs=FS)
+                c_field = np.mean(
+                    hrir_correlation(result3d.field.lookup(az, el), truth)
+                )
+                c_flat = np.mean(
+                    hrir_correlation(flat_table.lookup(az, "far"), truth)
+                )
+                gains.append(c_field - c_flat)
+        assert np.mean(gains) > 0.03
+
+    def test_requires_two_distinct_tilts(self, subject3d):
+        sessions = capture_rings(subject3d, tilts_deg=(0.0,), seed=6)
+        with pytest.raises(GeometryError):
+            SphericalPersonalizer(UniqConfig(angle_grid_deg=GRID)).personalize(
+                sessions
+            )
+
+    def test_empty_sessions_raise(self):
+        with pytest.raises(SignalError):
+            SphericalPersonalizer().personalize({})
+
+    def test_head3d_fit_exact_on_true_sections(self):
+        """With exact section parameters the fit recovers E3 exactly."""
+        from repro.core.elevation import _fit_head3d
+        from unittest.mock import MagicMock
+
+        head = HeadGeometry3D(a=0.09, b=0.112, c=0.093, d=0.118)
+        fusions = {}
+        for tilt in (-30.0, 0.0, 30.0):
+            b_eff, c_eff = head.effective_depths(tilt)
+            fake = MagicMock()
+            fake.fusion.head.parameters = (head.a, b_eff, c_eff)
+            fusions[tilt] = fake
+        fitted = _fit_head3d(fusions)
+        assert fitted.parameters == pytest.approx(head.parameters, abs=1e-6)

@@ -1,0 +1,28 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.eval.report import generate_report, main
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(cohort_size=2)
+
+
+class TestReport:
+    def test_contains_every_figure(self, report_text):
+        for figure in (2, 5, 9, 14, 16, 17, 18, 19, 20, 21, 22):
+            assert f"Figure {figure}" in report_text
+
+    def test_reproducible_numbers(self, report_text):
+        """Everything except the timestamp is deterministic."""
+        again = generate_report(cohort_size=2)
+        strip = lambda text: "\n".join(text.splitlines()[3:])
+        assert strip(again) == strip(report_text)
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main([str(path), "--quick"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "Figure 22" in path.read_text()

@@ -1,0 +1,57 @@
+"""Tests for the vectorized batch path solver (must match the scalar one)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.batch import binaural_delays_batch, path_lengths_batch
+from repro.geometry.head import Ear, HeadGeometry
+from repro.geometry.paths import binaural_delays, propagation_path
+from repro.geometry.vec import polar_to_cartesian
+
+
+class TestAgreementWithScalar:
+    def test_matches_scalar_on_grid(self, average_head):
+        rng = np.random.default_rng(3)
+        sources = polar_to_cartesian(
+            rng.uniform(0.2, 1.2, 40), rng.uniform(-180, 180, 40)
+        )
+        t_left, t_right = binaural_delays_batch(average_head, sources)
+        for i, source in enumerate(sources):
+            expect_l, expect_r = binaural_delays(average_head, source)
+            assert t_left[i] == pytest.approx(expect_l, abs=1e-12)
+            assert t_right[i] == pytest.approx(expect_r, abs=1e-12)
+
+    @given(radius=st.floats(0.2, 1.5), angle=st.floats(-180, 180))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_scalar_property(self, radius, angle):
+        head = HeadGeometry.average()
+        source = polar_to_cartesian(radius, angle)
+        lengths = path_lengths_batch(head, source[None, :], Ear.LEFT)
+        expected = propagation_path(head, source, Ear.LEFT).length
+        assert lengths[0] == pytest.approx(expected, abs=1e-12)
+
+
+class TestBatchSemantics:
+    def test_inside_points_are_nan(self, average_head):
+        sources = np.array([[0.0, 0.0], [0.5, 0.5]])
+        lengths = path_lengths_batch(average_head, sources, Ear.LEFT)
+        assert np.isnan(lengths[0])
+        assert np.isfinite(lengths[1])
+
+    def test_wrong_shape_raises(self, average_head):
+        with pytest.raises(GeometryError):
+            path_lengths_batch(average_head, np.zeros((3,)), Ear.LEFT)
+        with pytest.raises(GeometryError):
+            binaural_delays_batch(average_head, np.zeros((2, 3)))
+
+    def test_empty_batch(self, average_head):
+        lengths = path_lengths_batch(average_head, np.zeros((0, 2)), Ear.LEFT)
+        assert lengths.shape == (0,)
+
+    def test_large_batch_consistent_between_ears(self, average_head):
+        """On the nose axis, both ears are equidistant (symmetry check)."""
+        sources = np.stack([np.zeros(20), np.linspace(0.3, 2.0, 20)], axis=1)
+        t_left, t_right = binaural_delays_batch(average_head, sources)
+        np.testing.assert_allclose(t_left, t_right, atol=1e-7)

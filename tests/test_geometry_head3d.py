@@ -1,0 +1,145 @@
+"""Tests for the 3D head model and its section planes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.head import Ear
+from repro.geometry.head3d import (
+    HeadGeometry3D,
+    direction_from_angles,
+    direction_to_section,
+    section_coordinates,
+)
+
+
+@pytest.fixture(scope="module")
+def head3d():
+    return HeadGeometry3D.average()
+
+
+class TestSections:
+    def test_horizontal_section_matches_2d(self, head3d):
+        section = head3d.section(0.0)
+        assert section.parameters == pytest.approx(
+            (head3d.a, head3d.b, head3d.c)
+        )
+
+    def test_vertical_section_uses_d(self, head3d):
+        b_eff, c_eff = head3d.effective_depths(90.0)
+        assert b_eff == pytest.approx(head3d.d)
+        assert c_eff == pytest.approx(head3d.d)
+
+    def test_effective_depth_monotone_toward_d(self, head3d):
+        """b < d for the average head: tilting up grows the front depth."""
+        depths = [head3d.effective_depths(t)[0] for t in (0.0, 30.0, 60.0, 90.0)]
+        assert np.all(np.diff(depths) > 0)
+
+    def test_sections_cached(self, head3d):
+        assert head3d.section(30.0) is head3d.section(30.0)
+
+    def test_invalid_tilt(self, head3d):
+        with pytest.raises(GeometryError):
+            head3d.effective_depths(120.0)
+
+    def test_invalid_axes(self):
+        with pytest.raises(GeometryError):
+            HeadGeometry3D(a=0.09, b=0.11, c=0.095, d=0.5)
+
+
+class TestSectionCoordinates:
+    def test_horizontal_point(self):
+        tilt, u, v = section_coordinates(np.array([0.1, 0.4, 0.0]))
+        assert tilt == pytest.approx(0.0)
+        assert u == pytest.approx(0.1)
+        assert v == pytest.approx(0.4)
+
+    def test_elevated_point(self):
+        tilt, u, v = section_coordinates(np.array([0.0, 0.3, 0.3]))
+        assert tilt == pytest.approx(45.0)
+        assert v == pytest.approx(np.hypot(0.3, 0.3))
+
+    def test_behind_point_wraps_to_negative_v(self):
+        tilt, u, v = section_coordinates(np.array([0.0, -0.4, 0.0]))
+        assert -90.0 < tilt <= 90.0
+        assert v == pytest.approx(-0.4)
+
+    def test_on_ear_axis(self):
+        tilt, u, v = section_coordinates(np.array([0.3, 0.0, 0.0]))
+        assert tilt == 0.0
+        assert u == pytest.approx(0.3)
+        assert v == 0.0
+
+    @given(
+        x=st.floats(-1, 1), y=st.floats(-1, 1), z=st.floats(-1, 1)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_coordinates_reconstruct_point(self, x, y, z):
+        point = np.array([x, y, z])
+        tilt, u, v = section_coordinates(point)
+        w = np.array([0.0, np.cos(np.deg2rad(tilt)), np.sin(np.deg2rad(tilt))])
+        reconstructed = u * np.array([1.0, 0.0, 0.0]) + v * w
+        np.testing.assert_allclose(reconstructed, point, atol=1e-9)
+
+
+class TestDelays3D:
+    def test_horizontal_matches_2d(self, head3d):
+        from repro.geometry.paths import path_delay
+        from repro.geometry.vec import polar_to_cartesian
+
+        source2d = polar_to_cartesian(0.5, 40.0)
+        source3d = np.array([source2d[0], source2d[1], 0.0])
+        for ear in Ear:
+            expected = path_delay(head3d.section(0.0), source2d, ear)
+            assert head3d.path_delay(source3d, ear) == pytest.approx(expected)
+
+    def test_overhead_source_symmetric(self, head3d):
+        """A source straight above reaches both ears simultaneously."""
+        left, right = head3d.plane_wave_delays(0.0, 90.0)
+        assert left == pytest.approx(right, abs=1e-7)
+
+    def test_itd_shrinks_with_elevation(self, head3d):
+        """The cone of confusion: higher elevation -> smaller lateral ITD."""
+        itds = [
+            abs(head3d.interaural_delay(70.0, el)) for el in (0.0, 30.0, 60.0)
+        ]
+        assert np.all(np.diff(itds) < 0)
+
+    def test_elevation_symmetry_of_itd(self, head3d):
+        """Up/down symmetric head: same ITD above and below (the classic
+        elevation ambiguity that pinna cues must break)."""
+        up = head3d.interaural_delay(60.0, 25.0)
+        down = head3d.interaural_delay(60.0, -25.0)
+        assert up == pytest.approx(down, abs=2e-6)
+
+
+class TestDirectionMapping:
+    def test_horizontal_direction(self):
+        tilt, in_plane = direction_to_section(40.0, 0.0)
+        assert tilt == pytest.approx(0.0)
+        assert in_plane == pytest.approx(40.0)
+
+    def test_front_elevated(self):
+        tilt, in_plane = direction_to_section(0.0, 30.0)
+        assert tilt == pytest.approx(30.0)
+        assert in_plane == pytest.approx(0.0)
+
+    def test_back_elevated_uses_negative_tilt(self):
+        """A back-upper direction lies on a ring tilted down in front."""
+        tilt, in_plane = direction_to_section(150.0, 20.0)
+        assert tilt < 0.0
+        assert 90.0 < in_plane <= 180.0
+
+    @given(az=st.floats(1.0, 179.0), el=st.floats(-45.0, 45.0))
+    @settings(max_examples=50, deadline=None)
+    def test_mapping_roundtrip(self, az, el):
+        tilt, in_plane = direction_to_section(az, el)
+        w = np.array([0.0, np.cos(np.deg2rad(tilt)), np.sin(np.deg2rad(tilt))])
+        direction = (
+            np.sin(np.deg2rad(in_plane)) * np.array([1.0, 0.0, 0.0])
+            + np.cos(np.deg2rad(in_plane)) * w
+        )
+        np.testing.assert_allclose(
+            direction, direction_from_angles(az, el), atol=1e-9
+        )

@@ -1,0 +1,154 @@
+"""Tests for diffraction-path computation around the head."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import SPEED_OF_SOUND
+from repro.errors import GeometryError
+from repro.geometry.head import Ear, HeadGeometry
+from repro.geometry.paths import (
+    binaural_delays,
+    euclidean_delay,
+    path_delay,
+    path_to_boundary_point,
+    propagation_path,
+)
+from repro.geometry.vec import polar_to_cartesian
+
+
+class TestDirectPaths:
+    def test_source_facing_ear_is_direct(self, average_head):
+        source = np.array([0.5, 0.0])  # straight out of the left ear
+        result = propagation_path(average_head, source, Ear.LEFT)
+        assert result.direct
+        assert result.wrap_arc == 0.0
+        assert result.length == pytest.approx(0.5 - average_head.a)
+
+    def test_direct_equals_euclidean(self, average_head):
+        source = polar_to_cartesian(0.6, 70.0)
+        result = propagation_path(average_head, source, Ear.LEFT)
+        assert result.direct
+        assert result.length * 1.0 == pytest.approx(
+            euclidean_delay(average_head, source, Ear.LEFT) * SPEED_OF_SOUND
+        )
+
+    def test_arrival_direction_points_toward_ear(self, average_head):
+        source = polar_to_cartesian(0.6, 70.0)
+        result = propagation_path(average_head, source, Ear.LEFT)
+        expected = average_head.ear_position(Ear.LEFT) - source
+        expected = expected / np.linalg.norm(expected)
+        np.testing.assert_allclose(result.arrival_direction, expected, atol=1e-9)
+
+
+class TestWrappedPaths:
+    def test_opposite_ear_is_wrapped(self, average_head):
+        source = np.array([0.5, 0.0])
+        result = propagation_path(average_head, source, Ear.RIGHT)
+        assert not result.direct
+        assert result.wrap_arc > 0.0
+        assert result.tangent_point is not None
+
+    def test_wrapped_longer_than_euclidean(self, average_head):
+        source = polar_to_cartesian(0.4, 60.0)
+        wrapped = path_delay(average_head, source, Ear.RIGHT)
+        straight = euclidean_delay(average_head, source, Ear.RIGHT)
+        assert wrapped > straight
+
+    def test_symmetric_source_symmetric_delays(self, average_head):
+        """A source on the nose axis reaches both ears simultaneously."""
+        source = np.array([0.0, 0.5])
+        t_left, t_right = binaural_delays(average_head, source)
+        assert t_left == pytest.approx(t_right, abs=1e-7)
+
+    def test_mirror_symmetry_across_nose_axis(self, average_head):
+        source = polar_to_cartesian(0.5, 40.0)
+        mirrored = source * np.array([-1.0, 1.0])
+        t_l1, t_r1 = binaural_delays(average_head, source)
+        t_l2, t_r2 = binaural_delays(average_head, mirrored)
+        assert t_l1 == pytest.approx(t_r2, abs=1e-7)
+        assert t_r1 == pytest.approx(t_l2, abs=1e-7)
+
+    def test_behind_head_wraps_around_back(self, average_head):
+        """For a source behind-left, the right-ear wrap hugs the back."""
+        source = polar_to_cartesian(0.5, 150.0)
+        result = propagation_path(average_head, source, Ear.RIGHT)
+        assert not result.direct
+        assert result.tangent_point[1] < 0  # tangent on the back half
+
+
+class TestErrors:
+    def test_source_inside_head_raises(self, average_head):
+        with pytest.raises(GeometryError):
+            propagation_path(average_head, np.zeros(2), Ear.LEFT)
+
+    def test_wrong_shape_raises(self, average_head):
+        with pytest.raises(GeometryError):
+            propagation_path(average_head, np.zeros(3), Ear.LEFT)
+
+    def test_bad_boundary_index_raises(self, average_head):
+        with pytest.raises(GeometryError):
+            path_to_boundary_point(average_head, np.array([0.5, 0.5]), -1)
+
+
+class TestBoundaryTargets:
+    def test_path_to_ear_index_matches_ear_api(self, average_head):
+        source = polar_to_cartesian(0.5, 30.0)
+        via_index = path_to_boundary_point(
+            average_head, source, average_head.ear_index(Ear.RIGHT)
+        )
+        via_ear = propagation_path(average_head, source, Ear.RIGHT)
+        assert via_index.length == pytest.approx(via_ear.length)
+
+    def test_monotone_along_shadowed_face(self, average_head):
+        """Walking the test mic deeper into shadow lengthens the path."""
+        source = polar_to_cartesian(0.8, -60.0)  # speaker on the right
+        lengths = []
+        for index in np.linspace(0, average_head.ear_index(Ear.LEFT), 8).astype(int):
+            lengths.append(
+                path_to_boundary_point(average_head, source, int(index)).length
+            )
+        assert np.all(np.diff(lengths) > 0)
+
+
+@st.composite
+def external_points(draw):
+    radius = draw(st.floats(0.2, 2.0))
+    angle = draw(st.floats(-180.0, 180.0))
+    return polar_to_cartesian(radius, angle)
+
+
+class TestPathProperties:
+    @given(source=external_points())
+    @settings(max_examples=60, deadline=None)
+    def test_path_at_least_euclidean(self, source):
+        head = HeadGeometry.average()
+        for ear in Ear:
+            path = propagation_path(head, source, ear)
+            straight = np.linalg.norm(source - head.ear_position(ear))
+            assert path.length >= straight - 1e-9
+
+    @given(source=external_points())
+    @settings(max_examples=60, deadline=None)
+    def test_path_bounded_by_detour_around_head(self, source):
+        """No path is longer than going straight plus half the perimeter."""
+        head = HeadGeometry.average()
+        for ear in Ear:
+            path = propagation_path(head, source, ear)
+            straight = np.linalg.norm(source - head.ear_position(ear))
+            assert path.length <= straight + head.boundary.perimeter / 2 + 1e-9
+
+    @given(source=external_points())
+    @settings(max_examples=40, deadline=None)
+    def test_arrival_direction_unit(self, source):
+        head = HeadGeometry.average()
+        path = propagation_path(head, source, Ear.LEFT)
+        assert np.linalg.norm(path.arrival_direction) == pytest.approx(1.0)
+
+    @given(radius=st.floats(0.3, 1.5), angle=st.floats(0.0, 180.0))
+    @settings(max_examples=40, deadline=None)
+    def test_left_side_source_reaches_left_ear_first(self, radius, angle):
+        head = HeadGeometry.average()
+        source = polar_to_cartesian(radius, angle)
+        t_left, t_right = binaural_delays(head, source)
+        assert t_left <= t_right + 1e-9

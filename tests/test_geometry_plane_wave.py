@@ -1,0 +1,84 @@
+"""Tests for far-field (plane wave) arrival geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import SPEED_OF_SOUND
+from repro.errors import GeometryError
+from repro.geometry.head import Ear, HeadGeometry
+from repro.geometry.plane_wave import (
+    interaural_delay,
+    plane_wave_arrival,
+    plane_wave_delays,
+)
+
+
+class TestCardinalDirections:
+    def test_front_source_symmetric(self, average_head):
+        t_left, t_right = plane_wave_delays(average_head, 0.0)
+        assert t_left == pytest.approx(t_right, abs=1e-7)
+
+    def test_back_source_symmetric(self, average_head):
+        t_left, t_right = plane_wave_delays(average_head, 180.0)
+        assert t_left == pytest.approx(t_right, abs=1e-7)
+
+    def test_left_source_maximizes_itd(self, average_head):
+        itds = [abs(interaural_delay(average_head, theta)) for theta in
+                (0.0, 30.0, 60.0, 90.0)]
+        assert np.argmax(itds) == 3
+
+    def test_side_source_left_ear_direct(self, average_head):
+        arrival = plane_wave_arrival(average_head, 90.0, Ear.LEFT)
+        assert arrival.direct
+        arrival_r = plane_wave_arrival(average_head, 90.0, Ear.RIGHT)
+        assert not arrival_r.direct
+        assert arrival_r.wrap_arc > 0.0
+
+    def test_itd_sign_convention(self, average_head):
+        """Source on the left: left ear first, so t_left - t_right < 0."""
+        assert interaural_delay(average_head, 60.0) < 0
+
+
+class TestPhysicalScale:
+    def test_itd_bounded_by_head_size(self, average_head):
+        """Woodworth-style bound: |ITD| < (a + half wrap) / v ~ 0.9 ms."""
+        for theta in np.linspace(0, 180, 19):
+            itd = abs(interaural_delay(average_head, float(theta)))
+            assert itd < 0.9e-3
+
+    def test_90_degree_itd_close_to_woodworth(self, average_head):
+        """At 90 degrees, ITD ~ a*(1 + pi/2)/v for a spherical head."""
+        expected = average_head.a * (1 + np.pi / 2) / SPEED_OF_SOUND
+        measured = abs(interaural_delay(average_head, 90.0))
+        assert measured == pytest.approx(expected, rel=0.15)
+
+
+class TestProperties:
+    @given(theta=st.floats(0.0, 180.0))
+    @settings(max_examples=50, deadline=None)
+    def test_left_ear_never_later_than_right_for_left_sources(self, theta):
+        head = HeadGeometry.average()
+        assert interaural_delay(head, theta) <= 1e-9
+
+    @given(theta=st.floats(-180.0, 180.0))
+    @settings(max_examples=50, deadline=None)
+    def test_mirror_antisymmetry(self, theta):
+        head = HeadGeometry.average()
+        assert interaural_delay(head, theta) == pytest.approx(
+            -interaural_delay(head, -theta), abs=1e-7
+        )
+
+    @given(theta=st.floats(0.0, 180.0))
+    @settings(max_examples=30, deadline=None)
+    def test_itd_continuous_in_theta(self, theta):
+        head = HeadGeometry.average()
+        delta = interaural_delay(head, theta) - interaural_delay(
+            head, min(theta + 0.5, 180.0)
+        )
+        # Half a degree should never move the ITD by more than ~10 us.
+        assert abs(delta) < 1.2e-5
+
+    def test_nan_theta_raises(self, average_head):
+        with pytest.raises(GeometryError):
+            plane_wave_arrival(average_head, float("nan"), Ear.LEFT)

@@ -1,0 +1,118 @@
+"""Tests for phone trajectory generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.trajectory import (
+    Trajectory,
+    circular_trajectory,
+    hand_motion_trajectory,
+)
+
+
+class TestCircular:
+    def test_basic_shape(self):
+        traj = circular_trajectory(radius=0.5, duration_s=10.0, rate_hz=100.0)
+        assert len(traj) == 1000
+        assert traj.duration == pytest.approx(9.99)
+        np.testing.assert_allclose(traj.radii, 0.5)
+        assert traj.angles_deg[0] == 0.0
+        assert traj.angles_deg[-1] == 180.0
+
+    def test_positions_on_circle(self):
+        traj = circular_trajectory(radius=0.5)
+        radii = np.linalg.norm(traj.positions(), axis=1)
+        np.testing.assert_allclose(radii, 0.5)
+
+    def test_constant_angular_velocity(self):
+        traj = circular_trajectory(duration_s=18.0)
+        rate = traj.angular_velocity_dps()
+        np.testing.assert_allclose(rate, rate[0], rtol=1e-6)
+
+    def test_invalid_duration(self):
+        with pytest.raises(GeometryError):
+            circular_trajectory(duration_s=0.0)
+
+
+class TestHandMotion:
+    def test_reproducible_from_seed(self):
+        a = hand_motion_trajectory(np.random.default_rng(5))
+        b = hand_motion_trajectory(np.random.default_rng(5))
+        np.testing.assert_array_equal(a.angles_deg, b.angles_deg)
+        np.testing.assert_array_equal(a.radii, b.radii)
+
+    def test_angles_monotone(self):
+        traj = hand_motion_trajectory(np.random.default_rng(0))
+        assert np.all(np.diff(traj.angles_deg) >= 0)
+        assert traj.angles_deg[0] == pytest.approx(0.0)
+        assert traj.angles_deg[-1] == pytest.approx(180.0)
+
+    def test_radius_wobbles_around_mean(self):
+        traj = hand_motion_trajectory(
+            np.random.default_rng(1), radius_mean=0.45, radius_wobble=0.03
+        )
+        assert abs(traj.radii.mean() - 0.45) < 0.03
+        assert traj.radii.std() > 0.005
+
+    def test_arm_drop_reduces_radius(self):
+        base = hand_motion_trajectory(
+            np.random.default_rng(2), arm_drop_probability=0.0
+        )
+        dropped = hand_motion_trajectory(
+            np.random.default_rng(2), arm_drop_probability=1.0, arm_drop_depth=0.3
+        )
+        assert dropped.radii.min() < base.radii.min() - 0.05
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_always_valid(self, seed):
+        traj = hand_motion_trajectory(np.random.default_rng(seed))
+        assert np.all(traj.radii > 0.1)
+        assert np.all(np.isfinite(traj.facing_error_deg))
+        assert np.all(np.diff(traj.times) > 0)
+
+
+class TestTrajectoryValidation:
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(GeometryError):
+            Trajectory(
+                times=np.arange(5.0),
+                angles_deg=np.zeros(4),
+                radii=np.ones(5),
+                facing_error_deg=np.zeros(5),
+            )
+
+    def test_nonmonotone_times_raise(self):
+        with pytest.raises(GeometryError):
+            Trajectory(
+                times=np.array([0.0, 2.0, 1.0]),
+                angles_deg=np.zeros(3),
+                radii=np.ones(3),
+                facing_error_deg=np.zeros(3),
+            )
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(GeometryError):
+            Trajectory(
+                times=np.arange(3.0),
+                angles_deg=np.zeros(3),
+                radii=np.array([1.0, -0.1, 1.0]),
+                facing_error_deg=np.zeros(3),
+            )
+
+    def test_subsample(self):
+        traj = circular_trajectory(duration_s=10.0)
+        sub = traj.subsample(np.array([0, 10, 20]))
+        assert len(sub) == 3
+        assert sub.angles_deg[0] == traj.angles_deg[0]
+
+    def test_orientation_includes_facing_error(self):
+        traj = Trajectory(
+            times=np.arange(3.0),
+            angles_deg=np.array([0.0, 10.0, 20.0]),
+            radii=np.ones(3),
+            facing_error_deg=np.array([1.0, -1.0, 0.5]),
+        )
+        np.testing.assert_allclose(traj.orientations_deg(), [1.0, 9.0, 20.5])

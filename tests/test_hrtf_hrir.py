@@ -1,0 +1,100 @@
+"""Tests for the BinauralIR container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.geometry.head import Ear
+from repro.hrtf.hrir import BinauralIR
+from repro.signals.delays import add_tap
+
+FS = 48_000
+
+
+def _make_pair(itd_samples: float = 6.0, n: int = 144) -> BinauralIR:
+    left = np.zeros(n)
+    right = np.zeros(n)
+    add_tap(left, 20.0, 1.0)
+    add_tap(left, 35.0, 0.5)
+    add_tap(right, 20.0 + itd_samples, 0.7)
+    add_tap(right, 40.0 + itd_samples, 0.4)
+    return BinauralIR(left=left, right=right, fs=FS)
+
+
+class TestValidation:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(SignalError):
+            BinauralIR(left=np.zeros(10), right=np.zeros(12), fs=FS)
+
+    def test_rejects_bad_fs(self):
+        with pytest.raises(SignalError):
+            BinauralIR(left=np.zeros(10), right=np.zeros(10), fs=0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(SignalError):
+            BinauralIR(left=np.zeros((2, 5)), right=np.zeros((2, 5)), fs=FS)
+
+    def test_properties(self):
+        pair = _make_pair()
+        assert pair.n_samples == 144
+        assert pair.duration_s == pytest.approx(0.003)
+        assert pair.ear(Ear.LEFT) is pair.left
+
+
+class TestDelays:
+    def test_interaural_delay(self):
+        pair = _make_pair(itd_samples=6.0)
+        assert pair.interaural_delay_s() == pytest.approx(-6.0 / FS, abs=0.3 / FS)
+
+    def test_path_difference(self):
+        pair = _make_pair(itd_samples=7.0)
+        expected = -7.0 / FS * 343.0
+        assert pair.interaural_path_difference_m() == pytest.approx(expected, rel=0.05)
+
+    def test_aligned_removes_itd(self):
+        pair = _make_pair(itd_samples=9.0).aligned()
+        assert pair.interaural_delay_s() == pytest.approx(0.0, abs=0.5 / FS)
+
+
+class TestApply:
+    def test_apply_convolves(self):
+        pair = _make_pair()
+        impulse = np.zeros(32)
+        impulse[0] = 1.0
+        left, right = pair.apply(impulse)
+        np.testing.assert_allclose(left[:144], pair.left, atol=1e-12)
+
+    def test_apply_rejects_empty(self):
+        with pytest.raises(SignalError):
+            _make_pair().apply(np.zeros(0))
+
+    def test_scaled(self):
+        pair = _make_pair().scaled(2.0)
+        assert np.max(np.abs(pair.left)) == pytest.approx(2.0, abs=0.01)
+
+    def test_normalized_peak_is_one(self):
+        pair = _make_pair().scaled(3.3).normalized()
+        peak = max(np.max(np.abs(pair.left)), np.max(np.abs(pair.right)))
+        assert peak == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(SignalError):
+            BinauralIR(left=np.zeros(8), right=np.zeros(8), fs=FS).normalized()
+
+
+class TestFrequency:
+    def test_to_frequency_shapes(self):
+        pair = _make_pair()
+        freqs, h_left, h_right = pair.to_frequency()
+        assert freqs.shape == h_left.shape == h_right.shape
+        assert freqs[-1] == pytest.approx(FS / 2)
+
+    def test_nfft_shorter_raises(self):
+        with pytest.raises(SignalError):
+            _make_pair().to_frequency(n_fft=32)
+
+    def test_spectrum_inverts(self):
+        pair = _make_pair()
+        _, h_left, _ = pair.to_frequency(n_fft=256)
+        back = np.fft.irfft(h_left, 256)[:144]
+        np.testing.assert_allclose(back, pair.left, atol=1e-12)

@@ -1,0 +1,112 @@
+"""Tests for HRTF metrics and npz serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError, TableError
+from repro.hrtf.hrir import BinauralIR
+from repro.hrtf.io import load_table, save_table
+from repro.hrtf.metrics import (
+    hrir_correlation,
+    mean_table_correlation,
+    table_correlations,
+)
+from repro.hrtf.reference import (
+    global_template_table,
+    ground_truth_table,
+    template_subject,
+)
+from repro.signals.delays import add_tap
+
+FS = 48_000
+ANGLES = np.array([0.0, 45.0, 90.0, 135.0, 180.0])
+
+
+class TestHrirCorrelation:
+    def test_identical_is_one(self, subject):
+        table = ground_truth_table(subject, ANGLES, FS)
+        c_left, c_right = hrir_correlation(table.far[1], table.far[1])
+        assert c_left == pytest.approx(1.0)
+        assert c_right == pytest.approx(1.0)
+
+    def test_delay_invariance(self):
+        a_left = np.zeros(144)
+        a_right = np.zeros(144)
+        add_tap(a_left, 20.0, 1.0)
+        add_tap(a_left, 40.0, 0.6)
+        add_tap(a_right, 25.0, 0.8)
+        b_left = np.zeros(144)
+        b_right = np.zeros(144)
+        add_tap(b_left, 50.0, 1.0)  # same shape, bulk-delayed
+        add_tap(b_left, 70.0, 0.6)
+        add_tap(b_right, 55.0, 0.8)
+        a = BinauralIR(left=a_left, right=a_right, fs=FS)
+        b = BinauralIR(left=b_left, right=b_right, fs=FS)
+        c_left, c_right = hrir_correlation(a, b)
+        assert c_left == pytest.approx(1.0, abs=1e-6)
+        assert c_right == pytest.approx(1.0, abs=1e-6)
+
+    def test_different_subjects_lower(self, subject, other_subject):
+        mine = ground_truth_table(subject, ANGLES, FS)
+        theirs = ground_truth_table(other_subject, ANGLES, FS)
+        c_left, c_right = hrir_correlation(mine.far[2], theirs.far[2])
+        assert c_left < 0.9
+        assert c_right < 0.9
+
+    def test_rate_mismatch_raises(self, subject):
+        table = ground_truth_table(subject, ANGLES, FS)
+        other = BinauralIR(left=table.far[0].left, right=table.far[0].right, fs=96_000)
+        with pytest.raises(SignalError):
+            hrir_correlation(table.far[0], other)
+
+
+class TestTableCorrelations:
+    def test_self_correlation_is_one(self, subject):
+        table = ground_truth_table(subject, ANGLES, FS)
+        angles, c_left, c_right = table_correlations(table, table)
+        assert angles.shape == (5,)
+        np.testing.assert_allclose(c_left, 1.0, atol=1e-9)
+
+    def test_personalization_ordering(self, subject):
+        """Own table beats the global template against own ground truth."""
+        truth = ground_truth_table(subject, ANGLES, FS)
+        template = global_template_table(ANGLES, FS)
+        own = mean_table_correlation(truth, truth)
+        cross = mean_table_correlation(template, truth)
+        assert own[0] > cross[0]
+        assert own[1] > cross[1]
+
+    def test_template_subject_is_held_out(self):
+        from repro.simulation.population import make_population
+
+        cohort_names = {s.name for s in make_population(10)}
+        assert template_subject().name not in cohort_names
+
+
+class TestIO:
+    def test_roundtrip(self, subject, tmp_path):
+        table = ground_truth_table(subject, ANGLES, FS)
+        path = tmp_path / "table.npz"
+        save_table(table, path)
+        loaded = load_table(path)
+        np.testing.assert_array_equal(loaded.angles_deg, table.angles_deg)
+        assert loaded.fs == table.fs
+        for original, restored in zip(table.far, loaded.far):
+            np.testing.assert_allclose(restored.left, original.left)
+            np.testing.assert_allclose(restored.right, original.right)
+
+    def test_missing_field_raises(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, version=np.array([1]))
+        with pytest.raises(TableError):
+            load_table(path)
+
+    def test_wrong_version_raises(self, subject, tmp_path):
+        table = ground_truth_table(subject, ANGLES[:2], FS)
+        path = tmp_path / "table.npz"
+        save_table(table, path)
+        data = dict(np.load(path))
+        data["version"] = np.array([99])
+        np.savez(path, **data)
+        with pytest.raises(TableError):
+            load_table(path)

@@ -1,0 +1,91 @@
+"""Tests for perceptual HRTF distance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.hrtf.hrir import BinauralIR
+from repro.hrtf.perceptual import (
+    PerceptualDistance,
+    ild_error_db,
+    itd_error_s,
+    perceptual_distance,
+    spectral_distortion_db,
+    table_perceptual_distance,
+)
+from repro.hrtf.reference import global_template_table, ground_truth_table
+from repro.signals.delays import add_tap
+
+FS = 48_000
+ANGLES = np.array([20.0, 60.0, 100.0, 140.0])
+
+
+def _pair(itd_samples: float, right_gain: float = 0.7) -> BinauralIR:
+    left = np.zeros(144)
+    right = np.zeros(144)
+    add_tap(left, 20.0, 1.0)
+    add_tap(left, 40.0, 0.5)
+    add_tap(right, 20.0 + itd_samples, right_gain)
+    return BinauralIR(left=left, right=right, fs=FS)
+
+
+class TestCueErrors:
+    def test_identical_pairs_are_zero(self, subject):
+        table = ground_truth_table(subject, ANGLES, FS)
+        distance = perceptual_distance(table.far[0], table.far[0])
+        assert distance.itd_error_s == pytest.approx(0.0, abs=1e-9)
+        assert distance.ild_error_db == pytest.approx(0.0, abs=1e-9)
+        assert distance.spectral_distortion_db == pytest.approx(0.0, abs=1e-9)
+        assert distance.composite == pytest.approx(0.0, abs=1e-6)
+
+    def test_itd_error_measures_shift(self):
+        a = _pair(itd_samples=5.0)
+        b = _pair(itd_samples=9.0)
+        assert itd_error_s(a, b) == pytest.approx(4.0 / FS, abs=0.4 / FS)
+
+    def test_ild_error_measures_gain(self):
+        a = _pair(5.0, right_gain=0.7)
+        b = _pair(5.0, right_gain=0.35)
+        assert ild_error_db(a, b) == pytest.approx(6.02, abs=0.3)
+
+    def test_ild_silent_ear_raises(self):
+        silent = BinauralIR(left=np.ones(64), right=np.zeros(64), fs=FS)
+        with pytest.raises(SignalError):
+            ild_error_db(silent, silent)
+
+    def test_spectral_distortion_ignores_broadband_gain(self):
+        a = _pair(5.0)
+        scaled = a.scaled(0.25)
+        assert spectral_distortion_db(a, scaled) == pytest.approx(0.0, abs=1e-9)
+
+    def test_spectral_distortion_sees_shape_change(self):
+        a = _pair(5.0)
+        b = BinauralIR(
+            left=a.left + 0.8 * np.roll(a.left, 7),
+            right=a.right,
+            fs=FS,
+        )
+        assert spectral_distortion_db(a, b) > 1.0
+
+    def test_rate_mismatch_raises(self):
+        a = _pair(5.0)
+        b = BinauralIR(left=a.left, right=a.right, fs=96_000)
+        with pytest.raises(SignalError):
+            spectral_distortion_db(a, b)
+
+
+class TestComposite:
+    def test_composite_is_mean_of_jnds(self):
+        distance = PerceptualDistance(
+            itd_error_s=20e-6, ild_error_db=1.0, spectral_distortion_db=1.0
+        )
+        assert distance.composite == pytest.approx(1.0)
+
+    def test_personalization_ordering(self, subject):
+        """Ground truth table beats the global template perceptually too."""
+        truth = ground_truth_table(subject, ANGLES, FS)
+        template = global_template_table(ANGLES, FS)
+        own = table_perceptual_distance(truth, truth)
+        cross = table_perceptual_distance(template, truth)
+        assert own.composite < cross.composite
+        assert cross.composite > 1.0  # the template is perceptibly wrong

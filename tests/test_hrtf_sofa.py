@@ -1,0 +1,79 @@
+"""Tests for the SOFA-convention interchange layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TableError
+from repro.hrtf.reference import ground_truth_table
+from repro.hrtf.sofa import export_sofa_like, import_sofa_like
+
+FS = 48_000
+ANGLES = np.array([0.0, 45.0, 90.0, 135.0, 180.0])
+
+
+@pytest.fixture(scope="module")
+def table(subject):
+    return ground_truth_table(subject, ANGLES, FS)
+
+
+class TestRoundtrip:
+    def test_far_field_roundtrip(self, table, tmp_path):
+        path = tmp_path / "hrtf_sofa.npz"
+        export_sofa_like(table, path)
+        azimuths, pairs, fs = import_sofa_like(path)
+        np.testing.assert_allclose(azimuths, ANGLES)
+        assert fs == FS
+        assert len(pairs) == ANGLES.shape[0]
+        np.testing.assert_allclose(pairs[2].left, table.far[2].left)
+        np.testing.assert_allclose(pairs[2].right, table.far[2].right)
+
+    def test_near_field_distance_recorded(self, table, tmp_path):
+        path = tmp_path / "near.npz"
+        export_sofa_like(table, path, field="near")
+        with np.load(path) as data:
+            assert data["SourcePosition"][0, 2] == pytest.approx(0.45)
+
+    def test_layout_fields_present(self, table, tmp_path):
+        path = tmp_path / "layout.npz"
+        export_sofa_like(table, path)
+        with np.load(path) as data:
+            assert str(data["GLOBAL_SOFAConventions"][0]) == "SimpleFreeFieldHRIR"
+            m, r, n = data["Data_IR"].shape
+            assert (m, r) == (ANGLES.shape[0], 2)
+            assert n == table.far[0].n_samples
+
+
+class TestValidation:
+    def test_bad_field_rejected(self, table, tmp_path):
+        with pytest.raises(TableError):
+            export_sofa_like(table, tmp_path / "x.npz", field="mid")
+
+    def test_wrong_convention_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            GLOBAL_SOFAConventions=np.array(["GeneralFIR"]),
+            Data_SamplingRate=np.array([48_000.0]),
+            Data_IR=np.zeros((1, 2, 8)),
+            SourcePosition=np.zeros((1, 3)),
+        )
+        with pytest.raises(TableError):
+            import_sofa_like(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        np.savez(path, GLOBAL_SOFAConventions=np.array(["SimpleFreeFieldHRIR"]))
+        with pytest.raises(TableError):
+            import_sofa_like(path)
+
+    def test_bad_shape_rejected(self, tmp_path):
+        path = tmp_path / "shape.npz"
+        np.savez(
+            path,
+            GLOBAL_SOFAConventions=np.array(["SimpleFreeFieldHRIR"]),
+            Data_SamplingRate=np.array([48_000.0]),
+            Data_IR=np.zeros((1, 3, 8)),  # 3 receivers: not binaural
+            SourcePosition=np.zeros((1, 3)),
+        )
+        with pytest.raises(TableError):
+            import_sofa_like(path)

@@ -1,0 +1,135 @@
+"""Cross-cutting property-based invariants (hypothesis).
+
+These tie multiple subsystems together: whatever the random subject,
+position, or signal, physical and algebraic invariants must hold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import SPEED_OF_SOUND
+from repro.geometry.head import Ear, HeadGeometry
+from repro.geometry.paths import binaural_delays
+from repro.geometry.vec import polar_to_cartesian
+from repro.hrtf.hrir import BinauralIR
+from repro.hrtf.table import interpolate_hrir_pair
+from repro.simulation.person import VirtualSubject
+from repro.simulation.pinna import PinnaModel
+from repro.simulation.propagation import render_near_field_hrir
+from repro.signals.channel import first_tap_index, refine_tap_position
+
+FS = 48_000
+
+subjects = st.integers(0, 300).map(VirtualSubject.random)
+
+
+class TestRenderingMatchesGeometry:
+    @given(
+        seed=st.integers(0, 100),
+        radius=st.floats(0.3, 0.9),
+        theta=st.floats(5.0, 175.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_rendered_itd_equals_geometric_itd(self, seed, radius, theta):
+        """The simulator's first taps always sit at the model's delays."""
+        subject = VirtualSubject.random(seed)
+        position = polar_to_cartesian(radius, theta)
+        left, right = render_near_field_hrir(subject, position, FS)
+        tap_left = refine_tap_position(left, first_tap_index(left))
+        tap_right = refine_tap_position(right, first_tap_index(right))
+        t_left, t_right = binaural_delays(subject.head, position)
+        expected = (t_right - t_left) * FS
+        assert (tap_right - tap_left) == pytest.approx(expected, abs=0.75)
+
+    @given(seed=st.integers(0, 100), theta=st.floats(5.0, 175.0))
+    @settings(max_examples=20, deadline=None)
+    def test_shadowed_ear_never_louder(self, seed, theta):
+        """Source on the left: the right (far) ear can never be louder."""
+        subject = VirtualSubject.random(seed)
+        position = polar_to_cartesian(0.5, theta)
+        left, right = render_near_field_hrir(subject, position, FS)
+        # Compare first-tap magnitudes (echo trains vary independently).
+        amp_left = np.abs(left[first_tap_index(left)])
+        amp_right = np.abs(right[first_tap_index(right)])
+        assert amp_right <= amp_left * 1.05
+
+
+class TestPinnaInvariants:
+    @given(seed=st.integers(0, 200), gamma=st.floats(-180.0, 180.0))
+    @settings(max_examples=30, deadline=None)
+    def test_periodic_in_angle(self, seed, gamma):
+        model = PinnaModel.random(np.random.default_rng(seed))
+        d1, g1 = model.echoes(gamma)
+        d2, g2 = model.echoes(gamma + 360.0)
+        np.testing.assert_allclose(d1, d2, atol=1e-12)
+        np.testing.assert_allclose(g1, g2, atol=1e-12)
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_echo_delays_sorted_enough(self, seed):
+        """Echo trains stay within the physical pinna window everywhere."""
+        model = PinnaModel.random(np.random.default_rng(seed))
+        for gamma in np.linspace(0, 360, 13):
+            delays, _ = model.echoes(float(gamma))
+            assert delays.min() >= 0.05e-3 - 1e-12
+            assert delays.max() <= 0.9e-3 + 1e-12
+
+
+class TestInterpolationInvariants:
+    @given(seed=st.integers(0, 100), weight=st.floats(0.0, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_self_interpolation_identity_shape(self, seed, weight):
+        """Interpolating a pair with itself reproduces its shape."""
+        subject = VirtualSubject.random(seed)
+        left, right = render_near_field_hrir(
+            subject, polar_to_cartesian(0.5, 60.0), FS
+        )
+        pair = BinauralIR(left=left, right=right, fs=FS)
+        blended = interpolate_hrir_pair(pair, pair, weight)
+        from repro.hrtf.metrics import hrir_correlation
+
+        c_left, c_right = hrir_correlation(blended, pair)
+        assert c_left > 0.99
+        assert c_right > 0.99
+
+    @given(weight=st.floats(0.0, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_interpolated_tap_between_endpoints(self, weight):
+        from repro.signals.delays import add_tap
+
+        def pair(tap):
+            left = np.zeros(144)
+            right = np.zeros(144)
+            add_tap(left, tap, 1.0)
+            add_tap(right, tap + 8.0, 0.8)
+            return BinauralIR(left=left, right=right, fs=FS)
+
+        low, high = pair(20.0), pair(30.0)
+        mid = interpolate_hrir_pair(low, high, weight)
+        tap = refine_tap_position(mid.left, first_tap_index(mid.left))
+        assert 19.5 <= tap <= 30.5
+
+
+class TestDelayFieldInvariants:
+    @given(
+        radius=st.floats(0.25, 1.2),
+        theta=st.floats(-180.0, 180.0),
+        scale=st.floats(1.05, 2.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_delay_monotone_in_radius(self, radius, theta, scale):
+        """Moving the source outward along a ray delays both ears."""
+        head = HeadGeometry.average()
+        near = binaural_delays(head, polar_to_cartesian(radius, theta))
+        far = binaural_delays(head, polar_to_cartesian(radius * scale, theta))
+        assert far[0] > near[0]
+        assert far[1] > near[1]
+
+    @given(radius=st.floats(0.25, 1.2), theta=st.floats(-180.0, 180.0))
+    @settings(max_examples=30, deadline=None)
+    def test_itd_bounded_by_physiology(self, radius, theta):
+        head = HeadGeometry.average()
+        t_left, t_right = binaural_delays(head, polar_to_cartesian(radius, theta))
+        max_itd = (2 * head.a + head.boundary.perimeter / 4) / SPEED_OF_SOUND
+        assert abs(t_left - t_right) <= max_itd

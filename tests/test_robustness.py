@@ -1,0 +1,117 @@
+"""Failure-injection tests: the pipeline under degraded captures.
+
+A home measurement system meets clipped audio, missing probes, loud rooms,
+and noisy sensors.  These tests assert either graceful degradation (results
+get worse, not wrong) or an explicit :class:`CalibrationError` — never
+silent garbage.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.core.fusion import DiffractionAwareSensorFusion
+from repro.core.pipeline import Uniq, UniqConfig
+from repro.simulation.imu import GyroscopeModel
+from repro.simulation.room import RoomModel
+from repro.simulation.session import MeasurementSession, ProbeMeasurement
+
+GRID = tuple(float(a) for a in range(0, 181, 20))
+
+
+def _clipped(session, level: float):
+    probes = tuple(
+        ProbeMeasurement(
+            time=p.time,
+            left=np.clip(p.left, -level, level),
+            right=np.clip(p.right, -level, level),
+        )
+        for p in session.probes
+    )
+    return replace(session, probes=probes)
+
+
+def _dropout(session, keep_every: int):
+    probes = session.probes[::keep_every]
+    truth = replace(
+        session.truth,
+        probe_sample_indices=session.truth.probe_sample_indices[::keep_every],
+    )
+    return replace(session, probes=tuple(probes), truth=truth)
+
+
+class TestClipping:
+    def test_mild_clipping_survivable(self, small_session):
+        """Soft clipping distorts but the chirp structure survives."""
+        peak = max(np.max(np.abs(p.left)) for p in small_session.probes)
+        session = _clipped(small_session, 0.6 * peak)
+        fusion = DiffractionAwareSensorFusion().run(session)
+        truth = session.truth.probe_angles_deg()
+        assert np.median(np.abs(fusion.fused_angles_deg - truth)) < 8.0
+
+
+class TestProbeDropout:
+    def test_half_the_probes_still_personalizes(self, small_session):
+        session = _dropout(small_session, 2)
+        result = Uniq(UniqConfig(angle_grid_deg=GRID)).personalize(session)
+        assert result.table.n_angles == len(GRID)
+
+    def test_sparse_probes_still_fuse(self, small_session):
+        session = _dropout(small_session, 4)
+        fusion = DiffractionAwareSensorFusion().run(session)
+        truth = session.truth.probe_angles_deg()
+        assert np.median(np.abs(fusion.fused_angles_deg - truth)) < 8.0
+
+
+class TestHostileEnvironment:
+    def test_loud_room_still_works(self, subject):
+        """A very reverberant room: truncation protects the pipeline."""
+        room = RoomModel(first_echo_s=0.005, decay_time_s=0.12, level=0.6)
+        session = MeasurementSession(
+            subject, seed=61, probe_interval_s=0.5, room=room
+        ).run()
+        fusion = DiffractionAwareSensorFusion().run(session)
+        truth = session.truth.probe_angles_deg()
+        assert np.median(np.abs(fusion.fused_angles_deg - truth)) < 8.0
+
+    def test_heavy_mic_noise_degrades_gracefully(self, subject):
+        quiet = MeasurementSession(
+            subject, seed=62, probe_interval_s=0.5, noise_std=0.002
+        ).run()
+        noisy = MeasurementSession(
+            subject, seed=62, probe_interval_s=0.5, noise_std=0.08
+        ).run()
+        fusion = DiffractionAwareSensorFusion()
+        err_quiet = np.median(
+            np.abs(
+                fusion.run(quiet).fused_angles_deg
+                - quiet.truth.probe_angles_deg()
+            )
+        )
+        err_noisy = np.median(
+            np.abs(
+                fusion.run(noisy).fused_angles_deg
+                - noisy.truth.probe_angles_deg()
+            )
+        )
+        assert err_quiet <= err_noisy + 0.5  # noise never helps
+        assert err_noisy < 15.0  # but it degrades, it does not break
+
+    def test_terrible_gyro_rejected_or_flagged(self, subject):
+        """A broken gyro (huge bias walk) must not silently succeed."""
+        gyro = GyroscopeModel(
+            bias_dps=8.0, bias_walk_dps=2.0, noise_std_dps=5.0, scale_error=0.1
+        )
+        session = MeasurementSession(
+            subject, seed=63, probe_interval_s=0.5, gyro=gyro
+        ).run()
+        try:
+            result = Uniq(UniqConfig(angle_grid_deg=GRID)).personalize(session)
+        except CalibrationError:
+            return  # explicit rejection is the desired behaviour
+        # If it passed the check, quality must actually be acceptable.
+        truth = session.truth.probe_angles_deg()
+        errors = np.abs(result.fusion.fused_angles_deg - truth)
+        assert np.median(errors) < 10.0

@@ -1,0 +1,147 @@
+"""Tests for the image-source room model and binaural room rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError, SignalError
+from repro.hrtf.reference import ground_truth_table
+from repro.room_acoustics import BinauralRoomRenderer, ShoeboxRoom
+from repro.signals.waveforms import tone
+
+FS = 48_000
+
+
+@pytest.fixture(scope="module")
+def room():
+    return ShoeboxRoom(width=5.0, depth=4.0, absorption=0.35)
+
+
+@pytest.fixture(scope="module")
+def renderer(subject, room):
+    table = ground_truth_table(subject, np.arange(0.0, 181.0, 10.0), FS)
+    return BinauralRoomRenderer(table=table, room=room, max_order=2)
+
+
+class TestShoebox:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(GeometryError):
+            ShoeboxRoom(width=0.0, depth=4.0)
+
+    def test_rejects_bad_absorption(self):
+        with pytest.raises(GeometryError):
+            ShoeboxRoom(width=5.0, depth=4.0, absorption=0.0)
+
+    def test_direct_sound_first_and_strongest(self, room):
+        images = room.image_sources(
+            np.array([1.0, 1.0]), np.array([4.0, 3.0]), max_order=2
+        )
+        assert images[0].order == 0
+        assert images[0].delay_s == min(img.delay_s for img in images)
+        assert images[0].gain == max(img.gain for img in images)
+
+    def test_direct_geometry(self, room):
+        source = np.array([1.0, 1.0])
+        listener = np.array([4.0, 1.0])
+        direct = room.image_sources(source, listener, max_order=0)[0]
+        assert direct.delay_s == pytest.approx(3.0 / 343.0)
+        # Source is directly "west" of a north-facing listener: -90 deg.
+        assert direct.arrival_angle_deg == pytest.approx(-90.0)
+
+    def test_first_order_count(self, room):
+        images = room.image_sources(
+            np.array([2.0, 2.0]), np.array([3.0, 2.5]), max_order=1, min_gain=0.0
+        )
+        # Direct + 4 first-order walls.
+        assert len(images) == 5
+        assert sum(1 for img in images if img.order == 1) == 4
+
+    def test_higher_order_weaker(self, room):
+        images = room.image_sources(
+            np.array([2.0, 2.0]), np.array([3.0, 2.5]), max_order=3, min_gain=0.0
+        )
+        by_order = {}
+        for img in images:
+            by_order.setdefault(img.order, []).append(img.gain)
+        assert max(by_order[2]) < max(by_order[0])
+
+    def test_source_outside_raises(self, room):
+        with pytest.raises(GeometryError):
+            room.image_sources(np.array([9.0, 1.0]), np.array([2.0, 2.0]))
+
+    def test_mirror_coordinates(self):
+        assert ShoeboxRoom._image_coordinate(1.0, 5.0, 0) == 1.0
+        assert ShoeboxRoom._image_coordinate(1.0, 5.0, 1) == 9.0  # across x=5
+        assert ShoeboxRoom._image_coordinate(1.0, 5.0, -1) == -1.0  # across x=0
+        assert ShoeboxRoom._image_coordinate(1.0, 5.0, 2) == 11.0
+
+    def test_facing_rotates_arrivals(self, room):
+        source = np.array([4.0, 2.0])
+        listener = np.array([2.0, 2.0])
+        facing_north = room.image_sources(source, listener, 0.0, max_order=0)[0]
+        facing_east = room.image_sources(source, listener, 90.0, max_order=0)[0]
+        assert facing_north.arrival_angle_deg == pytest.approx(90.0)
+        assert facing_east.arrival_angle_deg == pytest.approx(0.0)
+
+    def test_rt60_positive_and_monotone_in_absorption(self):
+        live = ShoeboxRoom(5.0, 4.0, absorption=0.1).reverberation_time_s()
+        dead = ShoeboxRoom(5.0, 4.0, absorption=0.8).reverberation_time_s()
+        assert live > dead > 0
+
+
+class TestBinauralRoomRenderer:
+    def test_output_longer_than_anechoic(self, renderer):
+        signal = tone(1000.0, 0.05, FS)
+        left, right = renderer.render(
+            signal, np.array([1.0, 3.0]), np.array([3.5, 1.5])
+        )
+        assert left.shape == right.shape
+        # Output covers the longest echo path, well beyond the dry signal.
+        assert left.shape[0] > signal.shape[0] + 0.01 * FS
+
+    def test_reflections_add_late_energy(self, renderer, subject, room):
+        """Compare against an order-0 (anechoic) render of the same scene."""
+        dry_renderer = BinauralRoomRenderer(
+            table=renderer.table, room=room, max_order=0
+        )
+        signal = tone(1000.0, 0.03, FS)
+        source = np.array([1.0, 3.0])
+        listener = np.array([3.5, 1.5])
+        wet_l, _ = renderer.render(signal, source, listener)
+        dry_l, _ = dry_renderer.render(signal, source, listener)
+        n = dry_l.shape[0]
+        late = slice(signal.shape[0] + int(0.004 * FS), n)
+        assert np.sum(wet_l[late] ** 2) > 5 * np.sum(dry_l[late] ** 2)
+
+    def test_lateral_source_keeps_ild(self, renderer):
+        """Even with reflections, a hard-left source favors the left ear."""
+        signal = tone(2000.0, 0.05, FS)
+        # Source directly left of a north-facing listener.
+        left, right = renderer.render(
+            signal, np.array([4.5, 2.0]), np.array([2.0, 2.0])
+        )
+        assert np.sum(left**2) > 1.5 * np.sum(right**2)
+
+    def test_mirror_symmetry_of_sides(self, renderer):
+        """A source to the right renders as the left's mirror (swap ears)."""
+        signal = tone(1500.0, 0.04, FS)
+        listener = np.array([2.5, 2.0])
+        left_src = np.array([4.0, 2.0])
+        right_src = np.array([1.0, 2.0])
+        room_is_symmetric = abs(
+            (renderer.room.width - listener[0]) - listener[0]
+        ) < 1e-9
+        if not room_is_symmetric:
+            pytest.skip("listener not centered; mirror comparison invalid")
+        l1, r1 = renderer.render(signal, left_src, listener)
+        l2, r2 = renderer.render(signal, right_src, listener)
+        np.testing.assert_allclose(l1, r2, atol=1e-9)
+        np.testing.assert_allclose(r1, l2, atol=1e-9)
+
+    def test_rejects_empty_signal(self, renderer):
+        with pytest.raises(SignalError):
+            renderer.render(np.zeros(1), np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+
+    def test_echo_summary_matches_room(self, renderer):
+        images = renderer.echo_summary(np.array([1.0, 3.0]), np.array([3.5, 1.5]))
+        assert images[0].order == 0
+        assert all(img.order <= renderer.max_order for img in images)

@@ -1,0 +1,154 @@
+"""Tests for channel estimation and tap analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SignalError
+from repro.signals.channel import (
+    estimate_channel,
+    find_taps,
+    first_tap_index,
+    refine_tap_position,
+    truncate_after,
+)
+from repro.signals.delays import add_tap
+from repro.signals.waveforms import probe_chirp
+
+FS = 48_000
+
+
+def _synthetic_channel(taps: list[tuple[float, float]], length: int = 256) -> np.ndarray:
+    channel = np.zeros(length)
+    for delay, gain in taps:
+        add_tap(channel, delay, gain)
+    return channel
+
+
+class TestEstimateChannel:
+    def test_recovers_known_channel_taps(self):
+        """Tap positions and relative amplitudes survive deconvolution.
+
+        The probe is band-limited, so a delta tap comes back as a
+        band-passed peak — positions and amplitude *ratios* are the
+        physically recoverable quantities.
+        """
+        truth = _synthetic_channel([(40.0, 1.0), (60.0, 0.6), (85.0, -0.4)])
+        source = probe_chirp(FS)
+        recording = np.convolve(source, truth)
+        estimate = estimate_channel(recording, source, 256)
+        indices, amplitudes = find_taps(estimate, max_taps=3, min_separation=6)
+        assert list(indices) == [40, 60, 85]
+        assert amplitudes[1] / amplitudes[0] == pytest.approx(0.6, abs=0.1)
+        assert amplitudes[2] / amplitudes[0] == pytest.approx(-0.4, abs=0.1)
+
+    def test_robust_to_noise(self):
+        rng = np.random.default_rng(0)
+        truth = _synthetic_channel([(40.0, 1.0)])
+        source = probe_chirp(FS)
+        clean = np.convolve(source, truth)
+        recording = clean + rng.normal(0, 0.01, clean.shape[0])
+        estimate = estimate_channel(recording, source, 128)
+        assert first_tap_index(estimate) == 40
+
+    def test_rejects_recording_shorter_than_source(self):
+        with pytest.raises(SignalError):
+            estimate_channel(np.zeros(10), np.zeros(100), 16)
+
+    def test_rejects_zero_source(self):
+        with pytest.raises(SignalError):
+            estimate_channel(np.ones(300), np.zeros(200), 16)
+
+    def test_pads_when_length_exceeds_fft(self):
+        source = probe_chirp(FS, duration_s=0.01)
+        recording = np.convolve(source, _synthetic_channel([(10.0, 1.0)], 64))
+        estimate = estimate_channel(recording, source, 10_000)
+        assert estimate.shape == (10_000,)
+
+
+class TestFirstTap:
+    def test_simple_first_tap(self):
+        channel = _synthetic_channel([(50.0, 1.0), (80.0, 0.8)])
+        assert first_tap_index(channel) == 50
+
+    def test_first_tap_weaker_than_later_tap(self):
+        """The first arrival can be weaker than a pinna echo; still first."""
+        channel = _synthetic_channel([(50.0, 0.5), (60.0, 1.0)])
+        assert first_tap_index(channel) == 50
+
+    def test_negative_tap_detected(self):
+        channel = _synthetic_channel([(50.0, -1.0)])
+        assert first_tap_index(channel) == 50
+
+    def test_all_zero_raises(self):
+        with pytest.raises(SignalError):
+            first_tap_index(np.zeros(64))
+
+    @given(delay=st.floats(30.0, 200.0))
+    @settings(max_examples=30, deadline=None)
+    def test_refinement_subsample_accuracy(self, delay):
+        channel = _synthetic_channel([(delay, 1.0)], length=300)
+        idx = first_tap_index(channel)
+        refined = refine_tap_position(channel, idx)
+        assert abs(refined - delay) < 0.25
+
+    def test_refine_at_edges_falls_back(self):
+        channel = np.zeros(16)
+        channel[0] = 1.0
+        assert refine_tap_position(channel, 0) == 0.0
+
+    def test_refine_rejects_out_of_range(self):
+        with pytest.raises(SignalError):
+            refine_tap_position(np.ones(8), 20)
+
+
+class TestFindTaps:
+    def test_finds_all_separated_taps(self):
+        channel = _synthetic_channel([(40.0, 1.0), (60.0, 0.7), (90.0, 0.5)])
+        indices, amplitudes = find_taps(channel)
+        assert list(indices) == [40, 60, 90]
+        np.testing.assert_allclose(amplitudes, [1.0, 0.7, 0.5], atol=0.02)
+
+    def test_threshold_excludes_weak_taps(self):
+        channel = _synthetic_channel([(40.0, 1.0), (90.0, 0.05)])
+        indices, _ = find_taps(channel, threshold_ratio=0.15)
+        assert list(indices) == [40]
+
+    def test_min_separation_suppresses_nearby(self):
+        channel = _synthetic_channel([(40.0, 1.0), (42.0, 0.9)])
+        indices, _ = find_taps(channel, min_separation=5)
+        assert indices.shape[0] == 1
+
+    def test_all_zero_returns_empty(self):
+        indices, amplitudes = find_taps(np.zeros(32))
+        assert indices.shape == (0,)
+        assert amplitudes.shape == (0,)
+
+    def test_max_taps_cap(self):
+        channel = _synthetic_channel(
+            [(20.0 + 10 * k, 1.0 - 0.05 * k) for k in range(10)], length=256
+        )
+        indices, _ = find_taps(channel, max_taps=4)
+        assert indices.shape[0] == 4
+
+
+class TestTruncate:
+    def test_zeroes_after_cutoff(self):
+        channel = _synthetic_channel([(20.0, 1.0), (100.0, 0.9)], length=160)
+        out = truncate_after(channel, 60, taper=4)
+        assert np.all(out[70:] == 0.0)
+        assert out[20] == pytest.approx(channel[20])
+
+    def test_original_untouched(self):
+        channel = _synthetic_channel([(20.0, 1.0), (100.0, 0.9)], length=160)
+        before = channel.copy()
+        truncate_after(channel, 60)
+        np.testing.assert_array_equal(channel, before)
+
+    def test_cutoff_beyond_end_is_noop(self):
+        channel = _synthetic_channel([(20.0, 1.0)])
+        np.testing.assert_array_equal(truncate_after(channel, 500), channel)
+
+    def test_negative_cutoff_raises(self):
+        with pytest.raises(SignalError):
+            truncate_after(np.ones(16), -1)

@@ -1,0 +1,118 @@
+"""Tests for normalized cross-correlation and alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SignalError
+from repro.signals.correlation import (
+    align_to_first_tap,
+    correlation_and_lag,
+    cross_correlate_full,
+    max_normalized_correlation,
+)
+from repro.signals.delays import add_tap
+
+
+class TestCrossCorrelateFull:
+    @given(
+        n_a=st.integers(4, 200),
+        n_b=st.integers(4, 200),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_numpy_small(self, n_a, n_b, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(n_a)
+        b = rng.standard_normal(n_b)
+        np.testing.assert_allclose(
+            cross_correlate_full(a, b), np.correlate(a, b, mode="full"), atol=1e-9
+        )
+
+    def test_matches_numpy_above_fft_threshold(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal(5000)
+        b = rng.standard_normal(3000)
+        np.testing.assert_allclose(
+            cross_correlate_full(a, b), np.correlate(a, b, mode="full"), atol=1e-6
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(SignalError):
+            cross_correlate_full(np.zeros(0), np.ones(4))
+
+
+class TestCorrelationAndLag:
+    def test_identical_signals(self):
+        rng = np.random.default_rng(0)
+        signal = rng.standard_normal(256)
+        c, lag = correlation_and_lag(signal, signal)
+        assert c == pytest.approx(1.0)
+        assert lag == 0
+
+    def test_scaling_invariance(self):
+        rng = np.random.default_rng(1)
+        signal = rng.standard_normal(256)
+        assert max_normalized_correlation(signal, 3.7 * signal) == pytest.approx(1.0)
+
+    def test_known_lag(self):
+        signal = np.zeros(128)
+        signal[30] = 1.0
+        shifted = np.zeros(128)
+        shifted[40] = 1.0
+        _, lag = correlation_and_lag(signal, shifted)
+        assert lag == -10  # b happens later than a
+
+    def test_uncorrelated_signals_low(self):
+        rng = np.random.default_rng(2)
+        c = max_normalized_correlation(
+            rng.standard_normal(4096), rng.standard_normal(4096)
+        )
+        assert abs(c) < 0.15
+
+    def test_zero_signal_raises(self):
+        with pytest.raises(SignalError):
+            correlation_and_lag(np.zeros(16), np.ones(16))
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded_by_one(self, seed):
+        rng = np.random.default_rng(seed)
+        c = max_normalized_correlation(
+            rng.standard_normal(100), rng.standard_normal(120)
+        )
+        assert -1.0 - 1e-9 <= c <= 1.0 + 1e-9
+
+
+class TestAlignToFirstTap:
+    def test_tap_lands_at_pre_samples(self):
+        impulse = np.zeros(128)
+        add_tap(impulse, 50.0, 1.0)
+        aligned = align_to_first_tap(impulse, 64, pre_samples=4)
+        assert np.argmax(np.abs(aligned)) == 4
+
+    def test_relative_structure_preserved(self):
+        impulse = np.zeros(128)
+        add_tap(impulse, 50.0, 1.0)
+        add_tap(impulse, 62.0, 0.5)
+        aligned = align_to_first_tap(impulse, 64, pre_samples=4)
+        assert aligned[16] == pytest.approx(0.5, abs=0.02)
+
+    def test_alignment_makes_shifts_equal(self):
+        base = np.zeros(200)
+        add_tap(base, 40.0, 1.0)
+        add_tap(base, 55.0, -0.7)
+        shifted = np.zeros(200)
+        add_tap(shifted, 90.0, 1.0)
+        add_tap(shifted, 105.0, -0.7)
+        a = align_to_first_tap(base, 100)
+        b = align_to_first_tap(shifted, 100)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_invalid_pre_samples(self):
+        with pytest.raises(SignalError):
+            align_to_first_tap(np.ones(16), 8, pre_samples=8)
+
+    def test_invalid_length(self):
+        with pytest.raises(SignalError):
+            align_to_first_tap(np.ones(16), 0)

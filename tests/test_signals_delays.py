@@ -1,0 +1,103 @@
+"""Tests for fractional-delay kernels and tap placement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SignalError
+from repro.signals.channel import first_tap_index, refine_tap_position
+from repro.signals.delays import (
+    add_tap,
+    apply_fractional_delay,
+    fractional_delay_kernel,
+)
+
+
+class TestKernel:
+    def test_zero_fraction_is_identity(self):
+        kernel = fractional_delay_kernel(0.0)
+        center = kernel.shape[0] // 2
+        assert kernel[center] == pytest.approx(1.0, abs=1e-6)
+        off_center = np.delete(kernel, center)
+        assert np.max(np.abs(off_center)) < 1e-6
+
+    def test_kernel_sums_to_one(self):
+        for fraction in (0.0, 0.25, 0.5, 0.9):
+            assert fractional_delay_kernel(fraction).sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_rejects_bad_fraction(self, bad):
+        with pytest.raises(SignalError):
+            fractional_delay_kernel(bad)
+
+    @given(fraction=st.floats(0.0, 0.999))
+    @settings(max_examples=30, deadline=None)
+    def test_delays_a_sine_correctly(self, fraction):
+        """A delayed sine must match the analytically shifted sine."""
+        fs = 48_000
+        f0 = 2000.0
+        t = np.arange(1024) / fs
+        signal = np.sin(2 * np.pi * f0 * t)
+        delayed = apply_fractional_delay(signal, fraction, output_length=1024)
+        expected = np.sin(2 * np.pi * f0 * (t - fraction / fs))
+        # Compare away from the edges (kernel support).
+        middle = slice(64, 960)
+        assert np.max(np.abs(delayed[middle] - expected[middle])) < 1e-3
+
+
+class TestAddTap:
+    def test_integer_tap_position(self):
+        buffer = np.zeros(64)
+        add_tap(buffer, 20.0, 0.5)
+        assert buffer[20] == pytest.approx(0.5, abs=1e-6)
+
+    def test_fractional_tap_refines_between_samples(self):
+        buffer = np.zeros(128)
+        add_tap(buffer, 50.37, 1.0)
+        idx = first_tap_index(buffer)
+        refined = refine_tap_position(buffer, idx)
+        assert refined == pytest.approx(50.37, abs=0.25)
+
+    def test_taps_superpose(self):
+        one = np.zeros(128)
+        two = np.zeros(128)
+        both = np.zeros(128)
+        add_tap(one, 30.0, 1.0)
+        add_tap(two, 60.5, 0.5)
+        add_tap(both, 30.0, 1.0)
+        add_tap(both, 60.5, 0.5)
+        np.testing.assert_allclose(both, one + two)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SignalError):
+            add_tap(np.zeros(16), -1.0, 1.0)
+
+    def test_edge_clipping_does_not_raise(self):
+        buffer = np.zeros(8)
+        add_tap(buffer, 7.5, 1.0)  # kernel extends past the end
+        assert np.all(np.isfinite(buffer))
+
+
+class TestApplyFractionalDelay:
+    def test_integer_delay_shifts(self):
+        signal = np.zeros(32)
+        signal[0] = 1.0
+        delayed = apply_fractional_delay(signal, 5.0, output_length=64)
+        assert np.argmax(np.abs(delayed)) == 5
+
+    def test_preserves_band_limited_energy(self):
+        """Energy is preserved for in-band content (the kernel rolls off
+        only near Nyquist, far above any audio the library processes)."""
+        fs = 48_000
+        t = np.arange(2048) / fs
+        signal = np.sin(2 * np.pi * 3000.0 * t) + 0.5 * np.sin(2 * np.pi * 8000.0 * t)
+        delayed = apply_fractional_delay(signal, 10.3)
+        assert np.sum(delayed**2) == pytest.approx(np.sum(signal**2), rel=0.01)
+
+    def test_rejects_2d(self):
+        with pytest.raises(SignalError):
+            apply_fractional_delay(np.zeros((4, 4)), 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(SignalError):
+            apply_fractional_delay(np.zeros(16), -0.5)

@@ -1,0 +1,78 @@
+"""Tests for spectral helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.signals.spectrum import (
+    amplitude_spectrum,
+    apply_frequency_response,
+    band_energy_ratio,
+)
+from repro.signals.waveforms import tone, white_noise
+
+FS = 48_000
+
+
+class TestAmplitudeSpectrum:
+    def test_tone_amplitude(self):
+        signal = tone(1000.0, 0.5, FS, amplitude=0.8)
+        freqs, amps = amplitude_spectrum(signal, FS)
+        peak_freq = freqs[np.argmax(amps)]
+        assert abs(peak_freq - 1000.0) < 5.0
+        assert amps.max() == pytest.approx(0.8, rel=0.05)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            amplitude_spectrum(np.zeros(1), FS)
+
+    def test_rejects_bad_fs(self):
+        with pytest.raises(SignalError):
+            amplitude_spectrum(np.zeros(16), 0)
+
+
+class TestApplyFrequencyResponse:
+    def test_flat_response_is_identity(self):
+        signal = white_noise(0.1, FS, rng=np.random.default_rng(0))
+        out = apply_frequency_response(
+            signal, FS, np.array([10.0, 24_000.0]), np.array([1.0, 1.0])
+        )
+        np.testing.assert_allclose(out, signal, atol=1e-9)
+
+    def test_notch_removes_band(self):
+        signal = tone(1000.0, 0.2, FS) + tone(5000.0, 0.2, FS)
+        response_f = np.array([10.0, 900.0, 1000.0, 1100.0, 24_000.0])
+        response_g = np.array([1.0, 1.0, 0.0, 1.0, 1.0])
+        out = apply_frequency_response(signal, FS, response_f, response_g)
+        assert band_energy_ratio(out, FS, 950.0, 1050.0) < 0.02
+        assert band_energy_ratio(out, FS, 4900.0, 5100.0) > 0.5
+
+    def test_rejects_unsorted_freqs(self):
+        with pytest.raises(SignalError):
+            apply_frequency_response(
+                np.ones(32), FS, np.array([100.0, 50.0]), np.array([1.0, 1.0])
+            )
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(SignalError):
+            apply_frequency_response(
+                np.ones(32), FS, np.array([100.0, 200.0]), np.array([1.0])
+            )
+
+
+class TestBandEnergy:
+    def test_tone_energy_in_its_band(self):
+        signal = tone(2000.0, 0.2, FS)
+        assert band_energy_ratio(signal, FS, 1900.0, 2100.0) > 0.95
+
+    def test_total_energy_is_one(self):
+        signal = white_noise(0.2, FS, rng=np.random.default_rng(1))
+        assert band_energy_ratio(signal, FS, 0.0, FS / 2) == pytest.approx(1.0)
+
+    def test_rejects_invalid_band(self):
+        with pytest.raises(SignalError):
+            band_energy_ratio(np.ones(64), FS, 100.0, 50.0)
+
+    def test_rejects_zero_signal(self):
+        with pytest.raises(SignalError):
+            band_energy_ratio(np.zeros(64), FS, 0.0, 1000.0)

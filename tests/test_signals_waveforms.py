@@ -1,0 +1,96 @@
+"""Tests for waveform generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.signals.spectrum import band_energy_ratio
+from repro.signals.waveforms import (
+    chirp,
+    music_like,
+    probe_chirp,
+    speech_like,
+    tone,
+    white_noise,
+)
+
+FS = 48_000
+
+
+class TestChirp:
+    def test_length(self):
+        signal = chirp(200.0, 8000.0, 0.1, FS)
+        assert signal.shape == (4800,)
+
+    def test_energy_in_band(self):
+        signal = chirp(1000.0, 4000.0, 0.2, FS)
+        assert band_energy_ratio(signal, FS, 900.0, 4100.0) > 0.95
+
+    def test_faded_edges(self):
+        signal = chirp(500.0, 5000.0, 0.1, FS)
+        assert abs(signal[0]) < 1e-6
+        assert abs(signal[-1]) < 1e-6
+
+    @pytest.mark.parametrize("bad_band", [(0.0, 1000.0), (100.0, 30_000.0)])
+    def test_rejects_out_of_band(self, bad_band):
+        with pytest.raises(SignalError):
+            chirp(bad_band[0], bad_band[1], 0.1, FS)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(SignalError):
+            chirp(100.0, 1000.0, 0.0, FS)
+
+    def test_probe_chirp_wideband(self):
+        signal = probe_chirp(FS)
+        assert band_energy_ratio(signal, FS, 150.0, 16_500.0) > 0.95
+
+
+class TestTone:
+    def test_frequency_peak(self):
+        signal = tone(1000.0, 0.1, FS)
+        spectrum = np.abs(np.fft.rfft(signal))
+        freqs = np.fft.rfftfreq(signal.shape[0], 1.0 / FS)
+        assert abs(freqs[np.argmax(spectrum)] - 1000.0) < 20.0
+
+    def test_rejects_above_nyquist(self):
+        with pytest.raises(SignalError):
+            tone(FS, 0.1, FS)
+
+
+class TestNoiseAndNaturalSignals:
+    def test_white_noise_flat_spectrum(self):
+        signal = white_noise(1.0, FS, rng=np.random.default_rng(0))
+        low = band_energy_ratio(signal, FS, 100.0, 8000.0)
+        high = band_energy_ratio(signal, FS, 8000.0, 16_000.0)
+        # White noise: energy proportional to bandwidth.
+        assert low == pytest.approx(7900 / 24_000, abs=0.05)
+        assert high == pytest.approx(8000 / 24_000, abs=0.05)
+
+    def test_white_noise_reproducible(self):
+        a = white_noise(0.1, FS, rng=np.random.default_rng(3))
+        b = white_noise(0.1, FS, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_music_is_wider_band_than_speech(self):
+        """The paper's reasoning: speech concentrates at low frequencies."""
+        rng_m = np.random.default_rng(1)
+        rng_s = np.random.default_rng(1)
+        music = music_like(1.5, FS, rng=rng_m)
+        speech = speech_like(1.5, FS, rng=rng_s)
+        music_high = band_energy_ratio(music, FS, 2000.0, 10_000.0)
+        speech_high = band_energy_ratio(speech, FS, 2000.0, 10_000.0)
+        assert music_high > speech_high
+
+    def test_speech_energy_concentrated_low(self):
+        speech = speech_like(1.5, FS, rng=np.random.default_rng(2))
+        assert band_energy_ratio(speech, FS, 0.0, 1500.0) > 0.6
+
+    def test_normalized_amplitude(self):
+        for generator in (music_like, speech_like):
+            signal = generator(0.5, FS, rng=np.random.default_rng(4))
+            assert np.max(np.abs(signal)) <= 1.0 + 1e-9
+            assert np.max(np.abs(signal)) > 0.3
+
+    def test_too_short_duration_raises(self):
+        with pytest.raises(SignalError):
+            white_noise(1e-6, FS)

@@ -1,0 +1,68 @@
+"""Tests for the speaker/microphone chain model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.simulation.hardware import SpeakerMicResponse
+from repro.signals.spectrum import band_energy_ratio
+from repro.signals.waveforms import tone, white_noise
+
+FS = 48_000
+
+
+class TestIdeal:
+    def test_flat_gains(self):
+        ideal = SpeakerMicResponse.ideal()
+        np.testing.assert_allclose(ideal.gains, 1.0)
+
+    def test_apply_is_identity(self):
+        signal = white_noise(0.1, FS, rng=np.random.default_rng(0))
+        filtered = SpeakerMicResponse.ideal().apply(signal, FS)
+        np.testing.assert_allclose(filtered, signal, atol=1e-9)
+
+
+class TestTypical:
+    def test_reproducible(self):
+        a = SpeakerMicResponse.typical(np.random.default_rng(9))
+        b = SpeakerMicResponse.typical(np.random.default_rng(9))
+        np.testing.assert_array_equal(a.gains, b.gains)
+
+    def test_figure16_shape(self):
+        """Unstable below 50 Hz, stable 100 Hz - 10 kHz, HF rolloff."""
+        response = SpeakerMicResponse.typical(np.random.default_rng(2021))
+        freqs, db = response.response_db()
+        low = db[(freqs >= 10) & (freqs < 50)]
+        mid = db[(freqs >= 100) & (freqs <= 10_000)]
+        assert np.std(low) > 3 * np.std(mid)
+        assert np.mean(np.abs(mid)) < 4.0
+        top = db[freqs > 20_000]
+        assert np.mean(top) < np.mean(mid) - 3.0
+
+    def test_suppresses_low_frequencies(self):
+        response = SpeakerMicResponse.typical(np.random.default_rng(1))
+        signal = tone(30.0, 0.2, FS) + tone(1000.0, 0.2, FS)
+        filtered = response.apply(signal, FS)
+        low_before = band_energy_ratio(signal, FS, 0.0, 60.0)
+        low_after = band_energy_ratio(filtered, FS, 0.0, 60.0)
+        assert low_after < low_before / 2
+
+    def test_gain_at_interpolates(self):
+        response = SpeakerMicResponse.typical(np.random.default_rng(3))
+        gains = response.gain_at(np.array([100.0, 1000.0, 10_000.0]))
+        assert gains.shape == (3,)
+        assert np.all(gains > 0)
+
+
+class TestValidation:
+    def test_rejects_unsorted_freqs(self):
+        with pytest.raises(SignalError):
+            SpeakerMicResponse(
+                freqs=np.array([100.0, 50.0]), gains=np.array([1.0, 1.0])
+            )
+
+    def test_rejects_negative_gain(self):
+        with pytest.raises(SignalError):
+            SpeakerMicResponse(
+                freqs=np.array([50.0, 100.0]), gains=np.array([1.0, -0.5])
+            )

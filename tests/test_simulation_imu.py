@@ -1,0 +1,80 @@
+"""Tests for the gyroscope model and integration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.geometry.trajectory import circular_trajectory
+from repro.simulation.imu import GyroscopeModel, IMUTrace, integrate_gyro
+
+
+class TestIdealGyro:
+    def test_ideal_integration_recovers_angles(self):
+        trajectory = circular_trajectory(duration_s=10.0)
+        trace = GyroscopeModel.ideal().measure(trajectory)
+        angles = integrate_gyro(trace, initial_angle_deg=0.0)
+        np.testing.assert_allclose(angles, trajectory.angles_deg, atol=0.05)
+
+    def test_initial_angle_offsets(self):
+        trajectory = circular_trajectory(duration_s=5.0)
+        trace = GyroscopeModel.ideal().measure(trajectory)
+        angles = integrate_gyro(trace, initial_angle_deg=30.0)
+        assert angles[0] == pytest.approx(30.0)
+
+
+class TestNoisyGyro:
+    def test_bias_accumulates_linearly(self):
+        trajectory = circular_trajectory(duration_s=20.0)
+        gyro = GyroscopeModel(
+            bias_dps=1.0, bias_walk_dps=0.0, noise_std_dps=0.0, scale_error=0.0
+        )
+        trace = gyro.measure(trajectory, np.random.default_rng(0))
+        angles = integrate_gyro(trace)
+        drift = angles - trajectory.angles_deg
+        # After ~20 s of 1 deg/s bias, drift ~20 deg, growing linearly.
+        assert drift[-1] == pytest.approx(trajectory.duration, rel=0.05)
+        mid = len(drift) // 2
+        assert drift[mid] == pytest.approx(drift[-1] / 2, rel=0.1)
+
+    def test_scale_error_proportional(self):
+        trajectory = circular_trajectory(duration_s=10.0)
+        gyro = GyroscopeModel(
+            bias_dps=0.0, bias_walk_dps=0.0, noise_std_dps=0.0, scale_error=0.02
+        )
+        trace = gyro.measure(trajectory, np.random.default_rng(0))
+        angles = integrate_gyro(trace)
+        assert angles[-1] == pytest.approx(1.02 * trajectory.angles_deg[-1], rel=0.01)
+
+    def test_noise_reproducible_with_seed(self):
+        trajectory = circular_trajectory(duration_s=5.0)
+        gyro = GyroscopeModel()
+        a = gyro.measure(trajectory, np.random.default_rng(7))
+        b = gyro.measure(trajectory, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.rate_dps, b.rate_dps)
+
+    def test_default_model_drift_is_realistic(self):
+        """Default MEMS errors produce several degrees of drift over a sweep
+        — the error scale that motivates acoustic fusion in the paper."""
+        trajectory = circular_trajectory(duration_s=20.0)
+        trace = GyroscopeModel().measure(trajectory, np.random.default_rng(1))
+        angles = integrate_gyro(trace)
+        final_error = abs(angles[-1] - trajectory.angles_deg[-1])
+        assert 1.0 < final_error < 30.0
+
+
+class TestValidation:
+    def test_trace_requires_matching_shapes(self):
+        with pytest.raises(SignalError):
+            IMUTrace(times=np.arange(3.0), rate_dps=np.zeros(4))
+
+    def test_trace_requires_monotone_times(self):
+        with pytest.raises(SignalError):
+            IMUTrace(times=np.array([0.0, 2.0, 1.0]), rate_dps=np.zeros(3))
+
+    def test_integrate_empty_raises(self):
+        with pytest.raises(SignalError):
+            integrate_gyro(IMUTrace(times=np.zeros(0), rate_dps=np.zeros(0)))
+
+    def test_integrate_single_sample(self):
+        trace = IMUTrace(times=np.array([0.0]), rate_dps=np.array([5.0]))
+        np.testing.assert_array_equal(integrate_gyro(trace, 10.0), [10.0])

@@ -1,0 +1,74 @@
+"""Tests for virtual subjects and the population builder."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.head import Ear
+from repro.simulation.person import VirtualSubject
+from repro.simulation.population import average_subject, make_population
+
+
+class TestVirtualSubject:
+    def test_reproducible_from_seed(self):
+        a = VirtualSubject.random(7)
+        b = VirtualSubject.random(7)
+        assert a.head.parameters == b.head.parameters
+        np.testing.assert_array_equal(
+            a.left_pinna.base_delays, b.left_pinna.base_delays
+        )
+
+    def test_different_seeds_differ(self):
+        a = VirtualSubject.random(7)
+        b = VirtualSubject.random(8)
+        assert a.head.parameters != b.head.parameters
+
+    def test_ears_have_independent_pinnae(self):
+        subject = VirtualSubject.random(7)
+        assert not np.array_equal(
+            subject.left_pinna.base_delays, subject.right_pinna.base_delays
+        )
+
+    def test_pinna_accessor(self):
+        subject = VirtualSubject.random(7)
+        assert subject.pinna(Ear.LEFT) is subject.left_pinna
+        assert subject.pinna(Ear.RIGHT) is subject.right_pinna
+
+    def test_head_parameters_plausible(self):
+        for seed in range(20):
+            head = VirtualSubject.random(seed).head
+            assert 0.07 < head.a < 0.11
+            assert 0.08 < head.b < 0.14
+            assert 0.07 < head.c < 0.12
+
+    def test_zero_dispersion_equals_average_head(self):
+        subject = VirtualSubject.random(5, head_dispersion=0.0)
+        average = VirtualSubject.average()
+        assert subject.head.parameters == average.head.parameters
+
+    def test_default_name(self):
+        assert VirtualSubject.random(3).name == "subject-3"
+
+
+class TestPopulation:
+    def test_names_and_count(self):
+        cohort = make_population(5)
+        assert len(cohort) == 5
+        assert [s.name for s in cohort] == [f"volunteer-{i}" for i in range(1, 6)]
+
+    def test_reproducible(self):
+        a = make_population(3)
+        b = make_population(3)
+        for left, right in zip(a, b):
+            assert left.head.parameters == right.head.parameters
+
+    def test_members_distinct(self):
+        cohort = make_population(4)
+        params = {s.head.parameters for s in cohort}
+        assert len(params) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_population(0)
+
+    def test_average_subject_is_average(self):
+        assert average_subject().head.parameters == VirtualSubject.average().head.parameters

@@ -1,0 +1,86 @@
+"""Tests for the pinna micro-echo model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SignalError
+from repro.simulation.pinna import PinnaModel
+
+
+class TestConstruction:
+    def test_random_is_reproducible(self):
+        a = PinnaModel.random(np.random.default_rng(5))
+        b = PinnaModel.random(np.random.default_rng(5))
+        np.testing.assert_array_equal(a.base_delays, b.base_delays)
+        np.testing.assert_array_equal(a.levels, b.levels)
+
+    def test_n_echoes(self):
+        model = PinnaModel.random(np.random.default_rng(0), n_echoes=4)
+        assert model.n_echoes == 4
+
+    def test_rejects_zero_echoes(self):
+        with pytest.raises(SignalError):
+            PinnaModel.random(np.random.default_rng(0), n_echoes=0)
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(SignalError):
+            PinnaModel(
+                base_delays=np.array([1e-4, 2e-4]),
+                delay_mod_amplitude=np.array([1e-5]),
+                delay_mod_order=np.array([1.0, 2.0]),
+                delay_mod_phase=np.zeros(2),
+                levels=np.array([0.5, 0.3]),
+                gain_mod_order=np.array([1.0, 1.0]),
+                gain_mod_phase=np.zeros(2),
+            )
+
+
+class TestEchoBehaviour:
+    def test_delays_within_physical_range(self):
+        model = PinnaModel.random(np.random.default_rng(1))
+        for angle in np.linspace(-180, 180, 19):
+            delays, _ = model.echoes(float(angle))
+            assert np.all(delays >= 0.05e-3)
+            assert np.all(delays <= 0.9e-3)
+
+    def test_smooth_angle_dependence(self):
+        """Adjacent angles give nearly identical echo trains (paper Fig 2a)."""
+        model = PinnaModel.random(np.random.default_rng(2))
+        d1, g1 = model.echoes(40.0)
+        d2, g2 = model.echoes(42.0)
+        assert np.max(np.abs(d1 - d2)) < 0.03e-3
+        assert np.max(np.abs(g1 - g2)) < 0.1
+
+    def test_distinct_across_angles(self):
+        """Far-apart angles differ (the pinna resolves direction)."""
+        model = PinnaModel.random(np.random.default_rng(3))
+        d1, _ = model.echoes(0.0)
+        d2, _ = model.echoes(120.0)
+        assert np.max(np.abs(d1 - d2)) > 0.01e-3
+
+    def test_distinct_across_subjects(self):
+        a = PinnaModel.random(np.random.default_rng(10))
+        b = PinnaModel.random(np.random.default_rng(11))
+        da, _ = a.echoes(50.0)
+        db, _ = b.echoes(50.0)
+        assert np.max(np.abs(da - db)) > 0.02e-3
+
+    def test_zero_dispersion_is_population_center(self):
+        a = PinnaModel.random(np.random.default_rng(20), dispersion=0.0)
+        b = PinnaModel.random(np.random.default_rng(21), dispersion=0.0)
+        np.testing.assert_allclose(a.base_delays, b.base_delays)
+        np.testing.assert_allclose(a.levels, b.levels)
+
+    def test_nan_angle_raises(self):
+        model = PinnaModel.random(np.random.default_rng(4))
+        with pytest.raises(SignalError):
+            model.echoes(float("nan"))
+
+    @given(angle=st.floats(-360, 360), seed=st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_gains_bounded(self, angle, seed):
+        model = PinnaModel.random(np.random.default_rng(seed))
+        _, gains = model.echoes(angle)
+        assert np.all(gains >= 0.0)
+        assert np.all(gains <= 1.5)

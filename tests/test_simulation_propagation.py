@@ -1,0 +1,168 @@
+"""Tests for the binaural propagation renderer."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_SOUND
+from repro.errors import SignalError
+from repro.geometry.head import Ear
+from repro.geometry.paths import propagation_path
+from repro.geometry.plane_wave import interaural_delay
+from repro.geometry.vec import polar_to_cartesian
+from repro.simulation.propagation import (
+    HRIR_PRE_DELAY_S,
+    record_at_boundary_point,
+    record_far_field,
+    record_near_field,
+    render_far_field_hrir,
+    render_near_field_hrir,
+    taps_to_ir,
+)
+from repro.simulation.room import RoomModel
+from repro.signals.channel import estimate_channel, first_tap_index, refine_tap_position
+from repro.signals.waveforms import probe_chirp
+
+FS = 48_000
+
+
+class TestTapsToIr:
+    def test_single_tap(self):
+        ir = taps_to_ir(np.array([10.0 / FS]), np.array([0.8]), FS, 64)
+        assert np.argmax(np.abs(ir)) == 10
+        assert ir[10] == pytest.approx(0.8, abs=1e-6)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(SignalError):
+            taps_to_ir(np.array([-1.0]), np.array([1.0]), FS, 64)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(SignalError):
+            taps_to_ir(np.zeros(2), np.zeros(3), FS, 64)
+
+
+class TestNearFieldHrir:
+    def test_first_tap_at_pre_delay(self, subject):
+        position = polar_to_cartesian(0.45, 40.0)
+        left, right = render_near_field_hrir(subject, position, FS)
+        pre_samples = HRIR_PRE_DELAY_S * FS
+        # The earlier ear (left: source on the left) sits at the pre-delay.
+        assert first_tap_index(left) == pytest.approx(pre_samples, abs=1.5)
+
+    def test_interaural_delay_matches_geometry(self, subject):
+        position = polar_to_cartesian(0.45, 60.0)
+        left, right = render_near_field_hrir(subject, position, FS)
+        tap_left = refine_tap_position(left, first_tap_index(left))
+        tap_right = refine_tap_position(right, first_tap_index(right))
+        expected = (
+            propagation_path(subject.head, position, Ear.RIGHT).length
+            - propagation_path(subject.head, position, Ear.LEFT).length
+        ) / SPEED_OF_SOUND * FS
+        assert tap_right - tap_left == pytest.approx(expected, abs=0.6)
+
+    def test_shadowed_ear_attenuated(self, subject):
+        position = polar_to_cartesian(0.45, 90.0)
+        left, right = render_near_field_hrir(subject, position, FS)
+        assert np.max(np.abs(right)) < 0.5 * np.max(np.abs(left))
+
+    def test_multipath_present(self, subject):
+        position = polar_to_cartesian(0.45, 30.0)
+        left, _ = render_near_field_hrir(subject, position, FS)
+        # Energy beyond the first tap region (pinna echoes).
+        tap = first_tap_index(left)
+        tail_energy = np.sum(left[tap + 8 :] ** 2)
+        assert tail_energy > 0.1 * np.sum(left**2)
+
+
+class TestFarFieldHrir:
+    def test_interaural_delay_matches_plane_wave(self, subject):
+        for theta in (20.0, 60.0, 120.0):
+            left, right = render_far_field_hrir(subject, theta, FS)
+            tap_left = refine_tap_position(left, first_tap_index(left))
+            tap_right = refine_tap_position(right, first_tap_index(right))
+            expected = -interaural_delay(subject.head, theta) * FS
+            assert tap_right - tap_left == pytest.approx(expected, abs=0.6)
+
+    def test_frontal_symmetric_delays(self, subject):
+        left, right = render_far_field_hrir(subject, 0.0, FS)
+        assert first_tap_index(left) == pytest.approx(first_tap_index(right), abs=1)
+
+    def test_near_and_far_differ_at_same_angle(self, subject):
+        """The premise of near-far conversion (paper Fig. 7)."""
+        position = polar_to_cartesian(0.45, 45.0)
+        near_l, near_r = render_near_field_hrir(subject, position, FS)
+        far_l, far_r = render_far_field_hrir(subject, 45.0, FS)
+        near_itd = refine_tap_position(near_r, first_tap_index(near_r)) - \
+            refine_tap_position(near_l, first_tap_index(near_l))
+        far_itd = refine_tap_position(far_r, first_tap_index(far_r)) - \
+            refine_tap_position(far_l, first_tap_index(far_l))
+        assert abs(near_itd - far_itd) > 0.5  # samples
+
+
+class TestRecordings:
+    def test_near_field_recording_first_tap_absolute(self, subject, rng):
+        position = polar_to_cartesian(0.5, 30.0)
+        chirp = probe_chirp(FS)
+        left, _ = record_near_field(subject, position, chirp, FS, rng=rng)
+        channel = estimate_channel(left, chirp, 600)
+        expected = propagation_path(subject.head, position, Ear.LEFT).length \
+            / SPEED_OF_SOUND * FS
+        assert first_tap_index(channel) == pytest.approx(expected, abs=1.5)
+
+    def test_room_adds_late_energy(self, subject):
+        position = polar_to_cartesian(0.5, 30.0)
+        chirp = probe_chirp(FS)
+        quiet_l, _ = record_near_field(
+            subject, position, chirp, FS,
+            rng=np.random.default_rng(0), room=None, noise_std=0.0,
+        )
+        room_l, _ = record_near_field(
+            subject, position, chirp, FS,
+            rng=np.random.default_rng(0),
+            room=RoomModel.typical_living_room(), noise_std=0.0,
+        )
+        quiet_ch = estimate_channel(quiet_l, chirp, 1200)
+        room_ch = estimate_channel(room_l, chirp, 1200)
+        late = slice(500, 1200)
+        assert np.sum(room_ch[late] ** 2) > 10 * np.sum(quiet_ch[late] ** 2)
+
+    def test_noise_controls_floor(self, subject):
+        position = polar_to_cartesian(0.5, 30.0)
+        chirp = probe_chirp(FS)
+        loud, _ = record_near_field(
+            subject, position, chirp, FS,
+            rng=np.random.default_rng(1), noise_std=0.1, room=None,
+        )
+        quiet, _ = record_near_field(
+            subject, position, chirp, FS,
+            rng=np.random.default_rng(1), noise_std=0.001, room=None,
+        )
+        assert np.std(loud - quiet) > 0.05
+
+    def test_far_field_recording_itd(self, subject, rng):
+        chirp = probe_chirp(FS)
+        left, right = record_far_field(subject, 70.0, chirp, FS, rng=rng)
+        ch_left = estimate_channel(left, chirp, 300)
+        ch_right = estimate_channel(right, chirp, 300)
+        measured = (
+            refine_tap_position(ch_right, first_tap_index(ch_right))
+            - refine_tap_position(ch_left, first_tap_index(ch_left))
+        ) / FS
+        assert measured == pytest.approx(-interaural_delay(subject.head, 70.0), abs=3e-5)
+
+    def test_boundary_point_recording(self, subject, rng):
+        chirp = probe_chirp(FS)
+        index = subject.head.ear_index(Ear.LEFT) // 2  # mid-cheek
+        recording = record_at_boundary_point(
+            subject, polar_to_cartesian(0.8, -60.0), index, chirp, FS, rng
+        )
+        channel = estimate_channel(recording, chirp, 600)
+        from repro.geometry.paths import path_to_boundary_point
+
+        expected = path_to_boundary_point(
+            subject.head, polar_to_cartesian(0.8, -60.0), index
+        ).length / SPEED_OF_SOUND * FS
+        assert first_tap_index(channel) == pytest.approx(expected, abs=1.5)
+
+    def test_rejects_bad_signal(self, subject, rng):
+        with pytest.raises(SignalError):
+            record_near_field(subject, polar_to_cartesian(0.5, 30.0), np.zeros(1), FS, rng=rng)

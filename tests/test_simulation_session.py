@@ -1,0 +1,100 @@
+"""Tests for the measurement session simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.geometry.trajectory import circular_trajectory
+from repro.simulation.room import RoomModel
+from repro.simulation.session import MeasurementSession
+
+
+class TestSessionShape:
+    def test_probe_count_matches_interval(self, subject):
+        session = MeasurementSession(
+            subject,
+            seed=1,
+            probe_interval_s=0.5,
+            trajectory=circular_trajectory(duration_s=10.0),
+        ).run()
+        assert session.n_probes == 20
+
+    def test_probe_times_increase(self, small_session):
+        times = [p.time for p in small_session.probes]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_imu_covers_trajectory(self, small_session):
+        assert len(small_session.imu) == len(small_session.truth.trajectory)
+
+    def test_truth_angles_span_semicircle(self, small_session):
+        angles = small_session.truth.probe_angles_deg()
+        assert angles.min() < 10.0
+        assert angles.max() > 160.0
+
+    def test_recordings_nonempty_and_finite(self, small_session):
+        for probe in small_session.probes:
+            assert probe.left.shape[0] > small_session.probe_signal.shape[0]
+            assert np.all(np.isfinite(probe.left))
+            assert np.all(np.isfinite(probe.right))
+
+    def test_truth_positions_match_angles(self, small_session):
+        positions = small_session.truth.probe_positions()
+        radii = np.linalg.norm(positions, axis=1)
+        np.testing.assert_allclose(radii, small_session.truth.probe_radii())
+
+
+class TestReproducibility:
+    def test_same_seed_same_session(self, subject):
+        a = MeasurementSession(subject, seed=5, probe_interval_s=1.0).run()
+        b = MeasurementSession(subject, seed=5, probe_interval_s=1.0).run()
+        np.testing.assert_array_equal(a.probes[0].left, b.probes[0].left)
+        np.testing.assert_array_equal(a.imu.rate_dps, b.imu.rate_dps)
+
+    def test_different_seed_differs(self, subject):
+        a = MeasurementSession(subject, seed=5, probe_interval_s=1.0).run()
+        b = MeasurementSession(subject, seed=6, probe_interval_s=1.0).run()
+        assert not np.array_equal(a.probes[0].left, b.probes[0].left)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_interval(self, subject):
+        with pytest.raises(SignalError):
+            MeasurementSession(subject, probe_interval_s=0.0).run()
+
+    def test_rejects_too_few_probes(self, subject):
+        with pytest.raises(SignalError):
+            MeasurementSession(
+                subject,
+                probe_interval_s=9.0,
+                trajectory=circular_trajectory(duration_s=10.0),
+            ).run()
+
+    def test_anechoic_session(self, subject):
+        session = MeasurementSession(
+            subject,
+            seed=2,
+            probe_interval_s=1.0,
+            room=RoomModel.anechoic(),
+            trajectory=circular_trajectory(duration_s=8.0),
+        ).run()
+        assert session.n_probes == 8
+
+
+class TestRoomModel:
+    def test_echo_taps_sorted_and_delayed(self):
+        room = RoomModel.typical_living_room()
+        delays, gains = room.echo_taps(np.random.default_rng(0))
+        assert np.all(np.diff(delays) >= 0)
+        assert delays.min() >= room.first_echo_s
+        assert np.all(np.abs(gains) <= room.level)
+
+    def test_energy_decays(self):
+        room = RoomModel()
+        delays, gains = room.echo_taps(np.random.default_rng(1))
+        early = np.abs(gains[delays < delays.mean()]).mean()
+        late = np.abs(gains[delays >= delays.mean()]).mean()
+        assert early > late
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(SignalError):
+            RoomModel(level=1.5)
