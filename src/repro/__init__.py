@@ -20,6 +20,8 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.core`       — the UNIQ pipeline (fusion, interpolation,
   near-far conversion, AoA, rendering)
 - :mod:`repro.eval`       — experiment harnesses behind every paper figure
+- :mod:`repro.obs`        — observability: span tracer, metrics registry,
+  structured logging, run-report renderers (docs/OBSERVABILITY.md)
 """
 
 from repro.constants import (

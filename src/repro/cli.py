@@ -18,6 +18,7 @@ import sys
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ReproError
 from repro.hrtf.io import save_table
 from repro.hrtf.metrics import mean_table_correlation
@@ -76,7 +77,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print terminal plots of the estimated HRIRs and the sweep",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span trace of the run and print it as a timing tree",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="write the pipeline metrics registry (counters, gauges, "
+        "histograms) as JSON to PATH",
+    )
+    parser.add_argument(
+        "-v", "--verbose",
+        action="count",
+        default=0,
+        help="enable structured pipeline logging (-v info, -vv debug)",
+    )
     return parser
+
+
+def _write_metrics(path: str | None) -> None:
+    if path is None:
+        return
+    try:
+        with open(path, "w") as handle:
+            handle.write(obs.registry().to_json())
+    except OSError as error:
+        print(f"error: cannot write metrics to {path}: {error}", file=sys.stderr)
+        return
+    print(f"metrics saved    : {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -85,6 +116,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: --angle-step must be in (0, 60], got {args.angle_step}",
               file=sys.stderr)
         return 2
+    if args.metrics_json is not None:
+        # Fail fast: a typo'd path should not surface only after the
+        # multi-second personalization has already run.
+        try:
+            open(args.metrics_json, "a").close()
+        except OSError as error:
+            print(f"error: cannot write --metrics-json path: {error}",
+                  file=sys.stderr)
+            return 2
+    if args.verbose:
+        obs.configure_logging(verbosity=args.verbose)
+    if args.trace:
+        obs.set_enabled(True)
 
     subject = VirtualSubject.random(args.subject_seed)
     print(f"subject          : {subject.name}")
@@ -102,7 +146,14 @@ def main(argv: list[str] | None = None) -> int:
         result = Uniq(UniqConfig(angle_grid_deg=grid)).personalize(session)
     except ReproError as error:
         print(f"personalization failed: {error}", file=sys.stderr)
+        _write_metrics(args.metrics_json)
         return 1
+
+    if args.trace and result.trace is not None:
+        print()
+        print("span trace (wall clock per pipeline stage):")
+        print(obs.render_span_tree(result.trace))
+        print()
 
     print("learned E_opt    : "
           + ", ".join(f"{v * 100:.2f} cm" for v in result.head_parameters))
@@ -142,6 +193,7 @@ def main(argv: list[str] | None = None) -> int:
     save_table(result.table, args.output)
     print(f"table saved      : {args.output} "
           f"({result.table.n_angles} angles, near+far, left+right)")
+    _write_metrics(args.metrics_json)
     return 0
 
 

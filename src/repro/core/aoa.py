@@ -28,6 +28,8 @@ import numpy as np
 
 from repro.errors import SignalError
 from repro.hrtf.table import HRTFTable
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.signals.channel import (
     estimate_channel,
     find_taps,
@@ -151,8 +153,18 @@ class KnownSourceAoAEstimator:
             raise SignalError(
                 f"recording rate {fs} != table rate {self.table.fs}"
             )
-        angles, scores = self.target_function(left, right, source, fs)
-        return float(angles[int(np.argmin(scores))])
+        with obs_trace.span(
+            "aoa.known.estimate", n_angles=self.table.n_angles
+        ) as span:
+            angles, scores = self.target_function(left, right, source, fs)
+            best = int(np.argmin(scores))
+            span.update(
+                estimate_deg=float(angles[best]),
+                best_score=float(scores[best]),
+                per_angle_scores=[round(float(s), 4) for s in scores],
+            )
+            obs_metrics.counter("aoa.known.estimates").inc()
+        return float(angles[best])
 
 
 def train_lambda_weight(
@@ -321,6 +333,13 @@ class UnknownSourceAoAEstimator:
             raise SignalError(
                 f"recording rate {fs} != table rate {self.table.fs}"
             )
+        span = obs_trace.span("aoa.unknown.estimate", n_angles=self.table.n_angles)
+        with span:
+            return self._estimate_traced(left, right, fs, span)
+
+    def _estimate_traced(
+        self, left: np.ndarray, right: np.ndarray, fs: int, span
+    ) -> float:
         lags, xcorr = self.relative_channel(left, right, fs)
         peak_idx, _ = find_taps(
             xcorr, max_taps=self.max_candidates, threshold_ratio=0.35,
@@ -363,6 +382,7 @@ class UnknownSourceAoAEstimator:
 
         best_score = np.inf
         best_angle = float(candidates[0])
+        per_angle_scores: dict[int, float] = {}
         for grid_index, support in support_by_index.items():
             mismatch = self._grid_mismatch(
                 spectrum_left, spectrum_right, band_mask, grid_index, n_fft
@@ -371,7 +391,16 @@ class UnknownSourceAoAEstimator:
             # better spectral match to win, but a (near-)exact match always
             # beats the prior.
             score = mismatch * (1.0 + 0.5 * (1.0 - support)) + 0.01 * (1.0 - support)
+            per_angle_scores[grid_index] = round(float(score), 5)
             if score < best_score:
                 best_score = score
                 best_angle = float(self.table.angles_deg[grid_index])
+        span.update(
+            estimate_deg=best_angle,
+            best_score=float(best_score),
+            n_peaks=int(peak_idx.shape[0]),
+            n_candidates=len(candidates),
+            per_angle_scores=per_angle_scores,
+        )
+        obs_metrics.counter("aoa.unknown.estimates").inc()
         return best_angle

@@ -24,6 +24,9 @@ from scipy import optimize
 from repro.constants import SPEED_OF_SOUND
 from repro.errors import ConvergenceError, SignalError
 from repro.geometry.head import HeadGeometry
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.logging import get_logger, kv
 from repro.simulation.imu import IMUTrace, integrate_gyro
 from repro.simulation.session import SessionData
 from repro.signals.channel import (
@@ -39,6 +42,8 @@ _UNSOLVED_PENALTY_DEG = 45.0
 
 #: Head-axis search bounds (m): generous anthropometric range.
 _BOUNDS = {"a": (0.065, 0.115), "b": (0.085, 0.145), "c": (0.072, 0.125)}
+
+_log = get_logger("core.fusion")
 
 
 @dataclass(frozen=True)
@@ -182,6 +187,7 @@ class DiffractionAwareSensorFusion:
         alphas: np.ndarray,
         elapsed: np.ndarray,
     ) -> float:
+        obs_metrics.counter("fusion.cost_evaluations").inc()
         a, b, c = params[:3]
         bias = float(params[3]) if params.shape[0] > 3 else 0.0
         for value, (lo, hi) in zip(params[:3], _BOUNDS.values()):
@@ -196,6 +202,9 @@ class DiffractionAwareSensorFusion:
             self.map_thetas,
             self.speed_of_sound,
             model=self.delay_model,
+            # Coarse candidates rank candidate heads just as well; the exact
+            # grazing-zone re-solve is saved for the final localization.
+            refine=False,
         )
         corrected = self._debiased(alphas, elapsed, bias)
         thetas, _, solved = self._localize_all(delay_map, t_left, t_right, corrected)
@@ -208,62 +217,121 @@ class DiffractionAwareSensorFusion:
             raise SignalError(
                 f"need >= 5 probes for fusion, got {session.n_probes}"
             )
-        t_left, t_right = self.extract_probe_delays(session)
-        alphas = self.imu_angles(session)
-        probe_times = np.array([p.time for p in session.probes])
-        elapsed = probe_times - probe_times[0]
+        obs_metrics.counter("fusion.runs").inc()
+        with obs_trace.span(
+            "fusion.run",
+            n_probes=session.n_probes,
+            grid=f"{self.map_radii[2]}x{self.map_thetas[2]}",
+        ) as run_span:
+            with obs_trace.span("fusion.extract_delays", n_probes=session.n_probes):
+                t_left, t_right = self.extract_probe_delays(session)
+            with obs_trace.span("fusion.imu_angles"):
+                alphas = self.imu_angles(session)
+            probe_times = np.array([p.time for p in session.probes])
+            elapsed = probe_times - probe_times[0]
 
-        x0 = np.array([np.mean(bounds) for bounds in _BOUNDS.values()])
-        simplex_step = np.eye(3) * 0.008
-        if self.estimate_gyro_bias:
-            # The gyro's constant rate bias shows up as a linear drift of
-            # alpha against the (drift-free) acoustic angles, so it is
-            # observable from the same residual and co-estimated with E.
-            x0 = np.append(x0, 0.0)
-            simplex_step = np.zeros((4, 4))
-            simplex_step[:3, :3] = np.eye(3) * 0.008
-            simplex_step[3, 3] = 0.5
-        result = optimize.minimize(
-            self._cost,
-            x0,
-            args=(t_left, t_right, alphas, elapsed),
-            method="Nelder-Mead",
-            options={
-                "maxiter": self.max_iterations,
-                "xatol": 2e-4,
-                "fatol": 0.05,
-                "initial_simplex": x0
-                + np.vstack([np.zeros(x0.shape[0]), simplex_step]),
-            },
-        )
-        if not np.all(np.isfinite(result.x)):
-            raise ConvergenceError(f"head parameter search diverged: {result}")
-        a, b, c = np.clip(
-            result.x[:3],
-            [lo for lo, _ in _BOUNDS.values()],
-            [hi for _, hi in _BOUNDS.values()],
-        )
-        bias = float(result.x[3]) if self.estimate_gyro_bias else 0.0
-        alphas = self._debiased(alphas, elapsed, bias)
-        head = HeadGeometry(a=float(a), b=float(b), c=float(c))
-
-        # Final pass: full-resolution boundary and a fine inversion grid.
-        final_map = DelayMap(
-            head,
-            self.final_map_radii,
-            self.final_map_thetas,
-            self.speed_of_sound,
-            model=self.delay_model,
-        )
-        thetas, radii, solved = self._localize_all(final_map, t_left, t_right, alphas)
-        fused = np.where(solved, 0.5 * (thetas + alphas), alphas)
-        if solved.any():
-            radii = np.where(solved, radii, np.median(radii[solved]))
-            residual = float(
-                np.sqrt(np.mean((alphas[solved] - thetas[solved]) ** 2))
+            x0 = np.array([np.mean(bounds) for bounds in _BOUNDS.values()])
+            simplex_step = np.eye(3) * 0.008
+            if self.estimate_gyro_bias:
+                # The gyro's constant rate bias shows up as a linear drift of
+                # alpha against the (drift-free) acoustic angles, so it is
+                # observable from the same residual and co-estimated with E.
+                x0 = np.append(x0, 0.0)
+                simplex_step = np.zeros((4, 4))
+                simplex_step[:3, :3] = np.eye(3) * 0.008
+                simplex_step[3, 3] = 0.5
+            with obs_trace.span("fusion.optimize") as opt_span:
+                evals_before = obs_metrics.counter("fusion.cost_evaluations").value
+                result = optimize.minimize(
+                    self._cost,
+                    x0,
+                    args=(t_left, t_right, alphas, elapsed),
+                    method="Nelder-Mead",
+                    options={
+                        "maxiter": self.max_iterations,
+                        "xatol": 2e-4,
+                        "fatol": 0.05,
+                        "initial_simplex": x0
+                        + np.vstack([np.zeros(x0.shape[0]), simplex_step]),
+                    },
+                )
+                iterations = int(getattr(result, "nit", 0))
+                obs_metrics.counter("fusion.iterations").inc(iterations)
+                opt_span.update(
+                    iterations=iterations,
+                    cost_evaluations=int(
+                        obs_metrics.counter("fusion.cost_evaluations").value
+                        - evals_before
+                    ),
+                    final_cost=float(result.fun),
+                    converged=bool(result.success),
+                )
+            if not np.all(np.isfinite(result.x)):
+                raise ConvergenceError(f"head parameter search diverged: {result}")
+            a, b, c = np.clip(
+                result.x[:3],
+                [lo for lo, _ in _BOUNDS.values()],
+                [hi for _, hi in _BOUNDS.values()],
             )
-        else:
-            residual = float("inf")
+            bias = float(result.x[3]) if self.estimate_gyro_bias else 0.0
+            alphas = self._debiased(alphas, elapsed, bias)
+            head = HeadGeometry(a=float(a), b=float(b), c=float(c))
+
+            with obs_trace.span("fusion.final_localize") as final_span:
+                # Final pass: full-resolution boundary and a fine inversion
+                # grid.
+                final_map = DelayMap(
+                    head,
+                    self.final_map_radii,
+                    self.final_map_thetas,
+                    self.speed_of_sound,
+                    model=self.delay_model,
+                )
+                thetas, radii, solved = self._localize_all(
+                    final_map, t_left, t_right, alphas
+                )
+                final_span.update(
+                    n_solved=int(solved.sum()),
+                    n_unsolved=int((~solved).sum()),
+                )
+            fused = np.where(solved, 0.5 * (thetas + alphas), alphas)
+            if solved.any():
+                radii = np.where(solved, radii, np.median(radii[solved]))
+                residual = float(
+                    np.sqrt(np.mean((alphas[solved] - thetas[solved]) ** 2))
+                )
+            else:
+                residual = float("inf")
+
+            obs_metrics.counter("fusion.probes_solved").inc(int(solved.sum()))
+            obs_metrics.counter("fusion.probes_unsolved").inc(int((~solved).sum()))
+            obs_metrics.gauge("fusion.residual_deg").set(residual)
+            obs_metrics.gauge("fusion.gyro_bias_dps").set(bias)
+            obs_metrics.histogram("fusion.residual_deg_dist").observe(residual)
+            # Head-parameter deltas from the anthropometric prior (the
+            # optimizer start), the per-run signal a drifting population
+            # of sessions would show first.
+            run_span.update(
+                residual_deg=residual,
+                head_a_m=float(a),
+                head_b_m=float(b),
+                head_c_m=float(c),
+                head_delta_mm=[
+                    float((value - np.mean(bounds)) * 1e3)
+                    for value, bounds in zip((a, b, c), _BOUNDS.values())
+                ],
+                gyro_bias_dps=bias,
+            )
+            _log.info(
+                kv(
+                    "fusion.done",
+                    residual_deg=residual,
+                    iterations=iterations,
+                    solved=int(solved.sum()),
+                    n_probes=session.n_probes,
+                    gyro_bias_dps=bias,
+                )
+            )
         return FusionResult(
             head=head,
             t_left=t_left,

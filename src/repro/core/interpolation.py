@@ -28,6 +28,8 @@ from repro.geometry.paths import propagation_path
 from repro.geometry.vec import polar_to_cartesian
 from repro.hrtf.hrir import BinauralIR
 from repro.hrtf.table import interpolate_hrir_pair
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.physics import near_field_first_tap_gain
 from repro.signals.channel import (
     estimate_channel,
@@ -94,33 +96,44 @@ class NearFieldInterpolator:
         truncated per ear relative to its own first tap.
         """
         measurements = []
-        for i, probe in enumerate(session.probes):
-            channels = {}
-            taps = {}
-            for ear, recording in ((Ear.LEFT, probe.left), (Ear.RIGHT, probe.right)):
-                channel = estimate_channel(
-                    recording, session.probe_signal, self.n_channel
-                )
-                tap = first_tap_index(channel)
-                channels[ear] = truncate_after(channel, tap + self.room_cutoff)
-                taps[ear] = tap
-            start = max(0, min(taps.values()) - _PRE_SAMPLES)
-            windows = {}
-            for ear in Ear:
-                segment = channels[ear][start : start + self.n_hrir]
-                if segment.shape[0] < self.n_hrir:
-                    segment = np.concatenate(
-                        [segment, np.zeros(self.n_hrir - segment.shape[0])]
+        with obs_trace.span(
+            "interpolation.extract_measurements", n_probes=session.n_probes
+        ):
+            for i, probe in enumerate(session.probes):
+                channels = {}
+                taps = {}
+                for ear, recording in (
+                    (Ear.LEFT, probe.left),
+                    (Ear.RIGHT, probe.right),
+                ):
+                    channel = estimate_channel(
+                        recording, session.probe_signal, self.n_channel
                     )
-                windows[ear] = segment
-            measurements.append(
-                NearFieldMeasurement(
-                    angle_deg=float(fusion.fused_angles_deg[i]),
-                    radius_m=float(fusion.radii_m[i]),
-                    hrir=BinauralIR(
-                        left=windows[Ear.LEFT], right=windows[Ear.RIGHT], fs=self.fs
-                    ),
+                    tap = first_tap_index(channel)
+                    channels[ear] = truncate_after(channel, tap + self.room_cutoff)
+                    taps[ear] = tap
+                start = max(0, min(taps.values()) - _PRE_SAMPLES)
+                windows = {}
+                for ear in Ear:
+                    segment = channels[ear][start : start + self.n_hrir]
+                    if segment.shape[0] < self.n_hrir:
+                        segment = np.concatenate(
+                            [segment, np.zeros(self.n_hrir - segment.shape[0])]
+                        )
+                    windows[ear] = segment
+                measurements.append(
+                    NearFieldMeasurement(
+                        angle_deg=float(fusion.fused_angles_deg[i]),
+                        radius_m=float(fusion.radii_m[i]),
+                        hrir=BinauralIR(
+                            left=windows[Ear.LEFT],
+                            right=windows[Ear.RIGHT],
+                            fs=self.fs,
+                        ),
+                    )
                 )
+            obs_metrics.counter("interpolation.measurements_extracted").inc(
+                len(measurements)
             )
         return measurements
 
@@ -195,21 +208,31 @@ class NearFieldInterpolator:
             if reference_radius_m is not None
             else float(np.median([m.radius_m for m in ordered]))
         )
+        grid = np.asarray(angle_grid_deg, dtype=float)
         grid_entries = []
-        for target in np.asarray(angle_grid_deg, dtype=float):
-            idx = int(np.searchsorted(angles, target))
-            if idx == 0:
-                blended = ordered[0].hrir
-            elif idx >= angles.shape[0]:
-                blended = ordered[-1].hrir
-            else:
-                span = angles[idx] - angles[idx - 1]
-                weight = 0.5 if span <= 0 else float((target - angles[idx - 1]) / span)
-                blended = interpolate_hrir_pair(
-                    ordered[idx - 1].hrir, ordered[idx].hrir, weight,
-                    pre_samples=_PRE_SAMPLES,
+        with obs_trace.span(
+            "interpolation.build_grid",
+            n_measurements=len(ordered),
+            n_grid=int(grid.shape[0]),
+            reference_radius_m=radius,
+        ):
+            for target in grid:
+                idx = int(np.searchsorted(angles, target))
+                if idx == 0:
+                    blended = ordered[0].hrir
+                elif idx >= angles.shape[0]:
+                    blended = ordered[-1].hrir
+                else:
+                    span = angles[idx] - angles[idx - 1]
+                    weight = (
+                        0.5 if span <= 0 else float((target - angles[idx - 1]) / span)
+                    )
+                    blended = interpolate_hrir_pair(
+                        ordered[idx - 1].hrir, ordered[idx].hrir, weight,
+                        pre_samples=_PRE_SAMPLES,
+                    )
+                grid_entries.append(
+                    self.correct_to_model(blended, head, radius, float(target))
                 )
-            grid_entries.append(
-                self.correct_to_model(blended, head, radius, float(target))
-            )
+            obs_metrics.counter("interpolation.grid_entries").inc(len(grid_entries))
         return grid_entries

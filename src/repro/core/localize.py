@@ -65,7 +65,14 @@ class DelayMap:
         ``(min, max, count)`` radial grid specification in meters.
     thetas:
         ``(min, max, count)`` angular grid specification in degrees.
+    refine:
+        Whether grazing-zone roots (near the ear axis) are re-solved
+        against the exact delay model.  Accurate but ~850 extra path
+        evaluations per affected probe; the fusion optimizer turns it off
+        in its inner loop, where the coarse candidates rank heads just as
+        well, and back on for the final localization pass.
     """
+
 
     def __init__(
         self,
@@ -74,6 +81,7 @@ class DelayMap:
         thetas: tuple[float, float, int] = DEFAULT_THETAS,
         speed_of_sound: float = SPEED_OF_SOUND,
         model: str = "diffraction",
+        refine: bool = True,
     ) -> None:
         r_min, r_max, n_r = radii
         t_min, t_max, n_t = thetas
@@ -91,25 +99,31 @@ class DelayMap:
 
         self.head = head
         self.model = model
+        self.refine = refine
+        self.speed_of_sound = speed_of_sound
         self.radii = np.linspace(r_min, r_max, n_r)
         self.thetas_deg = np.linspace(t_min, t_max, n_t)
 
         grid_r, grid_t = np.meshgrid(self.radii, self.thetas_deg, indexing="ij")
         sources = polar_to_cartesian(grid_r.ravel(), grid_t.ravel())
-        if model == "diffraction":
-            t_left, t_right = binaural_delays_batch(head, sources, speed_of_sound)
-        else:
-            # The through-the-head straight-line baseline (ablation only).
-            t_left = (
-                np.linalg.norm(sources - head.ear_position(Ear.LEFT), axis=1)
-                / speed_of_sound
-            )
-            t_right = (
-                np.linalg.norm(sources - head.ear_position(Ear.RIGHT), axis=1)
-                / speed_of_sound
-            )
+        t_left, t_right = self._delays_for(sources)
         self.t_left = t_left.reshape(n_r, n_t)  # (r, theta)
         self.t_right = t_right.reshape(n_r, n_t)
+
+    def _delays_for(self, sources: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Exact (un-tabulated) per-source binaural delays under the model."""
+        if self.model == "diffraction":
+            return binaural_delays_batch(self.head, sources, self.speed_of_sound)
+        # The through-the-head straight-line baseline (ablation only).
+        t_left = (
+            np.linalg.norm(sources - self.head.ear_position(Ear.LEFT), axis=1)
+            / self.speed_of_sound
+        )
+        t_right = (
+            np.linalg.norm(sources - self.head.ear_position(Ear.RIGHT), axis=1)
+            / self.speed_of_sound
+        )
+        return t_left, t_right
 
     def _radius_for_left_delay(self, t1: float) -> np.ndarray:
         """Per-angle radius solving ``t_L(r, theta) = t1`` (nan if out of range)."""
@@ -164,7 +178,234 @@ class DelayMap:
                 r_here = float(radius[i] + frac * (radius[i + 1] - radius[i]))
                 if np.isfinite(r_here):
                     candidates.append(LocalizationCandidate(r_here, theta))
-        return candidates
+        return self._refine_grazing(t_left, t_right, g, radius, finite, candidates)
+
+    def _refine_grazing(
+        self,
+        t_left: float,
+        t_right: float,
+        g: np.ndarray,
+        radius: np.ndarray,
+        finite: np.ndarray,
+        coarse: list[LocalizationCandidate],
+    ) -> list[LocalizationCandidate]:
+        """Re-solve grazing-zone roots against the *exact* delay model.
+
+        Near the ear axis (theta ~ 90 deg) the two iso-delay trajectories
+        meet almost tangentially, so ``g(theta)`` hugs zero over several
+        grid steps.  The linear scan then fails in two ways:
+
+        * **tangential touch** — ``g`` grazes zero between nodes with no
+          sign change at all, so the root is missed entirely;
+        * **close root pairs** — ``g`` dips through zero and back within
+          a couple of grid steps; the crossings exist but the strong
+          curvature makes linear interpolation mislocate them by up to
+          half a step.
+
+        Both cases are cheap to detect on the tabulated ``g`` and rare in
+        practice, so each detected zone is re-solved *without* tables:
+        per fine angle, bisect the radius where the exact left-ear delay
+        equals ``t_left`` (delay is strictly increasing in radius), then
+        read the sign-change roots of the exact right-ear mismatch.  Well
+        separated roots — the generic front/back pair — pass through
+        untouched.
+        """
+        step = float(self.thetas_deg[1] - self.thetas_deg[0])
+        ordered = sorted(coarse, key=lambda c: c.theta_deg)
+        if not self.refine:
+            # Cheap mode (fusion inner loop): keep the coarse crossings and
+            # add the grazing vertices as-is — accurate to ~a grid step,
+            # which is all the optimizer's cost ranking needs.
+            return ordered + [
+                LocalizationCandidate(r_here, theta)
+                for theta, r_here in self._tangential_vertices(
+                    g, radius, finite, ordered
+                )
+            ]
+        #: Each zone is (theta_lo, theta_hi, r_center, fallback candidates).
+        zones: list[tuple[float, float, float, list[LocalizationCandidate]]] = []
+        out: list[LocalizationCandidate] = []
+
+        i = 0
+        while i < len(ordered):
+            j = i
+            while (
+                j + 1 < len(ordered)
+                and ordered[j + 1].theta_deg - ordered[j].theta_deg <= 1.2 * step
+            ):
+                j += 1
+            if j > i:
+                cluster = ordered[i : j + 1]
+                zones.append((
+                    cluster[0].theta_deg - 1.5 * step,
+                    cluster[-1].theta_deg + 1.5 * step,
+                    cluster[0].radius_m,
+                    cluster,
+                ))
+            else:
+                out.append(ordered[i])
+            i = j + 1
+
+        for theta, r_here in self._tangential_vertices(g, radius, finite, ordered):
+            zones.append((
+                theta - 1.5 * step,
+                theta + 1.5 * step,
+                r_here,
+                [LocalizationCandidate(r_here, theta)],
+            ))
+
+        for theta_lo, theta_hi, r_center, fallback in zones:
+            theta_lo = max(theta_lo, float(self.thetas_deg[0]))
+            theta_hi = min(theta_hi, float(self.thetas_deg[-1]))
+            refined = self._solve_zone(t_left, t_right, theta_lo, theta_hi, r_center)
+            # None means the zone could not be re-solved (keep the coarse
+            # fallback); an empty list means the exact model confidently
+            # found no root there (a false flag — drop it).
+            for candidate in fallback if refined is None else refined:
+                if not any(
+                    abs(candidate.theta_deg - kept.theta_deg) <= 0.5 * step
+                    for kept in out
+                ):
+                    out.append(candidate)
+        return out
+
+    def _tangential_vertices(
+        self,
+        g: np.ndarray,
+        radius: np.ndarray,
+        finite: np.ndarray,
+        found: list[LocalizationCandidate],
+    ) -> list[tuple[float, float]]:
+        """``(theta, radius)`` of extrema of ``g`` that may graze zero.
+
+        Fit a parabola through each no-sign-change local extremum's three
+        nodes and flag its vertex when the fitted peak comes within a
+        generous margin of zero.  The margin is deliberately loose: near a
+        tangency the true peak of ``g`` is a narrow cusp that a parabola
+        through 3-degree-spaced nodes badly underestimates (observed: a
+        real zero fitted as -5e-6 s), so the tolerance combines a
+        curvature term with an absolute floor for the delay tables' own
+        bilinear noise.  False flags are harmless — the exact re-solve in
+        :meth:`_solve_zone` discards zones with no actual root.
+        """
+        step = float(self.thetas_deg[1] - self.thetas_deg[0])
+        # Vectorized over interior nodes: this runs on every invert() call
+        # inside the fusion optimizer, so no per-node python loop.
+        g_prev, g_mid, g_next = g[:-2], g[1:-1], g[2:]
+        neg_prev, neg_mid, neg_next = g_prev < 0, g_mid < 0, g_next < 0
+        with np.errstate(invalid="ignore", divide="ignore"):
+            a = 0.5 * (g_next + g_prev - 2.0 * g_mid)
+            b = 0.5 * (g_next - g_prev)
+            x_star = np.where(a != 0.0, -b / (2.0 * a), np.nan)
+            g_vertex = g_mid - np.where(a != 0.0, b * b / (4.0 * a), np.nan)
+            tolerance = 2.0 * np.abs(a) + 1e-6
+            mask = (
+                finite[:-2] & finite[1:-1] & finite[2:]
+                # Sign changes at the neighbouring nodes were already found.
+                & (neg_prev == neg_mid) & (neg_mid == neg_next)
+                & (a != 0.0)
+                & (np.abs(x_star) <= 1.0)
+                & (
+                    ((a < 0) & neg_mid & (g_vertex >= -tolerance))
+                    | ((a > 0) & ~neg_mid & (g_vertex <= tolerance))
+                )
+            )
+        vertices: list[tuple[float, float]] = []
+        for i in np.flatnonzero(mask):
+            x = float(x_star[i])
+            theta = float(self.thetas_deg[i + 1] + x * step)
+            neighbour = i + 2 if x >= 0 else i
+            r_here = float(
+                radius[i + 1] + abs(x) * (radius[neighbour] - radius[i + 1])
+            )
+            if not np.isfinite(r_here):
+                continue
+            if any(abs(c.theta_deg - theta) <= step for c in found):
+                continue
+            if any(abs(theta_v - theta) <= step for theta_v, _ in vertices):
+                continue
+            vertices.append((theta, r_here))
+        return vertices
+
+    def _solve_zone(
+        self,
+        t_left: float,
+        t_right: float,
+        theta_lo: float,
+        theta_hi: float,
+        r_center: float,
+    ) -> list[LocalizationCandidate] | None:
+        """Exact (table-free) roots of the delay mismatch over one zone.
+
+        Per fine angle, bisect the radius where the exact left-ear delay
+        equals ``t_left``, evaluate the exact right-ear mismatch ``g``, and
+        return its linearly interpolated sign-change roots.  When ``g``
+        only touches zero (a true tangency) the grazing extremum's parabola
+        vertex is the root.  An empty list is an authoritative "no root in
+        this zone"; ``None`` means the zone could not be solved (bisection
+        never bracketed ``t_left``).  Costs ~850 vectorized path
+        evaluations, only on the rare ear-axis probes.
+        """
+        thetas = np.linspace(theta_lo, theta_hi, 33)
+        floor = max(r_center - 0.04, max(self.head.parameters) + 0.005, self.radii[0])
+        lo = np.full(thetas.shape, floor)
+        hi = np.full(thetas.shape, r_center + 0.04)
+        t_l = t_r = None
+        for _ in range(26):
+            mid = 0.5 * (lo + hi)
+            t_l, t_r = self._delays_for(polar_to_cartesian(mid, thetas))
+            go_up = t_l < t_left
+            lo = np.where(go_up, mid, lo)
+            hi = np.where(go_up, hi, mid)
+        mid = 0.5 * (lo + hi)
+        # Columns whose bisection never bracketed t_left sit pinned at a
+        # bound with a delay mismatch far above the solver's resolution.
+        valid = np.abs(t_l - t_left) < 1e-7
+        if valid.sum() < 3:
+            return None
+        g = np.where(valid, t_r - t_right, np.nan)
+
+        roots: list[LocalizationCandidate] = []
+        for i in range(thetas.shape[0] - 1):
+            if not (valid[i] and valid[i + 1]):
+                continue
+            if g[i] == 0.0 or (g[i] < 0) != (g[i + 1] < 0):
+                span = g[i + 1] - g[i]
+                frac = 0.0 if span == 0 else float(-g[i] / span)
+                roots.append(LocalizationCandidate(
+                    float(mid[i] + frac * (mid[i + 1] - mid[i])),
+                    float(thetas[i] + frac * (thetas[i + 1] - thetas[i])),
+                ))
+        if roots:
+            return roots
+
+        # No crossing: a true tangency, if the extremum reaches zero.
+        if np.nanmax(g) < 0.0:
+            pivot = int(np.nanargmax(g))
+        elif np.nanmin(g) > 0.0:
+            pivot = int(np.nanargmin(g))
+        else:
+            return []
+        pivot = min(max(pivot, 1), thetas.shape[0] - 2)
+        window = g[pivot - 1 : pivot + 2]
+        if not np.all(np.isfinite(window)):
+            return []
+        a = 0.5 * (window[2] + window[0] - 2.0 * window[1])
+        b = 0.5 * (window[2] - window[0])
+        if a == 0.0:
+            return []
+        x_star = float(np.clip(-b / (2.0 * a), -1.0, 1.0))
+        g_vertex = window[1] - b * b / (4.0 * a)
+        # A cusp-shaped peak straddling a node fits a vertex as low as
+        # ~0.75|a| even when the true peak is exactly zero, hence the
+        # full-|a| margin.
+        if abs(g_vertex) > abs(a) + 1e-8:
+            return []
+        fine_step = float(thetas[1] - thetas[0])
+        theta_star = float(thetas[pivot] + x_star * fine_step)
+        neighbour = pivot + 1 if x_star >= 0 else pivot - 1
+        r_star = float(mid[pivot] + abs(x_star) * (mid[neighbour] - mid[pivot]))
+        return [LocalizationCandidate(r_star, theta_star)]
 
     def locate(
         self, t_left: float, t_right: float, imu_angle_deg: float

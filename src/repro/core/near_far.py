@@ -35,6 +35,8 @@ from repro.geometry.head import Ear, HeadGeometry
 from repro.geometry.plane_wave import plane_wave_arrival
 from repro.geometry.vec import angle_deg_of, unit_from_angle_deg
 from repro.hrtf.hrir import BinauralIR
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.physics import far_field_first_tap_gain
 from repro.signals.correlation import align_to_first_tap
 from repro.signals.delays import apply_fractional_delay
@@ -173,10 +175,19 @@ class NearFarConverter:
             if trajectory_radius_m is not None
             else float(np.median([m.radius_m for m in measurements]))
         )
-        return [
-            self.convert_angle(measurements, head, float(theta), radius)
-            for theta in np.asarray(angle_grid_deg, dtype=float)
-        ]
+        grid = np.asarray(angle_grid_deg, dtype=float)
+        with obs_trace.span(
+            "near_far.convert",
+            n_angles=int(grid.shape[0]),
+            n_measurements=len(measurements),
+            trajectory_radius_m=radius,
+        ):
+            converted = [
+                self.convert_angle(measurements, head, float(theta), radius)
+                for theta in grid
+            ]
+            obs_metrics.counter("near_far.angles_converted").inc(len(converted))
+        return converted
 
 
 def ray_decomposition_attempt(

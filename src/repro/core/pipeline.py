@@ -14,7 +14,12 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.constants import DEFAULT_ANGLE_GRID_DEG
+from repro.errors import CalibrationError
 from repro.hrtf.table import HRTFTable
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.logging import get_logger, kv
+from repro.obs.trace import Span
 from repro.simulation.session import SessionData
 from repro.core.compensation import (
     check_gesture_quality,
@@ -23,6 +28,8 @@ from repro.core.compensation import (
 from repro.core.fusion import DiffractionAwareSensorFusion, FusionResult
 from repro.core.interpolation import NearFieldInterpolator, NearFieldMeasurement
 from repro.core.near_far import NearFarConverter
+
+_log = get_logger("core.pipeline")
 
 
 @dataclass
@@ -62,11 +69,16 @@ class PersonalizationResult:
         locations, residuals.
     measurements:
         The raw per-probe near-field HRIR measurements.
+    trace:
+        The finished ``uniq.personalize`` span tree when tracing was
+        enabled during the run (see :mod:`repro.obs.trace`), else ``None``.
+        Render it with :func:`repro.obs.report.render_span_tree`.
     """
 
     table: HRTFTable
     fusion: FusionResult
     measurements: tuple[NearFieldMeasurement, ...]
+    trace: Span | None = None
 
     @property
     def head_parameters(self) -> tuple[float, float, float]:
@@ -126,23 +138,51 @@ class Uniq:
         CalibrationError
             If the gesture-quality check fails (and is enforced).
         """
-        session = self._compensated(session, system_response)
-
-        fusion = self.config.fusion.run(session)
-        if self.config.enforce_gesture_check:
-            check_gesture_quality(fusion)
-
-        grid = np.asarray(self.config.angle_grid_deg, dtype=float)
-        interpolator = NearFieldInterpolator(session.fs)
-        measurements = interpolator.extract_measurements(session, fusion)
-        near_entries = interpolator.build_grid(measurements, fusion.head, grid)
-
-        converter = NearFarConverter(fs=session.fs)
-        far_entries = converter.convert(measurements, fusion.head, grid)
-
-        table = HRTFTable(
-            angles_deg=grid, near=tuple(near_entries), far=tuple(far_entries)
+        obs_metrics.counter("uniq.personalize.runs").inc()
+        root = obs_trace.span(
+            "uniq.personalize",
+            n_probes=session.n_probes,
+            n_grid=len(self.config.angle_grid_deg),
+            fs=session.fs,
         )
+        with root:
+            if system_response is not None:
+                with obs_trace.span("uniq.compensate", n_probes=session.n_probes):
+                    session = self._compensated(session, system_response)
+
+            fusion = self.config.fusion.run(session)
+            if self.config.enforce_gesture_check:
+                with obs_trace.span("uniq.gesture_check"):
+                    try:
+                        check_gesture_quality(fusion)
+                    except CalibrationError as error:
+                        obs_metrics.counter("uniq.gesture_rejections").inc()
+                        _log.warning(kv("uniq.gesture_rejected", reason=str(error)))
+                        raise
+
+            grid = np.asarray(self.config.angle_grid_deg, dtype=float)
+            interpolator = NearFieldInterpolator(session.fs)
+            measurements = interpolator.extract_measurements(session, fusion)
+            near_entries = interpolator.build_grid(measurements, fusion.head, grid)
+
+            converter = NearFarConverter(fs=session.fs)
+            far_entries = converter.convert(measurements, fusion.head, grid)
+
+            table = HRTFTable(
+                angles_deg=grid, near=tuple(near_entries), far=tuple(far_entries)
+            )
+            obs_metrics.counter("uniq.personalize.completed").inc()
+            _log.info(
+                kv(
+                    "uniq.personalize.done",
+                    n_probes=session.n_probes,
+                    n_angles=int(grid.shape[0]),
+                    residual_deg=fusion.residual_deg,
+                )
+            )
         return PersonalizationResult(
-            table=table, fusion=fusion, measurements=tuple(measurements)
+            table=table,
+            fusion=fusion,
+            measurements=tuple(measurements),
+            trace=root if isinstance(root, Span) else None,
         )

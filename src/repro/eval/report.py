@@ -18,6 +18,9 @@ import time
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import report as obs_report
+from repro.obs import trace as obs_trace
 from repro.eval.common import format_table
 from repro.eval import (
     fig2_pinna_correlation,
@@ -199,8 +202,34 @@ def _results_sections(cohort_size: int) -> list[str]:
     return lines
 
 
-def generate_report(cohort_size: int = 5) -> str:
-    """Run every harness and return the markdown report text."""
+def _timing_section(root, snapshot) -> list[str]:
+    """The observability tail: span tree + pipeline counters for the run."""
+    body = [
+        "Wall-clock span tree of the full report run (numbers differ across",
+        "machines; the *shape* should not):",
+        "",
+        "```",
+        obs_report.render_span_tree(root),
+        "```",
+        "",
+        "Pipeline metrics accumulated while generating the report:",
+        "",
+        "```",
+        obs_report.render_metrics(snapshot),
+        "```",
+    ]
+    return _section("Timing and pipeline metrics", body)
+
+
+def generate_report(cohort_size: int = 5, include_timing: bool = False) -> str:
+    """Run every harness and return the markdown report text.
+
+    ``include_timing`` appends the span tree and metrics snapshot of this
+    very run.  It is off by default because wall-clock numbers differ
+    between runs, and the bare report is promised to be bit-reproducible.
+    """
+    if include_timing:
+        obs_metrics.registry().reset()
     stamp = time.strftime("%Y-%m-%d %H:%M:%S")
     lines = [
         "# UNIQ reproduction — generated experiments report",
@@ -209,9 +238,19 @@ def generate_report(cohort_size: int = 5) -> str:
         "all harnesses seeded (bit-reproducible).",
         "",
     ]
-    lines += _groundwork_sections()
-    lines += _system_sections()
-    lines += _results_sections(cohort_size)
+    with obs_trace.capturing():
+        with obs_trace.span("eval.report", cohort_size=cohort_size) as root:
+            with obs_trace.span("eval.groundwork"):
+                groundwork = _groundwork_sections()
+            with obs_trace.span("eval.system"):
+                system = _system_sections()
+            with obs_trace.span("eval.results"):
+                results = _results_sections(cohort_size)
+    lines += groundwork
+    lines += system
+    lines += results
+    if include_timing:
+        lines += _timing_section(root, obs_metrics.registry().snapshot())
     return "\n".join(lines)
 
 
@@ -225,8 +264,15 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="use a 2-volunteer cohort (faster, noisier numbers)",
     )
+    parser.add_argument(
+        "--no-timing", action="store_true",
+        help="omit the (non-deterministic) timing and metrics section",
+    )
     args = parser.parse_args(argv)
-    report = generate_report(cohort_size=2 if args.quick else 5)
+    report = generate_report(
+        cohort_size=2 if args.quick else 5,
+        include_timing=not args.no_timing,
+    )
     with open(args.output, "w") as handle:
         handle.write(report)
     print(f"wrote {args.output} ({len(report.splitlines())} lines)")

@@ -1,0 +1,205 @@
+"""Process-global metrics registry: counters, gauges, histograms.
+
+Instrumented code grabs a metric once (cheap get-or-create under a lock)
+and bumps it with plain attribute arithmetic, so metrics stay on even in
+hot loops — a counter increment is a dict lookup away from free, which is
+what lets the fusion optimizer count every cost evaluation.
+
+Three metric kinds, mirroring the usual production vocabulary:
+
+- :class:`Counter` — monotonically increasing totals (probes rendered,
+  fusion iterations, gesture rejections);
+- :class:`Gauge` — last-written values (final residual, learned radius);
+- :class:`Histogram` — fixed-bucket distributions (per-probe localization
+  error) with cumulative-style bucket counts, sum, and count.
+
+The global :func:`registry` supports ``snapshot()`` (a plain dict),
+``reset()`` (zero everything, keep registrations), and ``to_json()`` —
+that JSON is what ``uniq-personalize --metrics-json`` and the benchmark
+exporter write.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "registry",
+]
+
+#: Default histogram bucket upper bounds — a generic log-ish ladder that
+#: covers degrees, milliseconds, and counts equally well.
+DEFAULT_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A fixed-bucket distribution.
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]`` (non-
+    cumulative per bucket); the final slot counts overflows.  Non-finite
+    observations are counted separately and never pollute the sum.
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "sum", "count", "non_finite")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        ordered = tuple(float(b) for b in buckets)
+        if len(ordered) < 1 or list(ordered) != sorted(set(ordered)):
+            raise ValueError(f"histogram {name} buckets must be sorted unique: {buckets}")
+        self.name = name
+        self.buckets = ordered
+        self.bucket_counts = [0] * (len(ordered) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.non_finite = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            self.non_finite += 1
+            return
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+
+class MetricsRegistry:
+    """A named collection of metrics with snapshot/reset semantics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, buckets)
+            return metric
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every metric as one JSON-serializable dict."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: metric.value for name, metric in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: metric.value for name, metric in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: {
+                        "buckets": list(metric.buckets),
+                        "counts": list(metric.bucket_counts),
+                        "sum": metric.sum,
+                        "count": metric.count,
+                        "non_finite": metric.non_finite,
+                    }
+                    for name, metric in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Zero every metric, keeping all registrations alive."""
+        with self._lock:
+            for metric in self._counters.values():
+                metric.value = 0.0
+            for metric in self._gauges.values():
+                metric.value = 0.0
+            for metric in self._histograms.values():
+                metric.bucket_counts = [0] * (len(metric.buckets) + 1)
+                metric.sum = 0.0
+                metric.count = 0
+                metric.non_finite = 0
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot serialized as JSON text."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry all library instrumentation uses."""
+    return _registry
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a counter on the global registry."""
+    return _registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get-or-create a gauge on the global registry."""
+    return _registry.gauge(name)
+
+
+def histogram(name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+    """Get-or-create a histogram on the global registry."""
+    return _registry.histogram(name, buckets)

@@ -19,6 +19,8 @@ import numpy as np
 from repro.constants import DEFAULT_SAMPLE_RATE
 from repro.errors import SignalError
 from repro.geometry.trajectory import Trajectory, hand_motion_trajectory
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.simulation.hardware import SpeakerMicResponse
 from repro.simulation.imu import GyroscopeModel, IMUTrace
 from repro.simulation.person import VirtualSubject
@@ -126,24 +128,34 @@ class MeasurementSession:
         positions = trajectory.positions()
 
         probes = []
-        for idx in indices:
-            left, right = record_near_field(
-                self.subject,
-                positions[idx],
-                probe,
-                fs=self.fs,
-                rng=rng,
-                hardware=self.hardware,
-                room=self.room,
-                noise_std=self.noise_std,
-            )
-            probes.append(
-                ProbeMeasurement(
-                    time=float(trajectory.times[idx]), left=left, right=right
-                )
-            )
-
-        imu = self.gyro.measure(trajectory, rng)
+        with obs_trace.span(
+            "session.run",
+            n_probes=int(indices.shape[0]),
+            fs=self.fs,
+            sweep_s=float(trajectory.times[-1] - trajectory.times[0]),
+        ) as span:
+            with obs_trace.span("session.render_probes"):
+                for idx in indices:
+                    left, right = record_near_field(
+                        self.subject,
+                        positions[idx],
+                        probe,
+                        fs=self.fs,
+                        rng=rng,
+                        hardware=self.hardware,
+                        room=self.room,
+                        noise_std=self.noise_std,
+                    )
+                    probes.append(
+                        ProbeMeasurement(
+                            time=float(trajectory.times[idx]), left=left, right=right
+                        )
+                    )
+            obs_metrics.counter("session.probes_rendered").inc(len(probes))
+            obs_metrics.counter("session.runs").inc()
+            with obs_trace.span("session.imu"):
+                imu = self.gyro.measure(trajectory, rng)
+            span.set("n_rendered", len(probes))
         return SessionData(
             fs=self.fs,
             probe_signal=probe,

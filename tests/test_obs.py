@@ -1,0 +1,295 @@
+"""Tests for the observability subsystem (repro.obs) and its pipeline hooks."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.obs import metrics as obs_metrics
+from repro.obs import report as obs_report
+from repro.obs import trace as obs_trace
+from repro.simulation.session import MeasurementSession
+from repro.core.pipeline import Uniq, UniqConfig
+
+GRID = tuple(np.arange(0.0, 180.0 + 1e-9, 15.0))
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Every test starts and ends with tracing off and an empty stack."""
+    obs_trace.set_enabled(False)
+    obs_trace.clear()
+    yield
+    obs_trace.set_enabled(False)
+    obs_trace.clear()
+
+
+class TestSpanTracer:
+    def test_nested_spans_build_a_tree(self):
+        with obs_trace.capturing():
+            with obs_trace.span("root", probes=3) as root:
+                with obs_trace.span("child.a"):
+                    with obs_trace.span("grandchild"):
+                        pass
+                with obs_trace.span("child.b") as b:
+                    b.set("angle", 42.0)
+        assert obs_trace.last_trace() is root
+        assert [c.name for c in root.children] == ["child.a", "child.b"]
+        assert root.children[0].children[0].name == "grandchild"
+        assert root.attributes == {"probes": 3}
+        assert root.children[1].attributes == {"angle": 42.0}
+
+    def test_durations_are_recorded(self):
+        with obs_trace.capturing():
+            with obs_trace.span("timed") as sp:
+                time.sleep(0.005)
+        assert sp.duration_s is not None
+        assert sp.duration_s >= 0.004
+
+    def test_disabled_returns_shared_noop(self):
+        assert not obs_trace.is_enabled()
+        first = obs_trace.span("a", heavy=1)
+        second = obs_trace.span("b")
+        assert first is second is obs_trace.NULL_SPAN
+        with first as handle:
+            handle.set("key", "value")  # must swallow silently
+            handle.update(more=2)
+        assert obs_trace.last_trace() is None
+
+    def test_exception_marks_span_and_propagates(self):
+        with obs_trace.capturing():
+            with pytest.raises(ValueError):
+                with obs_trace.span("boom"):
+                    raise ValueError("nope")
+        root = obs_trace.last_trace()
+        assert root.name == "boom"
+        assert root.attributes["error"] == "ValueError"
+        assert root.duration_s is not None
+
+    def test_capturing_restores_previous_state(self):
+        assert not obs_trace.is_enabled()
+        with obs_trace.capturing():
+            assert obs_trace.is_enabled()
+            with obs_trace.capturing():
+                assert obs_trace.is_enabled()
+            assert obs_trace.is_enabled()
+        assert not obs_trace.is_enabled()
+
+    def test_traced_decorator(self):
+        @obs_trace.traced("custom.name")
+        def work(x):
+            return x * 2
+
+        assert work(3) == 6  # disabled: plain call
+        with obs_trace.capturing():
+            assert work(4) == 8
+        assert obs_trace.last_trace().name == "custom.name"
+
+    def test_walk_visits_depth_first(self):
+        with obs_trace.capturing():
+            with obs_trace.span("r"):
+                with obs_trace.span("a"):
+                    with obs_trace.span("a1"):
+                        pass
+                with obs_trace.span("b"):
+                    pass
+        visited = [(depth, s.name) for depth, s in obs_trace.walk(obs_trace.last_trace())]
+        assert visited == [(0, "r"), (1, "a"), (2, "a1"), (1, "b")]
+
+    def test_disabled_overhead_is_negligible(self):
+        """The acceptance bar is <2%; the span() fast path must be a flag check."""
+        def loop(n):
+            total = 0.0
+            for i in range(n):
+                with obs_trace.span("hot"):
+                    total += i * 0.5
+            return total
+
+        def bare(n):
+            total = 0.0
+            for i in range(n):
+                total += i * 0.5
+            return total
+
+        n = 50_000
+        bare(n), loop(n)  # warm up
+        t0 = time.perf_counter()
+        bare(n)
+        t_bare = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        loop(n)
+        t_loop = time.perf_counter() - t0
+        # Per-iteration cost of a disabled span must stay under a couple of
+        # microseconds — generous enough to be timer-noise-proof in CI while
+        # still catching an accidentally-enabled slow path.
+        assert (t_loop - t_bare) / n < 2e-6
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        c = obs_metrics.Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_histogram_bucketing(self):
+        h = obs_metrics.Histogram("h", buckets=(1.0, 5.0, 10.0))
+        for value in (0.2, 1.0, 3.0, 9.9, 50.0):
+            h.observe(value)
+        # 0.2 and 1.0 land in <=1.0; 3.0 in <=5.0; 9.9 in <=10.0; 50 overflows.
+        assert h.bucket_counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(64.1)
+        h.observe(float("nan"))
+        h.observe(float("inf"))
+        assert h.non_finite == 2
+        assert h.count == 5  # non-finite never pollute count/sum
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            obs_metrics.Histogram("bad", buckets=(5.0, 1.0))
+
+    def test_registry_snapshot_reset_roundtrip(self):
+        reg = obs_metrics.MetricsRegistry()
+        reg.counter("runs").inc(3)
+        reg.gauge("residual").set(7.25)
+        reg.histogram("err", buckets=(1.0, 2.0)).observe(1.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["runs"] == 3
+        assert snap["gauges"]["residual"] == 7.25
+        assert snap["histograms"]["err"]["counts"] == [0, 1, 0]
+        # JSON round-trip: exact same structure back.
+        assert json.loads(reg.to_json()) == snap
+        reg.reset()
+        zeroed = reg.snapshot()
+        assert zeroed["counters"]["runs"] == 0
+        assert zeroed["gauges"]["residual"] == 0
+        assert zeroed["histograms"]["err"]["counts"] == [0, 0, 0]
+        # Registrations survive reset: same object, fresh numbers.
+        assert reg.counter("runs").value == 0
+
+    def test_get_or_create_is_stable(self):
+        reg = obs_metrics.MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("y") is reg.histogram("y")
+
+
+class TestReportRendering:
+    def _trace(self):
+        with obs_trace.capturing():
+            with obs_trace.span("root", n=2):
+                with obs_trace.span("stage.one"):
+                    pass
+                with obs_trace.span("stage.two", share=0.5):
+                    pass
+        return obs_trace.last_trace()
+
+    def test_render_span_tree(self):
+        text = obs_report.render_span_tree(self._trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert any("stage.one" in line and "├─" in line for line in lines)
+        assert any("stage.two" in line and "└─" in line for line in lines)
+        assert "%" in lines[1]
+
+    def test_trace_json_roundtrip(self):
+        root = self._trace()
+        data = json.loads(obs_report.trace_to_json(root))
+        assert data["name"] == "root"
+        assert [c["name"] for c in data["children"]] == ["stage.one", "stage.two"]
+        assert data["attributes"] == {"n": 2}
+        assert data["duration_s"] == pytest.approx(root.duration_s)
+
+    def test_stage_durations_sum_repeats(self):
+        with obs_trace.capturing():
+            with obs_trace.span("root"):
+                for _ in range(3):
+                    with obs_trace.span("rep"):
+                        pass
+        totals = obs_report.stage_durations(obs_trace.last_trace())
+        assert set(totals) == {"root", "rep"}
+        assert totals["rep"] <= totals["root"]
+
+    def test_render_metrics(self):
+        reg = obs_metrics.MetricsRegistry()
+        reg.counter("pipeline.runs").inc(2)
+        reg.gauge("residual_deg").set(5.5)
+        reg.histogram("err").observe(3.0)
+        text = obs_report.render_metrics(reg.snapshot())
+        assert "pipeline.runs" in text and "counter" in text
+        assert "residual_deg" in text and "gauge" in text
+        assert "histogram count=1" in text
+        assert obs_report.render_metrics({}) == "(no metrics recorded)"
+
+
+class TestPipelineInstrumentation:
+    @pytest.fixture(scope="class")
+    def traced_result(self, small_session):
+        with obs_trace.capturing():
+            return Uniq(UniqConfig(angle_grid_deg=GRID)).personalize(small_session)
+
+    def test_personalize_root_span(self, traced_result):
+        root = traced_result.trace
+        assert root is not None
+        assert root.name == "uniq.personalize"
+        assert root.duration_s is not None and root.duration_s > 0
+        child_names = {c.name for c in root.children}
+        assert {
+            "fusion.run",
+            "uniq.gesture_check",
+            "interpolation.extract_measurements",
+            "interpolation.build_grid",
+            "near_far.convert",
+        } <= child_names
+        assert len(root.children) >= 4
+        assert all(c.duration_s is not None and c.duration_s > 0
+                   for c in root.children)
+
+    def test_fusion_span_has_stage_children(self, traced_result):
+        fusion = next(c for c in traced_result.trace.children if c.name == "fusion.run")
+        stages = {c.name for c in fusion.children}
+        assert {"fusion.extract_delays", "fusion.imu_angles",
+                "fusion.optimize", "fusion.final_localize"} <= stages
+        optimize = next(c for c in fusion.children if c.name == "fusion.optimize")
+        assert optimize.attributes["iterations"] > 0
+        assert optimize.attributes["cost_evaluations"] > 0
+
+    def test_pipeline_counters_accumulate(self, traced_result):
+        snap = obs_metrics.registry().snapshot()
+        assert snap["counters"]["uniq.personalize.runs"] >= 1
+        assert snap["counters"]["uniq.personalize.completed"] >= 1
+        assert snap["counters"]["fusion.iterations"] > 0
+        assert snap["counters"]["fusion.cost_evaluations"] > 0
+
+    def test_untraced_run_attaches_no_trace(self, traced_result, small_session):
+        del traced_result  # ordering only: class fixture ran under capturing
+        assert not obs_trace.is_enabled()
+        result = Uniq(UniqConfig(angle_grid_deg=GRID)).personalize(small_session)
+        assert result.trace is None
+
+
+class TestGestureRejectionCounter:
+    def test_rejection_raises_and_counts(self, subject):
+        """A degraded sweep must both raise and increment the reject counter."""
+        from repro.geometry.trajectory import hand_motion_trajectory
+
+        rng = np.random.default_rng(31)
+        trajectory = hand_motion_trajectory(
+            rng,
+            radius_mean=0.17,
+            radius_wobble=0.02,
+            arm_drop_probability=1.0,
+            arm_drop_depth=0.4,
+        )
+        session = MeasurementSession(
+            subject, seed=31, trajectory=trajectory, probe_interval_s=0.6
+        ).run()
+        before = obs_metrics.counter("uniq.gesture_rejections").value
+        with pytest.raises(CalibrationError):
+            Uniq(UniqConfig(angle_grid_deg=GRID)).personalize(session)
+        after = obs_metrics.counter("uniq.gesture_rejections").value
+        assert after == before + 1
