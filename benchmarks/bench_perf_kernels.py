@@ -19,8 +19,11 @@ from repro.simulation.person import VirtualSubject
 from repro.simulation.propagation import record_far_field, record_near_field
 from repro.signals.channel import estimate_channel
 from repro.signals.waveforms import probe_chirp, white_noise
+from repro.simulation.session import MeasurementSession
+from repro.signals.channel import ProbeChannelBank
 from repro.core.aoa import KnownSourceAoAEstimator, UnknownSourceAoAEstimator
-from repro.core.localize import DelayMap
+from repro.core.localize import DelayMap, cached_delay_map, clear_delay_map_cache
+from repro.core.pipeline import Uniq, UniqConfig
 
 FS = 48_000
 
@@ -69,6 +72,48 @@ def test_perf_delay_map_invert(benchmark, head):
     t_left, t_right = binaural_delays(head, polar_to_cartesian(0.45, 60.0))
     candidate = benchmark(delay_map.locate, t_left, t_right, 60.0)
     assert candidate is not None
+
+
+def test_perf_delay_map_cached(benchmark, head):
+    """A cached_delay_map hit: what the optimizer pays on a revisited vertex."""
+    clear_delay_map_cache()
+    params = head.parameters
+    cached_delay_map(params, 240, (0.16, 1.2, 24), (-40.0, 220.0, 88))
+
+    def hit():
+        return cached_delay_map(params, 240, (0.16, 1.2, 24), (-40.0, 220.0, 88))
+
+    result = benchmark(hit)
+    assert result.t_left.shape == (24, 88)
+
+
+def test_perf_channel_bank_hit(benchmark, subject):
+    """Serving an already-deconvolved channel out of the session bank."""
+    chirp = probe_chirp(FS)
+    left, _ = record_near_field(
+        subject, polar_to_cartesian(0.45, 50.0), chirp, FS,
+        rng=np.random.default_rng(1),
+    )
+    bank = ProbeChannelBank(chirp)
+    bank.channel((0, "left"), left, 576)
+    channel = benchmark(bank.channel, (0, "left"), left, 576)
+    assert channel.shape == (576,)
+
+
+def test_perf_personalize_end_to_end(benchmark, subject):
+    """The whole pipeline on a short capture, min-of-N over warm repeats.
+
+    The first (cold) round pays the DelayMap builds; later rounds measure
+    the cached steady state the acceptance budget tracks.
+    """
+    session = MeasurementSession(subject, seed=3, probe_interval_s=0.8).run()
+    uniq = Uniq(UniqConfig(angle_grid_deg=tuple(np.arange(0.0, 181.0, 20.0))))
+    clear_delay_map_cache()
+    result = benchmark.pedantic(
+        uniq.personalize, args=(session,), rounds=3, iterations=1,
+        warmup_rounds=0,
+    )
+    assert np.isfinite(result.fusion.radii_m).all()
 
 
 def test_perf_channel_estimation(benchmark, subject):

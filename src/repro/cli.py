@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -65,6 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.4,
         help="seconds between probe chirps during the sweep (default: 0.4)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the personalization N times on the same capture and "
+        "report the cold and fastest wall times (the repeats exercise the "
+        "session caches; outputs are identical across runs)",
     )
     parser.add_argument(
         "--evaluate",
@@ -142,12 +152,20 @@ def main(argv: list[str] | None = None) -> int:
           f"{session.truth.trajectory.duration:.0f} s sweep")
 
     grid = tuple(np.arange(0.0, 180.0 + 1e-9, args.angle_step))
+    uniq = Uniq(UniqConfig(angle_grid_deg=grid))
+    walls = []
     try:
-        result = Uniq(UniqConfig(angle_grid_deg=grid)).personalize(session)
+        for _ in range(max(args.repeat, 1)):
+            start = time.perf_counter()
+            result = uniq.personalize(session)
+            walls.append(time.perf_counter() - start)
     except ReproError as error:
         print(f"personalization failed: {error}", file=sys.stderr)
         _write_metrics(args.metrics_json)
         return 1
+    if len(walls) > 1:
+        print(f"wall time        : cold {walls[0]:.2f} s, "
+              f"fastest {min(walls):.2f} s over {len(walls)} runs")
 
     if args.trace and result.trace is not None:
         print()

@@ -30,11 +30,11 @@ from repro.obs.logging import get_logger, kv
 from repro.simulation.imu import IMUTrace, integrate_gyro
 from repro.simulation.session import SessionData
 from repro.signals.channel import (
-    estimate_channel,
+    ProbeChannelBank,
     first_tap_index,
     refine_tap_position,
 )
-from repro.core.localize import DelayMap
+from repro.core.localize import DelayMap, cached_delay_map
 
 #: Squared-error penalty (deg^2 contribution via this delta) for a probe the
 #: candidate head cannot explain at all.
@@ -42,6 +42,10 @@ _UNSOLVED_PENALTY_DEG = 45.0
 
 #: Head-axis search bounds (m): generous anthropometric range.
 _BOUNDS = {"a": (0.065, 0.115), "b": (0.085, 0.145), "c": (0.072, 0.125)}
+
+#: Co-estimated gyro bias guard (deg/s): the cost function rejects candidate
+#: vertices beyond this, and the returned estimate is clipped to match.
+MAX_GYRO_BIAS_DPS = 3.0
 
 _log = get_logger("core.fusion")
 
@@ -127,21 +131,25 @@ class DiffractionAwareSensorFusion:
     speed_of_sound: float = SPEED_OF_SOUND
 
     def extract_probe_delays(
-        self, session: SessionData
+        self, session: SessionData, bank: ProbeChannelBank | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Per-probe absolute first-tap delays (s) at the (left, right) ears.
 
         Deconvolves each probe recording with the known played signal and
         picks the first significant channel tap with sub-sample refinement.
+        When the pipeline passes its session ``bank``, the deconvolutions
+        are shared with the interpolation stage; standalone calls build a
+        private bank (the shared ``rfft(source)`` still pays off within the
+        call).
         """
+        if bank is None:
+            bank = ProbeChannelBank(session.probe_signal)
         n_window = int(self.channel_window_s * session.fs)
         t_left = np.zeros(session.n_probes)
         t_right = np.zeros(session.n_probes)
         for i, probe in enumerate(session.probes):
             for attr, out in (("left", t_left), ("right", t_right)):
-                channel = estimate_channel(
-                    getattr(probe, attr), session.probe_signal, n_window
-                )
+                channel = bank.channel((i, attr), getattr(probe, attr), n_window)
                 tap = refine_tap_position(channel, first_tap_index(channel))
                 out[i] = tap / session.fs
         return t_left, t_right
@@ -193,11 +201,11 @@ class DiffractionAwareSensorFusion:
         for value, (lo, hi) in zip(params[:3], _BOUNDS.values()):
             if not lo <= value <= hi:
                 return 1e6 * (1.0 + float(np.sum(np.abs(params))))
-        if abs(bias) > 3.0:
+        if abs(bias) > MAX_GYRO_BIAS_DPS:
             return 1e6 * (1.0 + abs(bias))
-        head = HeadGeometry(a=a, b=b, c=c, n_boundary=self.fusion_boundary_samples)
-        delay_map = DelayMap(
-            head,
+        delay_map = cached_delay_map(
+            (float(a), float(b), float(c)),
+            self.fusion_boundary_samples,
             self.map_radii,
             self.map_thetas,
             self.speed_of_sound,
@@ -211,8 +219,14 @@ class DiffractionAwareSensorFusion:
         deltas = np.where(solved, corrected - thetas, _UNSOLVED_PENALTY_DEG)
         return float(np.mean(deltas**2))
 
-    def run(self, session: SessionData) -> FusionResult:
-        """Execute sensor fusion on one measurement session."""
+    def run(
+        self, session: SessionData, bank: ProbeChannelBank | None = None
+    ) -> FusionResult:
+        """Execute sensor fusion on one measurement session.
+
+        ``bank`` is the session's shared deconvolution cache; the pipeline
+        passes one so the interpolation stage reuses these channels.
+        """
         if session.n_probes < 5:
             raise SignalError(
                 f"need >= 5 probes for fusion, got {session.n_probes}"
@@ -224,7 +238,7 @@ class DiffractionAwareSensorFusion:
             grid=f"{self.map_radii[2]}x{self.map_thetas[2]}",
         ) as run_span:
             with obs_trace.span("fusion.extract_delays", n_probes=session.n_probes):
-                t_left, t_right = self.extract_probe_delays(session)
+                t_left, t_right = self.extract_probe_delays(session, bank)
             with obs_trace.span("fusion.imu_angles"):
                 alphas = self.imu_angles(session)
             probe_times = np.array([p.time for p in session.probes])
@@ -273,15 +287,20 @@ class DiffractionAwareSensorFusion:
                 [lo for lo, _ in _BOUNDS.values()],
                 [hi for _, hi in _BOUNDS.values()],
             )
-            bias = float(result.x[3]) if self.estimate_gyro_bias else 0.0
+            bias = (
+                float(np.clip(result.x[3], -MAX_GYRO_BIAS_DPS, MAX_GYRO_BIAS_DPS))
+                if self.estimate_gyro_bias
+                else 0.0
+            )
             alphas = self._debiased(alphas, elapsed, bias)
             head = HeadGeometry(a=float(a), b=float(b), c=float(c))
 
             with obs_trace.span("fusion.final_localize") as final_span:
                 # Final pass: full-resolution boundary and a fine inversion
                 # grid.
-                final_map = DelayMap(
-                    head,
+                final_map = cached_delay_map(
+                    head.parameters,
+                    head.n_boundary,
                     self.final_map_radii,
                     self.final_map_thetas,
                     self.speed_of_sound,
@@ -301,6 +320,13 @@ class DiffractionAwareSensorFusion:
                     np.sqrt(np.mean((alphas[solved] - thetas[solved]) ** 2))
                 )
             else:
+                # Nothing localized: radii would stay all-NaN and poison any
+                # caller that ignores residual_deg=inf.  Fall back to the
+                # map's mid-radius so radii_m is always finite.
+                radii = np.full(
+                    radii.shape,
+                    float(0.5 * (final_map.radii[0] + final_map.radii[-1])),
+                )
                 residual = float("inf")
 
             obs_metrics.counter("fusion.probes_solved").inc(int(solved.sum()))

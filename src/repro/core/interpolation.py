@@ -32,7 +32,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.physics import near_field_first_tap_gain
 from repro.signals.channel import (
-    estimate_channel,
+    ProbeChannelBank,
     first_tap_index,
     refine_tap_position,
     truncate_after,
@@ -87,14 +87,21 @@ class NearFieldInterpolator:
             raise SignalError("hrir_duration_s too short for the tap layout")
 
     def extract_measurements(
-        self, session: SessionData, fusion: FusionResult
+        self,
+        session: SessionData,
+        fusion: FusionResult,
+        bank: ProbeChannelBank | None = None,
     ) -> list[NearFieldMeasurement]:
         """Per-probe near-field HRIRs, windowed around the binaural first taps.
 
         The window starts just before the *earlier* ear's first tap so the
         interaural delay is preserved inside the pair; room reflections are
-        truncated per ear relative to its own first tap.
+        truncated per ear relative to its own first tap.  When the pipeline
+        passes the session ``bank``, the deconvolutions already done by the
+        fusion stage are reused instead of recomputed.
         """
+        if bank is None:
+            bank = ProbeChannelBank(session.probe_signal)
         measurements = []
         with obs_trace.span(
             "interpolation.extract_measurements", n_probes=session.n_probes
@@ -106,9 +113,7 @@ class NearFieldInterpolator:
                     (Ear.LEFT, probe.left),
                     (Ear.RIGHT, probe.right),
                 ):
-                    channel = estimate_channel(
-                        recording, session.probe_signal, self.n_channel
-                    )
+                    channel = bank.channel((i, ear.value), recording, self.n_channel)
                     tap = first_tap_index(channel)
                     channels[ear] = truncate_after(channel, tap + self.room_cutoff)
                     taps[ear] = tap

@@ -23,6 +23,8 @@ all the heavy lifting is in vectorized numpy.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,8 +32,10 @@ import numpy as np
 from repro.constants import SPEED_OF_SOUND
 from repro.errors import GeometryError
 from repro.geometry.batch import binaural_delays_batch
-from repro.geometry.head import Ear, HeadGeometry
+from repro.geometry.head import DEFAULT_BOUNDARY_SAMPLES, Ear, HeadGeometry
 from repro.geometry.vec import polar_to_cartesian
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger, kv
 
 #: Default radial grid span (m): from just outside any plausible head to
 #: beyond any plausible arm reach.
@@ -40,6 +44,12 @@ DEFAULT_RADII = (0.16, 1.4, 40)
 #: Default angular grid (deg): full circle so both ambiguous intersections
 #: are always found, at ~3 degree resolution before sub-grid refinement.
 DEFAULT_THETAS = (-180.0, 180.0, 121)
+
+#: Per-instance invert() memo size bound; the cache is cleared (not LRU
+#: evicted) past this, which is far above any per-session probe count.
+_INVERT_CACHE_MAX = 4096
+
+_log = get_logger("core.localize")
 
 
 @dataclass(frozen=True)
@@ -95,7 +105,20 @@ class DelayMap:
             )
         max_axis = max(head.parameters)
         if r_min <= max_axis:
-            r_min = max_axis + 0.01
+            # The caller's radial grid starts inside the head; the map can
+            # only honor radii outside the boundary, so self.radii will not
+            # match the requested spec — say so instead of adjusting silently.
+            adjusted = max_axis + 0.01
+            obs_metrics.counter("localize.radial_grid_adjusted").inc()
+            _log.warning(
+                kv(
+                    "localize.radial_grid_adjusted",
+                    requested_r_min_m=r_min,
+                    adjusted_r_min_m=adjusted,
+                    head_max_axis_m=max_axis,
+                )
+            )
+            r_min = adjusted
 
         self.head = head
         self.model = model
@@ -109,6 +132,13 @@ class DelayMap:
         t_left, t_right = self._delays_for(sources)
         self.t_left = t_left.reshape(n_r, n_t)  # (r, theta)
         self.t_right = t_right.reshape(n_r, n_t)
+        #: Memoized invert() results keyed by the exact (t1, t2) pair — the
+        #: tables are immutable after construction, so a repeated delay pair
+        #: (cached maps re-served across optimizer runs) is a pure replay.
+        self._invert_cache: dict[
+            tuple[float, float], tuple[LocalizationCandidate, ...]
+        ] = {}
+        obs_metrics.counter("localize.delay_map_builds").inc()
 
     def _delays_for(self, sources: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Exact (un-tabulated) per-source binaural delays under the model."""
@@ -161,6 +191,11 @@ class DelayMap:
         """
         if not np.isfinite(t_left) or not np.isfinite(t_right):
             return []
+        key = (float(t_left), float(t_right))
+        cached = self._invert_cache.get(key)
+        if cached is not None:
+            obs_metrics.counter("localize.invert_cache_hits").inc()
+            return list(cached)
         radius = self._radius_for_left_delay(t_left)
         g = self._right_delay_at(radius) - t_right
         candidates: list[LocalizationCandidate] = []
@@ -178,7 +213,11 @@ class DelayMap:
                 r_here = float(radius[i] + frac * (radius[i + 1] - radius[i]))
                 if np.isfinite(r_here):
                     candidates.append(LocalizationCandidate(r_here, theta))
-        return self._refine_grazing(t_left, t_right, g, radius, finite, candidates)
+        out = self._refine_grazing(t_left, t_right, g, radius, finite, candidates)
+        if len(self._invert_cache) >= _INVERT_CACHE_MAX:
+            self._invert_cache.clear()
+        self._invert_cache[key] = tuple(out)
+        return out
 
     def _refine_grazing(
         self,
@@ -419,3 +458,98 @@ class DelayMap:
         if not candidates:
             return None
         return min(candidates, key=lambda c: abs(c.theta_deg - imu_angle_deg))
+
+
+#: LRU store of built maps.  ~34 KB per coarse fusion map, so the default
+#: capacity comfortably holds every unique vertex of one optimizer run plus
+#: the full-resolution final maps of several recent sessions.
+_MAP_CACHE: OrderedDict[tuple, DelayMap] = OrderedDict()
+_MAP_CACHE_MAX = 256
+_MAP_CACHE_LOCK = threading.Lock()
+
+
+def _map_cache_key(
+    parameters: tuple[float, float, float],
+    n_boundary: int,
+    radii: tuple[float, float, int],
+    thetas: tuple[float, float, int],
+    speed_of_sound: float,
+    model: str,
+    refine: bool,
+) -> tuple:
+    # Quantize the axes far below the optimizer's own tolerance (xatol is
+    # 2e-4 m) so bit-identical revisits hit while numerically distinct
+    # candidates never collapse onto one entry.
+    a, b, c = (round(float(v), 12) for v in parameters)
+    return (
+        a,
+        b,
+        c,
+        int(n_boundary),
+        tuple(radii),
+        tuple(thetas),
+        round(float(speed_of_sound), 9),
+        model,
+        bool(refine),
+    )
+
+
+def cached_delay_map(
+    parameters: tuple[float, float, float],
+    n_boundary: int = DEFAULT_BOUNDARY_SAMPLES,
+    radii: tuple[float, float, int] = DEFAULT_RADII,
+    thetas: tuple[float, float, int] = DEFAULT_THETAS,
+    speed_of_sound: float = SPEED_OF_SOUND,
+    model: str = "diffraction",
+    refine: bool = True,
+) -> DelayMap:
+    """A :class:`DelayMap` for ``E = (a, b, c)``, memoized process-wide.
+
+    The fusion optimizer, repeated personalizations of one session, and the
+    evaluation cohort all rebuild maps for head parameter vectors they have
+    already seen; a hit skips both the :class:`HeadGeometry` boundary build
+    and the full batch diffraction solve.  Maps are immutable after
+    construction (``invert`` results are memoized per instance), so sharing
+    one instance across callers cannot change any numeric output.
+
+    Hits/misses are counted under ``localize.delay_map_cache_hits`` /
+    ``_misses``; :func:`clear_delay_map_cache` empties the store (tests,
+    memory-pressure escape hatch).
+    """
+    key = _map_cache_key(
+        parameters, n_boundary, radii, thetas, speed_of_sound, model, refine
+    )
+    with _MAP_CACHE_LOCK:
+        cached = _MAP_CACHE.get(key)
+        if cached is not None:
+            _MAP_CACHE.move_to_end(key)
+            obs_metrics.counter("localize.delay_map_cache_hits").inc()
+            return cached
+    # Build outside the lock: a concurrent duplicate build wastes one solve
+    # but never blocks other threads behind a ~10 ms construction.
+    obs_metrics.counter("localize.delay_map_cache_misses").inc()
+    a, b, c = (float(v) for v in parameters)
+    head = HeadGeometry(a=a, b=b, c=c, n_boundary=int(n_boundary))
+    built = DelayMap(
+        head, radii, thetas, speed_of_sound, model=model, refine=refine
+    )
+    with _MAP_CACHE_LOCK:
+        existing = _MAP_CACHE.get(key)
+        if existing is not None:
+            return existing
+        _MAP_CACHE[key] = built
+        while len(_MAP_CACHE) > _MAP_CACHE_MAX:
+            _MAP_CACHE.popitem(last=False)
+    return built
+
+
+def delay_map_cache_size() -> int:
+    """Number of maps currently held by :func:`cached_delay_map`."""
+    with _MAP_CACHE_LOCK:
+        return len(_MAP_CACHE)
+
+
+def clear_delay_map_cache() -> None:
+    """Drop every memoized map (the hit/miss counters are left untouched)."""
+    with _MAP_CACHE_LOCK:
+        _MAP_CACHE.clear()

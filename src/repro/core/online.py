@@ -32,12 +32,16 @@ from repro.constants import DEFAULT_SAMPLE_RATE
 from repro.errors import SignalError
 from repro.geometry.head import HeadGeometry
 from repro.signals.channel import (
-    estimate_channel,
+    ProbeChannelBank,
     first_tap_index,
     refine_tap_position,
 )
-from repro.core.fusion import DiffractionAwareSensorFusion, FusionResult
-from repro.core.localize import DelayMap
+from repro.core.fusion import (
+    MAX_GYRO_BIAS_DPS,
+    DiffractionAwareSensorFusion,
+    FusionResult,
+)
+from repro.core.localize import cached_delay_map
 
 
 @dataclass(frozen=True)
@@ -98,6 +102,9 @@ class OnlineFusion:
             self.probe_signal = probe_chirp(self.fs)
         if self.refit_every < 1 or self.min_probes < 5:
             raise SignalError("refit_every >= 1 and min_probes >= 5 required")
+        # Session-lifetime deconvolution cache: each arriving probe is
+        # deconvolved exactly once and the source spectrum is shared.
+        self._bank = ProbeChannelBank(self.probe_signal)
 
     @property
     def n_probes(self) -> int:
@@ -116,8 +123,12 @@ class OnlineFusion:
         ``refit_every`` arrivals once ``min_probes`` have accumulated.
         """
         n_window = int(self._batch.channel_window_s * self.fs)
-        for recording, store in ((left, self._t_left), (right, self._t_right)):
-            channel = estimate_channel(recording, self.probe_signal, n_window)
+        index = self.n_probes
+        for ear, recording, store in (
+            ("left", left, self._t_left),
+            ("right", right, self._t_right),
+        ):
+            channel = self._bank.channel((index, ear), recording, n_window)
             tap = refine_tap_position(channel, first_tap_index(channel))
             store.append(tap / self.fs)
         self._alphas.append(float(imu_angle_deg))
@@ -221,11 +232,14 @@ class OnlineFusion:
         a, b, c = np.clip(
             result.x[:3], [0.065, 0.085, 0.072], [0.115, 0.145, 0.125]
         )
-        bias = float(result.x[3])
+        bias = float(np.clip(result.x[3], -MAX_GYRO_BIAS_DPS, MAX_GYRO_BIAS_DPS))
         head = HeadGeometry(a=float(a), b=float(b), c=float(c))
         corrected = alphas - bias * elapsed
-        final_map = DelayMap(
-            head, batch.final_map_radii, batch.final_map_thetas
+        final_map = cached_delay_map(
+            head.parameters,
+            head.n_boundary,
+            batch.final_map_radii,
+            batch.final_map_thetas,
         )
         thetas, radii, solved = batch._localize_all(
             final_map, t_left, t_right, corrected
@@ -237,6 +251,12 @@ class OnlineFusion:
                 np.sqrt(np.mean((corrected[solved] - thetas[solved]) ** 2))
             )
         else:
+            # Same invariant as the batch path: radii_m stays finite even
+            # when no probe localized (residual_deg=inf flags the failure).
+            radii = np.full(
+                radii.shape,
+                float(0.5 * (final_map.radii[0] + final_map.radii[-1])),
+            )
             residual = float("inf")
         return FusionResult(
             head=head,

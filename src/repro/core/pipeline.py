@@ -20,6 +20,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.logging import get_logger, kv
 from repro.obs.trace import Span
+from repro.signals.channel import ProbeChannelBank
 from repro.simulation.session import SessionData
 from repro.core.compensation import (
     check_gesture_quality,
@@ -150,7 +151,12 @@ class Uniq:
                 with obs_trace.span("uniq.compensate", n_probes=session.n_probes):
                     session = self._compensated(session, system_response)
 
-            fusion = self.config.fusion.run(session)
+            # One deconvolution cache for the whole run: fusion's delay
+            # extraction and the interpolator's HRIR extraction share the
+            # per-probe channel estimates (created after compensation so
+            # cached impulses reflect the equalized recordings).
+            bank = ProbeChannelBank(session.probe_signal)
+            fusion = self.config.fusion.run(session, bank=bank)
             if self.config.enforce_gesture_check:
                 with obs_trace.span("uniq.gesture_check"):
                     try:
@@ -162,7 +168,9 @@ class Uniq:
 
             grid = np.asarray(self.config.angle_grid_deg, dtype=float)
             interpolator = NearFieldInterpolator(session.fs)
-            measurements = interpolator.extract_measurements(session, fusion)
+            measurements = interpolator.extract_measurements(
+                session, fusion, bank=bank
+            )
             near_entries = interpolator.build_grid(measurements, fusion.head, grid)
 
             converter = NearFarConverter(fs=session.fs)

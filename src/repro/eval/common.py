@@ -9,11 +9,17 @@ Everything is seeded; two processes produce identical cohorts.
 from __future__ import annotations
 
 import functools
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.constants import DEFAULT_SAMPLE_RATE
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.hrtf.hrir import BinauralIR
 from repro.hrtf.reference import ground_truth_table, global_template_table
 from repro.hrtf.table import HRTFTable
@@ -61,29 +67,83 @@ class Cohort:
         return len(self.members)
 
 
+def _build_member(
+    args: tuple[int, VirtualSubject, float, int],
+) -> CohortMember:
+    """Build one fully seeded cohort member (top-level so it pickles).
+
+    Everything downstream of the ``(seed, subject)`` pair is deterministic,
+    so the same index produces a bit-identical member in any process.
+    """
+    i, subject, probe_interval_s, fs = args
+    angles = np.asarray(EVAL_ANGLES)
+    session = MeasurementSession(
+        subject, seed=9_000 + i, fs=fs, probe_interval_s=probe_interval_s
+    ).run()
+    uniq = Uniq(UniqConfig(angle_grid_deg=EVAL_ANGLES))
+    return CohortMember(
+        subject=subject,
+        session=session,
+        personalization=uniq.personalize(session),
+        ground_truth=ground_truth_table(subject, angles, fs),
+    )
+
+
+def _cohort_workers(requested: int | None, n: int) -> int:
+    """Resolve the worker count: argument beats env beats cpu count.
+
+    ``REPRO_COHORT_WORKERS=1`` (or ``0``) forces the serial path — the
+    opt-out for single-core CI boxes where process spawning only adds
+    overhead.
+    """
+    if requested is None:
+        env = os.environ.get("REPRO_COHORT_WORKERS", "").strip()
+        if env:
+            requested = int(env)
+        else:
+            requested = os.cpu_count() or 1
+    return max(1, min(int(requested), n))
+
+
 @functools.lru_cache(maxsize=4)
 def get_cohort(
     n: int = DEFAULT_COHORT_SIZE,
     probe_interval_s: float = 0.4,
     fs: int = DEFAULT_SAMPLE_RATE,
+    workers: int | None = None,
 ) -> Cohort:
-    """Build (once per process) the personalized volunteer cohort."""
+    """Build (once per process) the personalized volunteer cohort.
+
+    Members are independent seeded pipelines, so with ``workers > 1`` they
+    are personalized in parallel processes; results are bit-identical to
+    the serial path (the test suite asserts this).  ``workers=None``
+    consults ``REPRO_COHORT_WORKERS`` then the machine's cpu count.
+    """
     angles = np.asarray(EVAL_ANGLES)
     subjects = make_population(n)
-    members = []
-    uniq = Uniq(UniqConfig(angle_grid_deg=EVAL_ANGLES))
-    for i, subject in enumerate(subjects):
-        session = MeasurementSession(
-            subject, seed=9_000 + i, fs=fs, probe_interval_s=probe_interval_s
-        ).run()
-        members.append(
-            CohortMember(
-                subject=subject,
-                session=session,
-                personalization=uniq.personalize(session),
-                ground_truth=ground_truth_table(subject, angles, fs),
-            )
-        )
+    n_workers = _cohort_workers(workers, n)
+    jobs = [
+        (i, subject, probe_interval_s, fs)
+        for i, subject in enumerate(subjects)
+    ]
+    start = time.perf_counter()
+    with obs_trace.span("eval.get_cohort", n=n, workers=n_workers):
+        if n_workers > 1:
+            # fork (when available) lets children inherit this process's
+            # warm DelayMap cache instead of rebuilding maps from scratch.
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                context = multiprocessing.get_context()
+            with ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=context
+            ) as pool:
+                members = list(pool.map(_build_member, jobs))
+        else:
+            members = [_build_member(job) for job in jobs]
+    obs_metrics.counter("cohort.members_built").inc(len(members))
+    obs_metrics.gauge("cohort.workers").set(float(n_workers))
+    obs_metrics.gauge("cohort.build_s").set(time.perf_counter() - start)
     return Cohort(
         members=tuple(members),
         global_template=global_template_table(angles, fs),

@@ -22,6 +22,7 @@ from repro.signals.delays import (
     add_tap,
 )
 from repro.signals.channel import (
+    ProbeChannelBank,
     estimate_channel,
     first_tap_index,
     refine_tap_position,
@@ -49,6 +50,7 @@ __all__ = [
     "fractional_delay_kernel",
     "apply_fractional_delay",
     "add_tap",
+    "ProbeChannelBank",
     "estimate_channel",
     "first_tap_index",
     "refine_tap_position",

@@ -13,9 +13,36 @@ the source (Section 4.1, Figure 9) and then works with the channel's *taps*:
 
 from __future__ import annotations
 
+from typing import Hashable
+
 import numpy as np
 
 from repro.errors import SignalError
+from repro.obs import metrics as obs_metrics
+
+
+def _validate_deconvolution_inputs(
+    recording: np.ndarray, source: np.ndarray
+) -> None:
+    if recording.ndim != 1 or source.ndim != 1:
+        raise SignalError("estimate_channel expects 1D arrays")
+    if source.shape[0] < 8:
+        raise SignalError("source too short to deconvolve")
+    if recording.shape[0] < source.shape[0]:
+        raise SignalError(
+            f"recording ({recording.shape[0]}) shorter than source "
+            f"({source.shape[0]})"
+        )
+
+
+def _window_impulse(impulse: np.ndarray, length: int) -> np.ndarray:
+    if length < 1:
+        raise SignalError(f"length must be >= 1, got {length}")
+    if length > impulse.shape[0]:
+        padded = np.zeros(length)
+        padded[: impulse.shape[0]] = impulse
+        return padded
+    return impulse[:length].copy()
 
 
 def estimate_channel(
@@ -43,15 +70,7 @@ def estimate_channel(
     """
     recording = np.asarray(recording, dtype=float)
     source = np.asarray(source, dtype=float)
-    if recording.ndim != 1 or source.ndim != 1:
-        raise SignalError("estimate_channel expects 1D arrays")
-    if source.shape[0] < 8:
-        raise SignalError("source too short to deconvolve")
-    if recording.shape[0] < source.shape[0]:
-        raise SignalError(
-            f"recording ({recording.shape[0]}) shorter than source "
-            f"({source.shape[0]})"
-        )
+    _validate_deconvolution_inputs(recording, source)
     if length < 1:
         raise SignalError(f"length must be >= 1, got {length}")
 
@@ -65,11 +84,84 @@ def estimate_channel(
     impulse = np.fft.irfft(
         spectrum_y * np.conj(spectrum_s) / (power + floor), n_fft
     )
-    if length > impulse.shape[0]:
-        padded = np.zeros(length)
-        padded[: impulse.shape[0]] = impulse
-        return padded
-    return impulse[:length].copy()
+    return _window_impulse(impulse, length)
+
+
+class ProbeChannelBank:
+    """Session-scoped deconvolution cache: each probe/ear estimated once.
+
+    One personalization deconvolves the *same* probe recordings in two
+    stages — sensor fusion (first-tap delays) and near-field interpolation
+    (HRIR windows) — and every deconvolution re-transforms the *same* played
+    source.  The bank removes both redundancies while staying bit-identical
+    to :func:`estimate_channel`:
+
+    - ``rfft(source)`` (and the regularized denominator) is computed once
+      per FFT size and shared by every probe and ear;
+    - the full-length impulse estimate is computed once per cache ``key``
+      and served as a window of any requested ``length`` afterwards.
+
+    The cache key is caller-chosen (the pipeline uses ``(probe_index,
+    "left"|"right")``) so the bank never needs to hash recording arrays.
+    A bank belongs to one session's ``probe_signal``; build a new bank per
+    session.  Instances are not thread-safe; share per-thread or guard
+    externally.
+    """
+
+    def __init__(self, source: np.ndarray, regularization: float = 1e-3) -> None:
+        self._source = np.asarray(source, dtype=float)
+        if self._source.ndim != 1:
+            raise SignalError("estimate_channel expects 1D arrays")
+        if self._source.shape[0] < 8:
+            raise SignalError("source too short to deconvolve")
+        self._regularization = float(regularization)
+        #: n_fft -> (conj(rfft(source)), |rfft(source)|^2 + floor)
+        self._source_spectra: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._impulses: dict[Hashable, np.ndarray] = {}
+
+    @property
+    def n_cached(self) -> int:
+        """Number of distinct probe/ear impulse responses held."""
+        return len(self._impulses)
+
+    def _source_spectrum(self, n_fft: int) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._source_spectra.get(n_fft)
+        if cached is None:
+            spectrum_s = np.fft.rfft(self._source, n_fft)
+            power = np.abs(spectrum_s) ** 2
+            floor = self._regularization * power.max()
+            if floor == 0.0:
+                raise SignalError("source signal is all zeros")
+            cached = (np.conj(spectrum_s), power + floor)
+            self._source_spectra[n_fft] = cached
+        return cached
+
+    def channel(
+        self, key: Hashable, recording: np.ndarray, length: int
+    ) -> np.ndarray:
+        """The cached impulse response for ``key``, windowed to ``length``.
+
+        The first call for a ``key`` deconvolves ``recording``; later calls
+        ignore ``recording`` and reslice the stored full-length estimate, so
+        differing window lengths across pipeline stages still share one
+        deconvolution.  Results are bit-identical to
+        :func:`estimate_channel` with the same inputs.
+        """
+        impulse = self._impulses.get(key)
+        if impulse is None:
+            recording = np.asarray(recording, dtype=float)
+            _validate_deconvolution_inputs(recording, self._source)
+            n_fft = int(
+                2 ** np.ceil(np.log2(recording.shape[0] + self._source.shape[0]))
+            )
+            conj_s, denominator = self._source_spectrum(n_fft)
+            spectrum_y = np.fft.rfft(recording, n_fft)
+            impulse = np.fft.irfft(spectrum_y * conj_s / denominator, n_fft)
+            self._impulses[key] = impulse
+            obs_metrics.counter("channel.bank_deconvolutions").inc()
+        else:
+            obs_metrics.counter("channel.bank_hits").inc()
+        return _window_impulse(impulse, length)
 
 
 def first_tap_index(

@@ -1,10 +1,12 @@
 """Tests for diffraction-aware sensor fusion."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
 from repro.errors import SignalError
-from repro.core.fusion import DiffractionAwareSensorFusion
+from repro.core.fusion import MAX_GYRO_BIAS_DPS, DiffractionAwareSensorFusion
 
 pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
 
@@ -82,6 +84,73 @@ class TestCleanSession:
         truth = clean_session.truth.probe_angles_deg()
         errors = np.abs(result.fused_angles_deg - truth)
         assert np.median(errors) < 3.0
+
+
+def _fake_minimize(x_final):
+    """A stand-in for ``optimize.minimize`` returning a fixed solution."""
+
+    def runner(fun, x0, **kwargs):
+        return SimpleNamespace(
+            x=np.asarray(x_final, dtype=float), fun=4.0, success=True, nit=1
+        )
+
+    return runner
+
+
+class TestGyroBiasClip:
+    @pytest.mark.parametrize("raw_bias", [10.0, -10.0])
+    def test_reported_bias_clipped(self, small_session, monkeypatch, raw_bias):
+        """A runaway optimizer bias estimate must not leave ``run`` unclipped.
+
+        The cost function rejects |bias| > MAX_GYRO_BIAS_DPS, but
+        Nelder-Mead can still *terminate* on such a vertex; the reported
+        estimate (and the angles debiased with it) must stay inside the
+        physical gyro spec.
+        """
+        monkeypatch.setattr(
+            "repro.core.fusion.optimize.minimize",
+            _fake_minimize([0.09, 0.115, 0.0985, raw_bias]),
+        )
+        result = DiffractionAwareSensorFusion().run(small_session)
+        assert abs(result.gyro_bias_dps) <= MAX_GYRO_BIAS_DPS
+        assert result.gyro_bias_dps == np.sign(raw_bias) * MAX_GYRO_BIAS_DPS
+
+    def test_in_range_bias_untouched(self, small_session, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.fusion.optimize.minimize",
+            _fake_minimize([0.09, 0.115, 0.0985, 0.7]),
+        )
+        result = DiffractionAwareSensorFusion().run(small_session)
+        assert result.gyro_bias_dps == pytest.approx(0.7)
+
+
+class TestNoProbeSolvedFallback:
+    def test_radii_finite_when_nothing_localizes(self, small_session, monkeypatch):
+        """All-unsolved sessions must not hand out all-NaN radii."""
+        monkeypatch.setattr(
+            "repro.core.fusion.optimize.minimize",
+            _fake_minimize([0.09, 0.115, 0.0985, 0.0]),
+        )
+
+        def nothing_solved(self, delay_map, t_left, t_right, alphas):
+            n = t_left.shape[0]
+            return np.full(n, np.nan), np.full(n, np.nan), np.zeros(n, dtype=bool)
+
+        monkeypatch.setattr(
+            DiffractionAwareSensorFusion, "_localize_all", nothing_solved
+        )
+        fusion = DiffractionAwareSensorFusion()
+        result = fusion.run(small_session)
+        assert not result.solved.any()
+        assert result.residual_deg == float("inf")
+        assert np.isfinite(result.radii_m).all()
+        # The fallback is the final map's mid-radius.
+        lo, hi, _ = fusion.final_map_radii
+        assert np.all(result.radii_m >= lo) and np.all(result.radii_m <= hi)
+        # Fused angles fall back to the (debiased) IMU angles.
+        np.testing.assert_array_equal(
+            result.fused_angles_deg, result.imu_angles_deg
+        )
 
 
 class TestValidation:

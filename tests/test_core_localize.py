@@ -1,5 +1,7 @@
 """Tests for delay-map localization (the fusion inner loop)."""
 
+import logging
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -9,7 +11,13 @@ from repro.geometry.head import HeadGeometry
 from repro.geometry.paths import binaural_delays, euclidean_delay
 from repro.geometry.head import Ear
 from repro.geometry.vec import polar_to_cartesian
-from repro.core.localize import DelayMap
+from repro.obs import metrics as obs_metrics
+from repro.core.localize import (
+    DelayMap,
+    cached_delay_map,
+    clear_delay_map_cache,
+    delay_map_cache_size,
+)
 
 
 @pytest.fixture(scope="module")
@@ -107,3 +115,99 @@ class TestValidation:
     def test_radial_grid_clears_head(self, average_head):
         dm = DelayMap(average_head, radii=(0.01, 1.0, 10))
         assert dm.radii[0] > max(average_head.parameters)
+
+
+class TestRadialGridAdjustmentWarning:
+    def test_adjustment_warns_and_counts(self, average_head, caplog):
+        """An in-head r_min is no longer silent: warning + counter fire."""
+        counter = obs_metrics.counter("localize.radial_grid_adjusted")
+        before = counter.value
+        with caplog.at_level(logging.WARNING, logger="repro.core.localize"):
+            dm = DelayMap(average_head, radii=(0.05, 1.0, 10))
+        assert counter.value - before == 1
+        assert dm.radii[0] == pytest.approx(max(average_head.parameters) + 0.01)
+        messages = [
+            r.message for r in caplog.records if "radial_grid_adjusted" in r.message
+        ]
+        assert len(messages) == 1
+        assert "requested_r_min_m=0.05" in messages[0]
+        assert "adjusted_r_min_m=" in messages[0]
+
+    def test_valid_grid_stays_silent(self, average_head, caplog):
+        counter = obs_metrics.counter("localize.radial_grid_adjusted")
+        before = counter.value
+        with caplog.at_level(logging.WARNING, logger="repro.core.localize"):
+            dm = DelayMap(average_head, radii=(0.2, 1.0, 10))
+        assert counter.value == before
+        assert not any(
+            "radial_grid_adjusted" in r.message for r in caplog.records
+        )
+        assert dm.radii[0] == pytest.approx(0.2)
+
+
+class TestCachedDelayMap:
+    PARAMS = (0.0901, 0.1153, 0.0987)
+
+    def test_repeat_parameters_hit(self):
+        clear_delay_map_cache()
+        hits = obs_metrics.counter("localize.delay_map_cache_hits")
+        misses = obs_metrics.counter("localize.delay_map_cache_misses")
+        h0, m0 = hits.value, misses.value
+        first = cached_delay_map(self.PARAMS, radii=(0.2, 1.0, 10))
+        again = cached_delay_map(self.PARAMS, radii=(0.2, 1.0, 10))
+        assert again is first
+        assert misses.value - m0 == 1
+        assert hits.value - h0 == 1
+        assert delay_map_cache_size() == 1
+
+    def test_distinct_parameters_do_not_collapse(self):
+        clear_delay_map_cache()
+        a, b, c = self.PARAMS
+        # 1e-5 m apart: far above the round(., 12) quantization, well below
+        # anything the optimizer treats as equal.
+        first = cached_delay_map((a, b, c), radii=(0.2, 1.0, 10))
+        other = cached_delay_map((a + 1e-5, b, c), radii=(0.2, 1.0, 10))
+        assert other is not first
+        assert delay_map_cache_size() == 2
+
+    def test_grid_and_mode_are_part_of_the_key(self):
+        clear_delay_map_cache()
+        base = cached_delay_map(self.PARAMS, radii=(0.2, 1.0, 10))
+        assert cached_delay_map(self.PARAMS, radii=(0.2, 1.0, 12)) is not base
+        assert (
+            cached_delay_map(self.PARAMS, radii=(0.2, 1.0, 10), refine=False)
+            is not base
+        )
+        assert (
+            cached_delay_map(
+                self.PARAMS, radii=(0.2, 1.0, 10), model="euclidean"
+            )
+            is not base
+        )
+        assert delay_map_cache_size() == 4
+
+    def test_matches_direct_construction(self):
+        clear_delay_map_cache()
+        cached = cached_delay_map(self.PARAMS, radii=(0.2, 1.0, 10))
+        a, b, c = self.PARAMS
+        direct = DelayMap(HeadGeometry(a=a, b=b, c=c), radii=(0.2, 1.0, 10))
+        np.testing.assert_array_equal(cached.t_left, direct.t_left)
+        np.testing.assert_array_equal(cached.t_right, direct.t_right)
+
+    def test_clear_empties_the_store(self):
+        cached_delay_map(self.PARAMS, radii=(0.2, 1.0, 10))
+        assert delay_map_cache_size() >= 1
+        clear_delay_map_cache()
+        assert delay_map_cache_size() == 0
+
+    def test_invert_memoized_per_map(self, average_head):
+        dm = DelayMap(average_head)
+        t_left, t_right = binaural_delays(
+            average_head, polar_to_cartesian(0.45, 40.0)
+        )
+        hits = obs_metrics.counter("localize.invert_cache_hits")
+        first = dm.invert(t_left, t_right)
+        h0 = hits.value
+        again = dm.invert(t_left, t_right)
+        assert hits.value - h0 == 1
+        assert again == first

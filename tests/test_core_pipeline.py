@@ -49,6 +49,54 @@ class TestPipelineOutput:
         assert np.max(np.abs(right)) > 0
 
 
+class TestSessionChannelBank:
+    def test_deconvolution_happens_once_per_probe_ear(self, small_session):
+        """Fusion and interpolation share the bank: 2*n_probes deconvolutions
+        per run, and the interpolation pass is all cache hits."""
+        from repro.obs import metrics as obs_metrics
+
+        deconv = obs_metrics.counter("channel.bank_deconvolutions")
+        hits = obs_metrics.counter("channel.bank_hits")
+        d0, h0 = deconv.value, hits.value
+        Uniq(UniqConfig(angle_grid_deg=GRID)).personalize(small_session)
+        assert deconv.value - d0 == 2 * small_session.n_probes
+        assert hits.value - h0 == 2 * small_session.n_probes
+
+    def test_cached_run_numerically_identical(self, small_session):
+        """Cold (empty DelayMap cache) and warm runs agree bit-for-bit."""
+        from repro.obs import metrics as obs_metrics
+        from repro.core.localize import clear_delay_map_cache
+
+        misses = obs_metrics.counter("localize.delay_map_cache_misses")
+        hits = obs_metrics.counter("localize.delay_map_cache_hits")
+        clear_delay_map_cache()
+        uniq = Uniq(UniqConfig(angle_grid_deg=GRID))
+        m0 = misses.value
+        cold = uniq.personalize(small_session)
+        cold_misses = misses.value - m0
+        assert cold_misses > 0
+
+        m0, h0 = misses.value, hits.value
+        warm = uniq.personalize(small_session)
+        warm_misses = misses.value - m0
+        # The warm run replays the same optimizer trajectory out of cache.
+        assert hits.value - h0 > 0
+        assert warm_misses < cold_misses / 4
+
+        assert cold.fusion.head.parameters == warm.fusion.head.parameters
+        assert cold.fusion.gyro_bias_dps == warm.fusion.gyro_bias_dps
+        np.testing.assert_array_equal(cold.fusion.radii_m, warm.fusion.radii_m)
+        np.testing.assert_array_equal(
+            cold.fusion.fused_angles_deg, warm.fusion.fused_angles_deg
+        )
+        for cold_entry, warm_entry in zip(cold.table.near, warm.table.near):
+            np.testing.assert_array_equal(cold_entry.left, warm_entry.left)
+            np.testing.assert_array_equal(cold_entry.right, warm_entry.right)
+        for cold_entry, warm_entry in zip(cold.table.far, warm.table.far):
+            np.testing.assert_array_equal(cold_entry.left, warm_entry.left)
+            np.testing.assert_array_equal(cold_entry.right, warm_entry.right)
+
+
 class TestGestureEnforcement:
     def test_bad_sweep_raises(self, subject):
         """An arm-drop sweep close to the head must be rejected."""

@@ -7,7 +7,13 @@ down configurations to validate harness structure and invariants quickly.
 import numpy as np
 import pytest
 
-from repro.eval.common import cdf_points, format_table, measured_ground_truth_table
+from repro.eval.common import (
+    _cohort_workers,
+    cdf_points,
+    format_table,
+    get_cohort,
+    measured_ground_truth_table,
+)
 from repro.eval.groundwork import fig2_pinna_correlation, fig5_diffraction_evidence
 from repro.eval.channels import fig9_channel_response, fig14_relative_channel
 from repro.eval.hardware import fig16_frequency_response
@@ -45,6 +51,49 @@ class TestCommonHelpers:
         )
         c_left, _ = mean_table_correlation(remeasured, exact)
         assert c_left < 0.999
+
+
+class TestCohortWorkers:
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COHORT_WORKERS", "8")
+        assert _cohort_workers(2, n=5) == 2
+
+    def test_env_opt_out_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COHORT_WORKERS", "1")
+        assert _cohort_workers(None, n=5) == 1
+        monkeypatch.setenv("REPRO_COHORT_WORKERS", "0")
+        assert _cohort_workers(None, n=5) == 1
+
+    def test_capped_by_cohort_size(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COHORT_WORKERS", raising=False)
+        assert _cohort_workers(64, n=3) == 3
+
+
+class TestParallelCohort:
+    def test_parallel_bit_identical_to_serial(self):
+        """Worker processes must not change a single bit of any member."""
+        serial = get_cohort(2, 1.1, workers=1)
+        parallel = get_cohort(2, 1.1, workers=2)
+        assert len(serial) == len(parallel) == 2
+        for ms, mp_ in zip(serial.members, parallel.members):
+            assert ms.subject.name == mp_.subject.name
+            fs_, fp = ms.personalization.fusion, mp_.personalization.fusion
+            assert fs_.head.parameters == fp.head.parameters
+            assert fs_.gyro_bias_dps == fp.gyro_bias_dps
+            np.testing.assert_array_equal(fs_.radii_m, fp.radii_m)
+            np.testing.assert_array_equal(
+                fs_.fused_angles_deg, fp.fused_angles_deg
+            )
+            for table_s, table_p in (
+                (ms.personalization.table, mp_.personalization.table),
+                (ms.ground_truth, mp_.ground_truth),
+            ):
+                for es, ep in zip(table_s.far, table_p.far):
+                    np.testing.assert_array_equal(es.left, ep.left)
+                    np.testing.assert_array_equal(es.right, ep.right)
+                for es, ep in zip(table_s.near, table_p.near):
+                    np.testing.assert_array_equal(es.left, ep.left)
+                    np.testing.assert_array_equal(es.right, ep.right)
 
 
 class TestGroundworkHarness:

@@ -5,7 +5,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import SignalError
+from repro.obs import metrics as obs_metrics
 from repro.signals.channel import (
+    ProbeChannelBank,
     estimate_channel,
     find_taps,
     first_tap_index,
@@ -64,6 +66,84 @@ class TestEstimateChannel:
         recording = np.convolve(source, _synthetic_channel([(10.0, 1.0)], 64))
         estimate = estimate_channel(recording, source, 10_000)
         assert estimate.shape == (10_000,)
+
+
+class TestProbeChannelBank:
+    def _recordings(self, n=3):
+        source = probe_chirp(FS)
+        recordings = []
+        for k in range(n):
+            truth = _synthetic_channel([(35.0 + 5 * k, 1.0), (70.0, 0.5)])
+            recordings.append(np.convolve(source, truth))
+        return source, recordings
+
+    def test_bit_identical_to_estimate_channel(self):
+        """The cache must not change a single bit of the estimate."""
+        source, recordings = self._recordings()
+        bank = ProbeChannelBank(source)
+        for length in (64, 256, 10_000):
+            for i, recording in enumerate(recordings):
+                np.testing.assert_array_equal(
+                    bank.channel((i, "left"), recording, length),
+                    estimate_channel(recording, source, length),
+                )
+
+    def test_deconvolves_exactly_once_per_key(self):
+        source, recordings = self._recordings()
+        bank = ProbeChannelBank(source)
+        deconv = obs_metrics.counter("channel.bank_deconvolutions")
+        hits = obs_metrics.counter("channel.bank_hits")
+        d0, h0 = deconv.value, hits.value
+        for _ in range(3):  # three passes, e.g. fusion + interpolation + extra
+            for i, recording in enumerate(recordings):
+                bank.channel((i, "left"), recording, 128)
+        assert deconv.value - d0 == len(recordings)
+        assert hits.value - h0 == 2 * len(recordings)
+        assert bank.n_cached == len(recordings)
+
+    def test_different_lengths_share_one_deconvolution(self):
+        source, recordings = self._recordings(1)
+        bank = ProbeChannelBank(source)
+        d0 = obs_metrics.counter("channel.bank_deconvolutions").value
+        short = bank.channel((0, "left"), recordings[0], 64)
+        long = bank.channel((0, "left"), recordings[0], 512)
+        assert obs_metrics.counter("channel.bank_deconvolutions").value - d0 == 1
+        np.testing.assert_array_equal(short, long[:64])
+
+    def test_hit_ignores_recording(self):
+        """Keys, not array contents, identify entries: same key -> cached."""
+        source, recordings = self._recordings(2)
+        bank = ProbeChannelBank(source)
+        first = bank.channel((0, "left"), recordings[0], 128)
+        again = bank.channel((0, "left"), recordings[1], 128)
+        np.testing.assert_array_equal(first, again)
+
+    def test_windowing_matches_estimate_channel_padding(self):
+        source = probe_chirp(FS, duration_s=0.01)
+        recording = np.convolve(source, _synthetic_channel([(10.0, 1.0)], 64))
+        bank = ProbeChannelBank(source)
+        out = bank.channel((0, "left"), recording, 100_000)
+        assert out.shape == (100_000,)
+        np.testing.assert_array_equal(
+            out, estimate_channel(recording, source, 100_000)
+        )
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(SignalError):
+            ProbeChannelBank(np.zeros((4, 4)))
+        with pytest.raises(SignalError):
+            ProbeChannelBank(np.ones(4))
+
+    def test_rejects_zero_source_on_first_use(self):
+        bank = ProbeChannelBank(np.zeros(200))
+        with pytest.raises(SignalError):
+            bank.channel((0, "left"), np.ones(300), 16)
+
+    def test_rejects_short_recording(self):
+        source, _ = self._recordings(1)
+        bank = ProbeChannelBank(source)
+        with pytest.raises(SignalError):
+            bank.channel((0, "left"), source[:10], 16)
 
 
 class TestFirstTap:
