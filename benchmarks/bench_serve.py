@@ -1,0 +1,214 @@
+"""Load-generate the batch service and record BENCH_PR3.json.
+
+Three ways to run the same 32-job workload (8 distinct specs, so request
+coalescing has something to do), most expensive first:
+
+- **per-process** (the status-quo workflow this PR replaces): every job
+  pays a fresh interpreter, imports, and stone-cold caches, like looping
+  ``uniq-personalize`` in a shell script.  Sampled (a few real spawns) and
+  extrapolated to the full job count.
+- **serial service**: one :class:`repro.serve.BatchServer` with a single
+  worker — long-lived process, warm caches, coalescing.
+- **batch service**: the same server at 4 workers.
+
+The record keeps both baselines honest and separate: ``speedup_vs_
+per_process`` is the headline (the workflow actually being replaced) and
+``speedup_vs_serial_service`` shows what worker parallelism adds on this
+machine (~1x on a single-core box — the cache and coalescing wins are
+already in the serial service number).
+
+Also verifies on every run that the 4-worker batch is bit-identical to the
+serial run, and that a batch survives one injected worker crash.
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --output BENCH_PR3.json
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro import __version__, obs
+from repro.serve import BatchServer, Job
+
+#: The golden-case pipeline configuration (small grid, sparse probes).
+SPEC = {"probe_interval_s": 0.6, "angle_step_deg": 15.0}
+
+_PER_PROCESS_SNIPPET = """
+import time
+from repro.core.pipeline import personalize_capture
+started = time.perf_counter()
+personalize_capture(subject_seed={seed}, probe_interval_s={probe}, \
+angle_step_deg={step})
+print(time.perf_counter() - started)
+"""
+
+
+def make_jobs(n_jobs: int, n_specs: int) -> list[Job]:
+    """``n_jobs`` jobs cycling through ``n_specs`` distinct subject seeds."""
+    return [
+        Job(job_id=f"user-{i:03d}", subject_seed=1 + (i % n_specs), **SPEC)
+        for i in range(n_jobs)
+    ]
+
+
+def run_service(jobs: list[Job], workers: int) -> dict:
+    with BatchServer(workers=workers) as server:
+        report = server.run_batch(jobs)
+    if report.n_ok != len(jobs):
+        raise RuntimeError(f"batch had failures: {report.counts}")
+    return {
+        "workers": workers,
+        "n_jobs": len(jobs),
+        "wall_s": report.wall_s,
+        "jobs_per_s": report.jobs_per_s,
+        "coalesced_jobs": sum(1 for r in report.results if r.coalesced),
+        "latency": report.latency_summary(),
+        "results": [r.deterministic() for r in report.results],
+    }
+
+
+def run_per_process(jobs: list[Job], samples: int) -> dict:
+    """Time a few real fresh-interpreter runs; extrapolate to the batch."""
+    distinct = []
+    seen = set()
+    for job in jobs:
+        if job.subject_seed not in seen:
+            seen.add(job.subject_seed)
+            distinct.append(job)
+    sampled = distinct[: max(1, samples)]
+    walls = []
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    for job in sampled:
+        snippet = _PER_PROCESS_SNIPPET.format(
+            seed=job.subject_seed,
+            probe=job.probe_interval_s,
+            step=job.angle_step_deg,
+        )
+        started = time.perf_counter()
+        subprocess.run(
+            [sys.executable, "-c", snippet], env=env, check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        walls.append(time.perf_counter() - started)
+    mean_wall = sum(walls) / len(walls)
+    return {
+        "n_sampled": len(walls),
+        "sample_walls_s": walls,
+        "mean_job_wall_s": mean_wall,
+        # Every job pays the full price: no shared process, no warm cache,
+        # no coalescing.
+        "extrapolated_wall_s": mean_wall * len(jobs),
+        "extrapolated_jobs_per_s": len(jobs) / (mean_wall * len(jobs)),
+    }
+
+
+def run_crash_phase(workers: int) -> dict:
+    """A small batch with one injected worker death must still complete."""
+    with tempfile.TemporaryDirectory() as tmp:
+        marker = os.path.join(tmp, "crash-marker")
+        jobs = [
+            Job(job_id="victim", subject_seed=1, crash_marker=marker, **SPEC),
+            Job(job_id="bystander", subject_seed=2, **SPEC),
+        ]
+        with BatchServer(workers=workers) as server:
+            report = server.run_batch(jobs)
+        victim = next(r for r in report.results if r.job_id == "victim")
+        crashed = os.path.exists(marker)
+    if report.n_ok != len(jobs):
+        raise RuntimeError(f"crash phase failed: {report.counts}")
+    if not crashed or victim.attempts < 2:
+        raise RuntimeError("crash was not actually injected/retried")
+    return {
+        "counts": report.counts,
+        "victim_attempts": victim.attempts,
+        "wall_s": report.wall_s,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the benchmark record here")
+    parser.add_argument("--jobs", type=int, default=32)
+    parser.add_argument("--specs", type=int, default=8,
+                        help="distinct subject seeds among the jobs")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--samples", type=int, default=3,
+                        help="fresh-interpreter runs for the per-process baseline")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 8 jobs, 2 specs, 1 baseline sample")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.jobs, args.specs, args.samples = 8, 2, 1
+
+    jobs = make_jobs(args.jobs, args.specs)
+    print(f"workload       : {len(jobs)} jobs over {args.specs} distinct specs")
+
+    print(f"per-process    : sampling {args.samples} fresh-interpreter runs ...")
+    per_process = run_per_process(jobs, args.samples)
+    print(f"                 {per_process['mean_job_wall_s']:.2f} s/job -> "
+          f"{per_process['extrapolated_wall_s']:.1f} s extrapolated")
+
+    print("serial service : 1 worker ...")
+    serial = run_service(jobs, workers=1)
+    print(f"                 {serial['wall_s']:.1f} s "
+          f"({serial['jobs_per_s']:.2f} jobs/s, "
+          f"{serial['coalesced_jobs']} coalesced)")
+
+    print(f"batch service  : {args.workers} workers ...")
+    batch = run_service(jobs, workers=args.workers)
+    print(f"                 {batch['wall_s']:.1f} s "
+          f"({batch['jobs_per_s']:.2f} jobs/s)")
+
+    identical = batch["results"] == serial["results"]
+    print(f"determinism    : batch == serial results: {identical}")
+    if not identical:
+        raise RuntimeError("4-worker batch results differ from serial run")
+
+    print("crash phase    : one injected worker death ...")
+    crash = run_crash_phase(args.workers)
+    print(f"                 recovered in {crash['victim_attempts']} attempts")
+
+    speedup_pp = per_process["extrapolated_wall_s"] / batch["wall_s"]
+    speedup_serial = serial["wall_s"] / batch["wall_s"]
+    print(f"speedup        : {speedup_pp:.2f}x vs per-process, "
+          f"{speedup_serial:.2f}x vs serial service")
+
+    record = {
+        "benchmark": "serve_batch",
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "spec": SPEC,
+        "n_jobs": len(jobs),
+        "n_distinct_specs": args.specs,
+        "quick": args.quick,
+        "per_process_baseline": per_process,
+        "serial_service": {k: v for k, v in serial.items() if k != "results"},
+        "batch_service": {k: v for k, v in batch.items() if k != "results"},
+        "deterministic_vs_serial": identical,
+        "crash_recovery": crash,
+        "speedup_vs_per_process": speedup_pp,
+        "speedup_vs_serial_service": speedup_serial,
+        "metrics": obs.registry().snapshot(),
+    }
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"record         : {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,20 @@
-"""Command-line entry point: run one personalization end to end.
+"""Command-line entry points: one-shot personalization and batch serving.
 
-``uniq-personalize`` simulates a capture session for a (virtual) subject,
-runs the UNIQ pipeline, reports the learned head parameters and localization
-quality, optionally evaluates against the subject's ground truth, and saves
-the personal HRTF table as an ``.npz`` usable by
-:func:`repro.hrtf.io.load_table`.
+``uniq-personalize`` (no subcommand) simulates a capture session for a
+(virtual) subject, runs the UNIQ pipeline, reports the learned head
+parameters and localization quality, optionally evaluates against the
+subject's ground truth, and saves the personal HRTF table as an ``.npz``
+usable by :func:`repro.hrtf.io.load_table`.
 
-Example::
+``python -m repro.cli batch`` runs a JSONL job file through the
+:class:`repro.serve.BatchServer` — the managed-workload counterpart of the
+one-shot command.
+
+Examples::
 
     uniq-personalize --subject-seed 7 --output my_hrtf.npz --evaluate
+    python -m repro.cli batch --jobs jobs.jsonl --workers 4 \
+        --report batch_report.json
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from repro.hrtf.metrics import mean_table_correlation
 from repro.hrtf.reference import global_template_table, ground_truth_table
 from repro.simulation.person import VirtualSubject
 from repro.simulation.session import MeasurementSession
-from repro.core.pipeline import Uniq, UniqConfig
+from repro.core.pipeline import Uniq, UniqConfig, grid_from_step
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,7 +126,122 @@ def _write_metrics(path: str | None) -> None:
     print(f"metrics saved    : {path}")
 
 
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli batch",
+        description=(
+            "Run a JSONL file of personalization jobs through the batch "
+            "server: bounded queue, worker pool, per-job timeouts, crash "
+            "retry, request coalescing."
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        required=True,
+        metavar="PATH",
+        help="JSONL job file (one repro.serve.Job object per line)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker process count (default: cpu count)",
+    )
+    parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=None,
+        help="bound on the pending-job queue (default: 64)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="default per-job timeout in seconds (jobs may override)",
+    )
+    parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable sharing one execution among identical job specs",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the structured batch report as JSON to PATH",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="write the serve metrics registry as JSON to PATH",
+    )
+    parser.add_argument(
+        "-v", "--verbose",
+        action="count",
+        default=0,
+        help="enable structured serve logging (-v info, -vv debug)",
+    )
+    return parser
+
+
+def main_batch(argv: list[str] | None = None) -> int:
+    from repro.serve import BatchServer, load_jobs
+    from repro.serve.server import DEFAULT_QUEUE_SIZE
+
+    args = build_batch_parser().parse_args(argv)
+    if args.verbose:
+        obs.configure_logging(verbosity=args.verbose)
+    try:
+        jobs = load_jobs(args.jobs)
+    except (OSError, ReproError) as error:
+        print(f"error: cannot load jobs: {error}", file=sys.stderr)
+        return 2
+
+    queue_size = args.queue_size if args.queue_size else DEFAULT_QUEUE_SIZE
+    print(f"jobs             : {len(jobs)} from {args.jobs}")
+    with BatchServer(
+        workers=args.workers,
+        queue_size=queue_size,
+        default_timeout_s=args.timeout,
+        coalesce=not args.no_coalesce,
+    ) as server:
+        print(f"server           : {server._pool.workers} workers, "
+              f"queue bound {queue_size}, "
+              f"coalescing {'on' if server.coalesce else 'off'}")
+        report = server.run_batch(jobs)
+
+    counts = ", ".join(
+        f"{status} {count}" for status, count in sorted(report.counts.items())
+    )
+    latency = report.latency_summary()
+    print(f"batch done       : {counts}")
+    print(f"wall time        : {report.wall_s:.2f} s "
+          f"({report.jobs_per_s:.2f} jobs/s)")
+    print(f"job latency      : p50 {latency['run_p50_s']:.2f} s, "
+          f"p95 {latency['run_p95_s']:.2f} s "
+          f"(queue wait p95 {latency['queue_wait_p95_s']:.2f} s)")
+    for result in report.results:
+        if not result.ok:
+            print(f"  {result.job_id}: {result.status} — {result.error}",
+                  file=sys.stderr)
+    if args.report is not None:
+        try:
+            report.save(args.report)
+        except OSError as error:
+            print(f"error: cannot write report: {error}", file=sys.stderr)
+            return 1
+        print(f"report saved     : {args.report}")
+    _write_metrics(args.metrics_json)
+    return 0 if report.n_ok == len(report.results) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "batch":
+        return main_batch(argv[1:])
     args = build_parser().parse_args(argv)
     if args.angle_step <= 0 or args.angle_step > 60:
         print(f"error: --angle-step must be in (0, 60], got {args.angle_step}",
@@ -151,7 +272,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"capture          : {session.n_probes} probes over "
           f"{session.truth.trajectory.duration:.0f} s sweep")
 
-    grid = tuple(np.arange(0.0, 180.0 + 1e-9, args.angle_step))
+    grid = grid_from_step(args.angle_step)
     uniq = Uniq(UniqConfig(angle_grid_deg=grid))
     walls = []
     try:

@@ -46,7 +46,13 @@ from repro.core.elevation import (
     capture_rings,
 )
 from repro.core.online import OnlineFusion, OnlineStatus
-from repro.core.pipeline import Uniq, UniqConfig, PersonalizationResult
+from repro.core.pipeline import (
+    PersonalizationResult,
+    Uniq,
+    UniqConfig,
+    grid_from_step,
+    personalize_capture,
+)
 from repro.core.rendering import BinauralRenderer, SpatialSource
 from repro.core.triangulation import AcousticTriangulator, PoseEstimate, Speaker
 
@@ -68,6 +74,8 @@ __all__ = [
     "remove_room_reflections",
     "check_gesture_quality",
     "Uniq",
+    "grid_from_step",
+    "personalize_capture",
     "UniqConfig",
     "PersonalizationResult",
     "BinauralRenderer",

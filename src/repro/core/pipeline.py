@@ -21,7 +21,8 @@ from repro.obs import trace as obs_trace
 from repro.obs.logging import get_logger, kv
 from repro.obs.trace import Span
 from repro.signals.channel import ProbeChannelBank
-from repro.simulation.session import SessionData
+from repro.simulation.person import VirtualSubject
+from repro.simulation.session import MeasurementSession, SessionData
 from repro.core.compensation import (
     check_gesture_quality,
     compensate_recording,
@@ -31,6 +32,19 @@ from repro.core.interpolation import NearFieldInterpolator, NearFieldMeasurement
 from repro.core.near_far import NearFarConverter
 
 _log = get_logger("core.pipeline")
+
+
+def grid_from_step(angle_step_deg: float) -> tuple[float, ...]:
+    """The output angle grid for a table resolution of ``angle_step_deg``.
+
+    Spans the paper's measured semicircle [0, 180] inclusive; the step must
+    be in ``(0, 60]`` (coarser tables cannot interpolate meaningfully).
+    """
+    if not 0.0 < angle_step_deg <= 60.0:
+        raise CalibrationError(
+            f"angle_step_deg must be in (0, 60], got {angle_step_deg}"
+        )
+    return tuple(np.arange(0.0, 180.0 + 1e-9, float(angle_step_deg)))
 
 
 @dataclass
@@ -194,3 +208,37 @@ class Uniq:
             measurements=tuple(measurements),
             trace=root if isinstance(root, Span) else None,
         )
+
+
+def personalize_capture(
+    subject_seed: int,
+    session_seed: int = 0,
+    probe_interval_s: float = 0.4,
+    angle_step_deg: float = 5.0,
+    enforce_gesture_check: bool = True,
+    session: SessionData | None = None,
+) -> tuple[SessionData, PersonalizationResult]:
+    """Simulate (or take) one capture and personalize it — the one-job unit.
+
+    This is the seeded subject→session→table path the CLI, the batch
+    server's workers, and the golden-trace fixtures all share: everything
+    downstream of ``(subject_seed, session_seed, probe_interval_s,
+    angle_step_deg)`` is deterministic, so the same arguments produce a
+    bit-identical :class:`PersonalizationResult` in any process.
+
+    Pass ``session`` to skip the simulation and personalize an existing
+    capture (e.g. one loaded via :func:`repro.datasets.load_session`);
+    ``subject_seed``/``session_seed``/``probe_interval_s`` are ignored then.
+    """
+    if session is None:
+        subject = VirtualSubject.random(int(subject_seed))
+        session = MeasurementSession(
+            subject,
+            seed=int(session_seed),
+            probe_interval_s=float(probe_interval_s),
+        ).run()
+    config = UniqConfig(
+        angle_grid_deg=grid_from_step(angle_step_deg),
+        enforce_gesture_check=enforce_gesture_check,
+    )
+    return session, Uniq(config).personalize(session)

@@ -9,10 +9,8 @@ Everything is seeded; two processes produce identical cohorts.
 from __future__ import annotations
 
 import functools
-import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,6 +25,7 @@ from repro.simulation.person import VirtualSubject
 from repro.simulation.population import make_population
 from repro.simulation.propagation import record_far_field
 from repro.simulation.session import MeasurementSession, SessionData
+from repro.serve.pool import WorkerPool
 from repro.signals.channel import estimate_channel, first_tap_index, truncate_after
 from repro.signals.waveforms import probe_chirp
 from repro.core.pipeline import PersonalizationResult, Uniq, UniqConfig
@@ -128,19 +127,12 @@ def get_cohort(
     ]
     start = time.perf_counter()
     with obs_trace.span("eval.get_cohort", n=n, workers=n_workers):
-        if n_workers > 1:
-            # fork (when available) lets children inherit this process's
-            # warm DelayMap cache instead of rebuilding maps from scratch.
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX fallback
-                context = multiprocessing.get_context()
-            with ProcessPoolExecutor(
-                max_workers=n_workers, mp_context=context
-            ) as pool:
-                members = list(pool.map(_build_member, jobs))
-        else:
-            members = [_build_member(job) for job in jobs]
+        # The serve-layer WorkerPool: fork context (children inherit this
+        # process's warm DelayMap cache), crash retry, and inline execution
+        # when n_workers == 1 — one pool implementation shared with
+        # repro.serve.BatchServer, one set of crash/retry semantics.
+        with WorkerPool(n_workers, inline=(n_workers == 1)) as pool:
+            members = pool.map(_build_member, jobs)
     obs_metrics.counter("cohort.members_built").inc(len(members))
     obs_metrics.gauge("cohort.workers").set(float(n_workers))
     obs_metrics.gauge("cohort.build_s").set(time.perf_counter() - start)

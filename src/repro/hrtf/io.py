@@ -7,6 +7,7 @@ deployment story of paper Section 4.4.
 
 from __future__ import annotations
 
+import hashlib
 import os
 
 import numpy as np
@@ -16,6 +17,28 @@ from repro.hrtf.hrir import BinauralIR
 from repro.hrtf.table import HRTFTable
 
 _FORMAT_VERSION = 1
+
+
+def table_digest(table: HRTFTable) -> str:
+    """A stable SHA-256 hex digest of every array in the table.
+
+    Two tables share a digest iff their angle grids and all four HRIR banks
+    (near/far x left/right) are bit-identical — the equality the batch
+    server's serial-vs-parallel guarantee and the golden-trace fixtures are
+    stated in.  Arrays are hashed as contiguous float64 little-endian bytes,
+    so the digest is platform-stable for identical values.
+    """
+    digest = hashlib.sha256()
+    def feed(array: np.ndarray) -> None:
+        data = np.ascontiguousarray(array, dtype="<f8")
+        digest.update(data.tobytes())
+
+    feed(table.angles_deg)
+    for entries in (table.near, table.far):
+        for ir in entries:
+            feed(ir.left)
+            feed(ir.right)
+    return digest.hexdigest()
 
 
 def save_table(table: HRTFTable, path: str | os.PathLike) -> None:

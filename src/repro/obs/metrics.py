@@ -31,6 +31,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "TIME_BUCKETS_S",
     "counter",
     "gauge",
     "histogram",
@@ -40,6 +41,14 @@ __all__ = [
 #: Default histogram bucket upper bounds — a generic log-ish ladder that
 #: covers degrees, milliseconds, and counts equally well.
 DEFAULT_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+#: Bucket ladder for wall-clock durations in *seconds*: millisecond queue
+#: waits through multi-minute batch jobs.  Used by the serve-layer latency
+#: histograms (``serve.queue_wait_s``, ``serve.run_s``).
+TIME_BUCKETS_S = (
+    0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+    60.0, 120.0, 300.0,
+)
 
 
 class Counter:
@@ -108,6 +117,30 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation inside the bucket the quantile lands in (the
+        usual Prometheus-style estimate).  The lowest bucket interpolates
+        from 0, and a quantile landing in the overflow bucket returns the
+        top bound — a lower bound on the true value, which is the honest
+        answer a fixed-bucket histogram can give.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        seen = 0
+        for i, bound in enumerate(self.buckets):
+            in_bucket = self.bucket_counts[i]
+            if seen + in_bucket >= rank and in_bucket > 0:
+                lower = 0.0 if i == 0 else self.buckets[i - 1]
+                fraction = (rank - seen) / in_bucket
+                return lower + fraction * (bound - lower)
+            seen += in_bucket
+        return self.buckets[-1]
 
 
 class MetricsRegistry:

@@ -1,0 +1,49 @@
+"""repro.serve — batch personalization as a managed workload.
+
+The production layer over the one-shot pipeline: many users' captures in,
+one managed batch out.  Four pieces:
+
+- :mod:`repro.serve.job`    — :class:`Job`/:class:`JobResult` dataclasses
+  and the JSONL job-spec format;
+- :mod:`repro.serve.pool`   — :class:`WorkerPool`, the crash-tolerant,
+  timeout-aware process pool (also the engine under
+  :func:`repro.eval.common.get_cohort`);
+- :mod:`repro.serve.worker` — the worker-side runner
+  (:func:`execute_job`): job spec in, deterministic payload out;
+- :mod:`repro.serve.server` — :class:`BatchServer`: bounded priority queue,
+  backpressure, per-job timeouts, crash retry, request coalescing, metrics,
+  and the structured :class:`BatchReport`.
+
+Quickstart::
+
+    from repro.serve import BatchServer, Job
+
+    jobs = [Job(job_id=f"u{i}", subject_seed=i) for i in range(32)]
+    with BatchServer(workers=4) as server:
+        report = server.run_batch(jobs)
+    report.save("batch_report.json")
+
+Or from the command line::
+
+    python -m repro.cli batch --jobs jobs.jsonl --workers 4 \
+        --report batch_report.json
+"""
+
+from repro.serve.job import STATUSES, Job, JobResult, dump_jobs, load_jobs
+from repro.serve.pool import TaskOutcome, WorkerPool
+from repro.serve.server import DEFAULT_QUEUE_SIZE, BatchReport, BatchServer
+from repro.serve.worker import execute_job
+
+__all__ = [
+    "BatchReport",
+    "BatchServer",
+    "DEFAULT_QUEUE_SIZE",
+    "Job",
+    "JobResult",
+    "STATUSES",
+    "TaskOutcome",
+    "WorkerPool",
+    "dump_jobs",
+    "execute_job",
+    "load_jobs",
+]

@@ -1,0 +1,352 @@
+"""The shared worker-process pool under batch serving *and* cohort eval.
+
+:class:`WorkerPool` wraps a ``ProcessPoolExecutor`` with the semantics a
+managed workload needs and a bare executor lacks:
+
+- **fork context** (when the platform has it) so workers inherit the
+  parent's warm :func:`repro.core.localize.cached_delay_map` store instead
+  of rebuilding maps from scratch;
+- **crash retry**: a worker process dying (segfault, OOM kill,
+  ``os._exit``) re-dispatches the affected tasks on a rebuilt executor, at
+  most ``max_crash_retries`` extra attempts each, instead of poisoning the
+  whole batch;
+- **per-task timeouts** via timers — a task over budget resolves as
+  ``timeout`` without blocking the caller (the busy worker finishes in the
+  background; its slot returns when it does);
+- **inline mode** (``workers <= 1`` by default) that runs tasks in the
+  calling process with no subprocess at all — the single-core opt-out
+  :func:`repro.eval.common.get_cohort` has always honored via
+  ``REPRO_COHORT_WORKERS=1``.
+
+Everything is callback-based (:meth:`dispatch`), with :meth:`map` /
+:meth:`outcomes` as the blocking conveniences.  One pool implementation,
+one set of crash/retry semantics, shared by ``repro.serve.BatchServer`` and
+the evaluation cohort.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["TaskOutcome", "WorkerPool"]
+
+
+@dataclass
+class TaskOutcome:
+    """How one dispatched task ended.
+
+    ``status`` is one of ``ok`` (``value`` holds the return), ``error``
+    (the function raised; ``exception`` holds the re-raised instance),
+    ``crashed`` (the worker process died and retries ran out), or
+    ``timeout``.
+    """
+
+    status: str
+    value: Any = None
+    error: str | None = None
+    exception: BaseException | None = None
+    attempts: int = 1
+    duration_s: float = 0.0
+
+
+class _Task:
+    __slots__ = (
+        "fn", "arg", "timeout_s", "on_done", "attempts", "resolved",
+        "started", "timer", "executor",
+    )
+
+    def __init__(self, fn, arg, timeout_s, on_done):
+        self.fn = fn
+        self.arg = arg
+        self.timeout_s = timeout_s
+        self.on_done = on_done
+        self.attempts = 0
+        self.resolved = False
+        self.started = 0.0
+        self.timer: threading.Timer | None = None
+        self.executor: ProcessPoolExecutor | None = None
+
+
+def _noop() -> None:
+    """Warmup task: forces worker processes to exist (fork now, not later)."""
+
+
+def _default_context():
+    # fork (when available) lets children inherit this process's warm
+    # DelayMap cache instead of rebuilding maps from scratch.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+class WorkerPool:
+    """A crash-tolerant, timeout-aware process pool (see module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``None`` uses the machine's cpu count.
+    inline:
+        ``True`` executes tasks synchronously in the calling process
+        (defaults to ``workers <= 1``).  Pass ``False`` to force a real
+        subprocess even for one worker — what the batch server does so a
+        single-worker service still survives job crashes.
+    max_crash_retries:
+        Extra attempts granted to a task whose worker process died.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        inline: bool | None = None,
+        mp_context=None,
+        max_crash_retries: int = 1,
+    ) -> None:
+        self.workers = max(1, int(workers if workers is not None else os.cpu_count() or 1))
+        self.inline = (self.workers <= 1) if inline is None else bool(inline)
+        self.max_crash_retries = int(max_crash_retries)
+        self._context = mp_context if mp_context is not None else _default_context()
+        self._lock = threading.Lock()
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+        obs_metrics.gauge("serve.pool.workers").set(float(self.workers))
+        if not self.inline:
+            with self._lock:
+                self._ensure_executor()
+
+    # -- executor lifecycle -------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        """Create (or recreate) the executor; caller holds ``self._lock``."""
+        if self._executor is None:
+            if self._closed:
+                raise ReproError("WorkerPool is shut down")
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._context
+            )
+            # Fork the workers immediately, from a known-quiet moment,
+            # rather than lazily at first dispatch.
+            for _ in range(self.workers):
+                self._executor.submit(_noop)
+        return self._executor
+
+    def _retire_executor(self, broken: ProcessPoolExecutor) -> None:
+        """Replace a broken executor exactly once; caller holds the lock."""
+        if self._executor is broken:
+            obs_metrics.counter("serve.pool.rebuilds").inc()
+            broken.shutdown(wait=False)
+            self._executor = None
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- dispatch -----------------------------------------------------------
+
+    def dispatch(
+        self,
+        fn: Callable[[Any], Any],
+        arg: Any,
+        *,
+        timeout_s: float | None = None,
+        on_done: Callable[[TaskOutcome], None],
+    ) -> None:
+        """Run ``fn(arg)`` on the pool; deliver a :class:`TaskOutcome`.
+
+        ``on_done`` fires exactly once, from the calling thread in inline
+        mode and from an executor/timer thread otherwise.  The timeout
+        clock starts at dispatch and covers executor handoff plus
+        execution; inline mode cannot preempt, so timeouts are ignored
+        there.
+        """
+        obs_metrics.counter("serve.pool.dispatched").inc()
+        task = _Task(fn, arg, timeout_s, on_done)
+        if self.inline:
+            task.attempts = 1
+            started = time.perf_counter()
+            try:
+                value = fn(arg)
+            except Exception as error:  # noqa: BLE001 - outcome carries it
+                obs_metrics.counter("serve.pool.errors").inc()
+                outcome = TaskOutcome(
+                    status="error",
+                    error=f"{type(error).__name__}: {error}",
+                    exception=error,
+                    attempts=1,
+                    duration_s=time.perf_counter() - started,
+                )
+            else:
+                outcome = TaskOutcome(
+                    status="ok",
+                    value=value,
+                    attempts=1,
+                    duration_s=time.perf_counter() - started,
+                )
+            on_done(outcome)
+            return
+        self._submit(task)
+
+    def _submit(self, task: _Task) -> None:
+        with self._lock:
+            executor = self._ensure_executor()
+            task.attempts += 1
+            task.executor = executor
+            task.started = time.perf_counter()
+            future = executor.submit(task.fn, task.arg)
+        if task.timeout_s is not None:
+            timer = threading.Timer(task.timeout_s, self._timed_out, (task, future))
+            timer.daemon = True
+            task.timer = timer
+            timer.start()
+        future.add_done_callback(lambda f, t=task: self._completed(t, f))
+
+    def _timed_out(self, task: _Task, future) -> None:
+        with self._lock:
+            if task.resolved:
+                return
+            task.resolved = True
+        future.cancel()
+        obs_metrics.counter("serve.pool.timeouts").inc()
+        task.on_done(
+            TaskOutcome(
+                status="timeout",
+                error=f"task exceeded {task.timeout_s:.3f} s",
+                attempts=task.attempts,
+                duration_s=time.perf_counter() - task.started,
+            )
+        )
+
+    def _completed(self, task: _Task, future) -> None:
+        if task.timer is not None:
+            task.timer.cancel()
+        if future.cancelled():
+            # Only the timeout path cancels futures, and it resolves the
+            # task itself; CancelledError must not reach result() below
+            # (it is a BaseException and would escape this callback).
+            return
+        duration = time.perf_counter() - task.started
+        try:
+            value = future.result()
+        except BrokenProcessPool:
+            with self._lock:
+                if task.resolved:
+                    return
+                self._retire_executor(task.executor)
+                retry = task.attempts <= self.max_crash_retries and not self._closed
+                if not retry:
+                    task.resolved = True
+            obs_metrics.counter("serve.pool.crashes").inc()
+            if retry:
+                obs_metrics.counter("serve.pool.crash_retries").inc()
+                self._submit(task)
+                return
+            task.on_done(
+                TaskOutcome(
+                    status="crashed",
+                    error="worker process died "
+                    f"(attempt {task.attempts}, retries exhausted)",
+                    attempts=task.attempts,
+                    duration_s=duration,
+                )
+            )
+            return
+        except Exception as error:  # noqa: BLE001 - the job's own failure
+            with self._lock:
+                if task.resolved:
+                    return
+                task.resolved = True
+            obs_metrics.counter("serve.pool.errors").inc()
+            task.on_done(
+                TaskOutcome(
+                    status="error",
+                    error=f"{type(error).__name__}: {error}",
+                    exception=error,
+                    attempts=task.attempts,
+                    duration_s=duration,
+                )
+            )
+            return
+        with self._lock:
+            if task.resolved:
+                return
+            task.resolved = True
+        obs_metrics.counter("serve.pool.completed").inc()
+        task.on_done(
+            TaskOutcome(
+                status="ok",
+                value=value,
+                attempts=task.attempts,
+                duration_s=duration,
+            )
+        )
+
+    # -- blocking conveniences ---------------------------------------------
+
+    def outcomes(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        timeout_s: float | None = None,
+    ) -> list[TaskOutcome]:
+        """Dispatch ``fn`` over ``items``; outcomes in input order."""
+        items = list(items)
+        results: list[TaskOutcome | None] = [None] * len(items)
+        pending = threading.Semaphore(0)
+
+        def deliver(index: int):
+            def on_done(outcome: TaskOutcome) -> None:
+                results[index] = outcome
+                pending.release()
+
+            return on_done
+
+        for index, item in enumerate(items):
+            self.dispatch(fn, item, timeout_s=timeout_s, on_done=deliver(index))
+        for _ in items:
+            pending.acquire()
+        return [outcome for outcome in results if outcome is not None]
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        timeout_s: float | None = None,
+    ) -> list[Any]:
+        """Like ``Executor.map`` with crash retry: values in input order.
+
+        Re-raises the first task failure (the original exception instance
+        when the task's function raised; :class:`ReproError` for crashes
+        and timeouts), matching what a plain serial loop would do.
+        """
+        values = []
+        for outcome in self.outcomes(fn, items, timeout_s=timeout_s):
+            if outcome.status == "ok":
+                values.append(outcome.value)
+            elif outcome.exception is not None:
+                raise outcome.exception
+            else:
+                raise ReproError(f"pool task {outcome.status}: {outcome.error}")
+        return values

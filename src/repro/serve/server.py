@@ -1,0 +1,417 @@
+"""The concurrent batch-personalization service.
+
+:class:`BatchServer` turns the one-shot :meth:`repro.core.pipeline.Uniq
+.personalize` into a managed workload:
+
+- a **bounded priority queue** of :class:`~repro.serve.job.Job`s with
+  backpressure — blocking :meth:`submit` waits for room, non-blocking
+  submit records a ``rejected`` result and moves on;
+- a :class:`~repro.serve.pool.WorkerPool` of long-lived worker processes
+  that keep their :func:`~repro.core.localize.cached_delay_map` stores warm
+  across jobs, with per-job timeouts and automatic retry (at most one) when
+  a worker process dies;
+- **request coalescing**: jobs asking for the same computation
+  (:meth:`Job.spec_key`) share one execution — the service-level cache that
+  makes a fleet of repeated captures cheap (disable with
+  ``coalesce=False``);
+- per-job metrics and spans through :mod:`repro.obs` (``serve.*`` counters,
+  queue-wait and run-time histograms) and a structured
+  :class:`BatchReport`.
+
+The core guarantee, enforced by the regression suite: for a fixed job list,
+the :meth:`JobResult.deterministic` part of every result is **bit-identical
+for any worker count and any submission order** — results are pure
+functions of job specs; the service only decides *when and where* they run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.logging import get_logger, kv
+from repro.obs.metrics import TIME_BUCKETS_S
+from repro.serve.job import Job, JobResult
+from repro.serve.pool import TaskOutcome, WorkerPool
+from repro.serve.worker import execute_job
+
+__all__ = ["BatchReport", "BatchServer", "DEFAULT_QUEUE_SIZE"]
+
+_log = get_logger("serve.server")
+
+#: Default bound on the pending-job queue.
+DEFAULT_QUEUE_SIZE = 64
+
+_OUTCOME_STATUS = {
+    "ok": "ok",
+    "error": "failed",
+    "crashed": "crashed",
+    "timeout": "timeout",
+}
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Exact percentile by linear interpolation (no numpy dependency here)."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * q
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    return ordered[low] + (rank - low) * (ordered[high] - ordered[low])
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """The structured record of one :meth:`BatchServer.run_batch`."""
+
+    results: tuple[JobResult, ...]
+    wall_s: float
+    workers: int
+    queue_size: int
+    coalesce: bool
+
+    @property
+    def counts(self) -> dict[str, int]:
+        by_status: dict[str, int] = {}
+        for result in self.results:
+            by_status[result.status] = by_status.get(result.status, 0) + 1
+        return by_status
+
+    @property
+    def n_ok(self) -> int:
+        return self.counts.get("ok", 0)
+
+    @property
+    def jobs_per_s(self) -> float:
+        return len(self.results) / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def latency_summary(self) -> dict[str, float]:
+        """p50/p95 of executed-job run time and queue wait (seconds)."""
+        runs = [r.run_s for r in self.results if r.ok and not r.coalesced]
+        waits = [r.queue_wait_s for r in self.results if r.status != "rejected"]
+        return {
+            "run_p50_s": _percentile(runs, 0.50),
+            "run_p95_s": _percentile(runs, 0.95),
+            "queue_wait_p50_s": _percentile(waits, 0.50),
+            "queue_wait_p95_s": _percentile(waits, 0.95),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_jobs": len(self.results),
+            "counts": self.counts,
+            "wall_s": self.wall_s,
+            "jobs_per_s": self.jobs_per_s,
+            "workers": self.workers,
+            "queue_size": self.queue_size,
+            "coalesce": self.coalesce,
+            "coalesced_jobs": sum(1 for r in self.results if r.coalesced),
+            "total_attempts": sum(r.attempts for r in self.results),
+            "latency": self.latency_summary(),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    def save(self, path: str | os.PathLike) -> None:
+        with open(os.fspath(path), "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+class _Sentinel:
+    """Queue terminator; sorts after every real job."""
+
+
+class BatchServer:
+    """A concurrent batch-personalization service (see module docstring).
+
+    Use as a context manager, or call :meth:`close` explicitly::
+
+        with BatchServer(workers=4) as server:
+            report = server.run_batch(load_jobs("jobs.jsonl"))
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (default: cpu count).  Even ``workers=1``
+        uses a real subprocess so job crashes cannot take the service down.
+    queue_size:
+        Bound on the pending queue; the backpressure point.
+    default_timeout_s:
+        Per-job budget when the job does not set its own.
+    runner:
+        The function executed per job — ``runner(job_spec_dict) ->
+        payload_dict``.  Defaults to :func:`repro.serve.worker.execute_job`;
+        tests substitute cheap top-level functions from
+        :mod:`repro.testing.workloads`.
+    coalesce:
+        Share one execution among jobs with equal :meth:`Job.spec_key`.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        default_timeout_s: float | None = None,
+        runner: Callable[[Mapping[str, Any]], Mapping[str, Any]] | None = None,
+        coalesce: bool = True,
+        max_crash_retries: int = 1,
+        mp_context=None,
+    ) -> None:
+        if queue_size < 1:
+            raise ReproError(f"queue_size must be >= 1, got {queue_size}")
+        self.default_timeout_s = default_timeout_s
+        self.coalesce = bool(coalesce)
+        self._runner = runner if runner is not None else execute_job
+        self._pool = WorkerPool(
+            workers if workers is not None else os.cpu_count(),
+            inline=False,
+            max_crash_retries=max_crash_retries,
+            mp_context=mp_context,
+        )
+        self.queue_size = int(queue_size)
+        self._queue: queue.PriorityQueue = queue.PriorityQueue(maxsize=queue_size)
+        self._slots = threading.Semaphore(self._pool.workers)
+        self._state = threading.Condition()
+        self._seq = 0
+        self._outstanding = 0
+        self._closed = False
+        self._order: list[str] = []
+        self._results: dict[str, JobResult] = {}
+        self._inflight: dict[str, list[tuple[Job, float]]] = {}
+        self._done_cache: dict[str, tuple[str, Mapping[str, Any] | None, str | None]] = {}
+        obs_metrics.gauge("serve.workers").set(float(self._pool.workers))
+        obs_metrics.gauge("serve.queue_size").set(float(queue_size))
+        self._scheduler = threading.Thread(
+            target=self._run_scheduler, name="repro-serve-scheduler", daemon=True
+        )
+        self._scheduler.start()
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(self, job: Job, block: bool = True) -> bool:
+        """Queue one job.  Returns ``True`` if accepted.
+
+        With ``block=True`` a full queue exerts backpressure (the call
+        waits for room).  With ``block=False`` a full queue *rejects*: a
+        ``rejected`` :class:`JobResult` is recorded, the
+        ``serve.jobs_rejected`` counter bumps, and ``False`` returns.
+        """
+        with self._state:
+            if self._closed:
+                raise ReproError("BatchServer is closed")
+            if job.job_id in self._results or job.job_id in set(self._order):
+                raise ReproError(f"duplicate job_id {job.job_id!r}")
+            self._order.append(job.job_id)
+            self._outstanding += 1
+            self._seq += 1
+            seq = self._seq
+        obs_metrics.counter("serve.jobs_submitted").inc()
+        item = (-int(job.priority), seq, job, time.perf_counter())
+        try:
+            self._queue.put(item, block=block)
+        except queue.Full:
+            obs_metrics.counter("serve.jobs_rejected").inc()
+            self._resolve(
+                JobResult(
+                    job_id=job.job_id,
+                    status="rejected",
+                    error=f"queue full (size {self.queue_size})",
+                    attempts=0,
+                )
+            )
+            return False
+        return True
+
+    def drain(self) -> None:
+        """Block until every accepted job has a result."""
+        with self._state:
+            self._state.wait_for(lambda: self._outstanding == 0)
+
+    def results(self) -> tuple[JobResult, ...]:
+        """All results so far, in submission order."""
+        with self._state:
+            return tuple(
+                self._results[job_id]
+                for job_id in self._order
+                if job_id in self._results
+            )
+
+    def run_batch(self, jobs: Iterable[Job]) -> BatchReport:
+        """Submit ``jobs`` (backpressured), wait, and report.
+
+        Jobs are queued in the given order; the priority queue reorders
+        whatever is pending at each moment, so priorities matter exactly as
+        far as the queue bound lets them — like any real admission queue.
+        """
+        jobs = list(jobs)
+        started = time.perf_counter()
+        with obs_trace.span(
+            "serve.run_batch",
+            n_jobs=len(jobs),
+            workers=self._pool.workers,
+            coalesce=self.coalesce,
+        ):
+            for job in jobs:
+                self.submit(job, block=True)
+            self.drain()
+        wall = time.perf_counter() - started
+        with self._state:
+            results = tuple(
+                self._results[job.job_id] for job in jobs
+            )
+        _log.info(
+            kv(
+                "serve.batch_done",
+                n_jobs=len(jobs),
+                wall_s=round(wall, 3),
+                workers=self._pool.workers,
+            )
+        )
+        return BatchReport(
+            results=results,
+            wall_s=wall,
+            workers=self._pool.workers,
+            queue_size=self.queue_size,
+            coalesce=self.coalesce,
+        )
+
+    def close(self) -> None:
+        """Finish queued work, stop the scheduler, shut the pool down."""
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put((math.inf, math.inf, _Sentinel(), 0.0))
+        self._scheduler.join()
+        self._pool.shutdown()
+
+    def __enter__(self) -> "BatchServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- scheduler ----------------------------------------------------------
+
+    def _run_scheduler(self) -> None:
+        while True:
+            _, _, job, enqueued = self._queue.get()
+            if isinstance(job, _Sentinel):
+                return
+            key = job.spec_key() if self.coalesce else None
+            if key is not None:
+                with self._state:
+                    cached = self._done_cache.get(key)
+                    if cached is not None:
+                        status, payload, error = cached
+                        obs_metrics.counter("serve.jobs_coalesced").inc()
+                        result = JobResult(
+                            job_id=job.job_id,
+                            status=status,
+                            payload=payload,
+                            error=error,
+                            attempts=0,
+                            queue_wait_s=time.perf_counter() - enqueued,
+                            coalesced=True,
+                        )
+                    elif key in self._inflight:
+                        obs_metrics.counter("serve.jobs_coalesced").inc()
+                        self._inflight[key].append((job, enqueued))
+                        continue
+                    else:
+                        self._inflight[key] = []
+                        result = None
+                if result is not None:
+                    self._resolve(result)
+                    continue
+            # Backpressure on workers: hold the job here (queue stays
+            # bounded) until a worker slot frees up.
+            self._slots.acquire()
+            dispatched = time.perf_counter()
+            queue_wait = dispatched - enqueued
+            obs_metrics.histogram("serve.queue_wait_s", TIME_BUCKETS_S).observe(
+                queue_wait
+            )
+            timeout = job.timeout_s if job.timeout_s is not None else self.default_timeout_s
+            self._pool.dispatch(
+                self._runner,
+                job.to_dict(),
+                timeout_s=timeout,
+                on_done=lambda outcome, j=job, k=key, w=queue_wait: self._job_done(
+                    j, k, w, outcome
+                ),
+            )
+
+    def _job_done(
+        self, job: Job, key: str | None, queue_wait: float, outcome: TaskOutcome
+    ) -> None:
+        self._slots.release()
+        status = _OUTCOME_STATUS[outcome.status]
+        payload = outcome.value if outcome.status == "ok" else None
+        obs_metrics.counter(f"serve.jobs_{status}").inc()
+        obs_metrics.counter("serve.job_attempts").inc(outcome.attempts)
+        if outcome.attempts > 1:
+            obs_metrics.counter("serve.jobs_retried").inc()
+        obs_metrics.histogram("serve.run_s", TIME_BUCKETS_S).observe(
+            outcome.duration_s
+        )
+        result = JobResult(
+            job_id=job.job_id,
+            status=status,
+            payload=payload,
+            error=outcome.error,
+            attempts=outcome.attempts,
+            queue_wait_s=queue_wait,
+            run_s=outcome.duration_s,
+        )
+        followers: list[tuple[Job, float]] = []
+        if key is not None:
+            with self._state:
+                followers = self._inflight.pop(key, [])
+                # Cache only deterministic outcomes: a timeout or a crash
+                # says something about this execution, not about the spec.
+                if status in ("ok", "failed"):
+                    self._done_cache[key] = (status, payload, outcome.error)
+        if status != "ok":
+            _log.warning(
+                kv(
+                    "serve.job_" + status,
+                    job_id=job.job_id,
+                    error=outcome.error,
+                    attempts=outcome.attempts,
+                )
+            )
+        self._resolve(result)
+        now = time.perf_counter()
+        for follower, enqueued in followers:
+            obs_metrics.counter("serve.jobs_coalesced").inc()
+            self._resolve(
+                JobResult(
+                    job_id=follower.job_id,
+                    status=status,
+                    payload=payload,
+                    error=outcome.error,
+                    attempts=0,
+                    queue_wait_s=now - enqueued,
+                    coalesced=True,
+                )
+            )
+
+    def _resolve(self, result: JobResult) -> None:
+        with self._state:
+            self._results[result.job_id] = result
+            self._outstanding -= 1
+            self._state.notify_all()

@@ -1,0 +1,122 @@
+"""The worker-side job runner: job spec in, deterministic payload out.
+
+:func:`execute_job` is the default runner a :class:`repro.serve.BatchServer`
+dispatches to its worker processes.  It is a *top-level function over plain
+dicts* so it pickles cleanly into a ``ProcessPoolExecutor``, and it is a pure
+function of the job spec: the same spec produces a bit-identical payload in
+any process, which is what makes the service's results independent of worker
+count and scheduling order.
+
+Workers are long-lived, so the process-wide caches PR 2 introduced —
+:func:`repro.core.localize.cached_delay_map` across jobs, the per-session
+:class:`repro.signals.channel.ProbeChannelBank` within one — amortize
+exactly as they do in a single-process run.  Each payload carries the
+worker's delay-map cache hit/miss delta for the job so a batch report can
+show how much the cache actually earned.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Any, Mapping
+
+from repro.datasets import load_session
+from repro.errors import ReproError
+from repro.hrtf.io import table_digest
+from repro.obs import metrics as obs_metrics
+from repro.core.pipeline import personalize_capture
+
+__all__ = ["execute_job", "maybe_crash"]
+
+
+def maybe_crash(spec: Mapping[str, Any]) -> None:
+    """Honor a job's ``crash_marker`` test hook.
+
+    The first process to execute the job creates the marker file and dies
+    with ``os._exit`` — an un-catchable worker death, exactly what a
+    segfaulting native library or an OOM kill looks like to the pool.  Any
+    later attempt finds the marker and runs normally, so a server with
+    crash-retry enabled completes the job on its second try.
+
+    Refuses to kill the main process: if the runner is executing inline
+    (serial mode, no subprocess) the hook raises instead of exiting.
+    """
+    marker = spec.get("crash_marker")
+    if not marker or os.path.exists(marker):
+        return
+    with open(marker, "w") as handle:
+        handle.write(f"crashed in pid {os.getpid()}\n")
+    if multiprocessing.parent_process() is None:
+        raise ReproError(
+            "crash_marker fired in the main process; use workers >= 1 "
+            "subprocess mode to exercise crash handling"
+        )
+    os._exit(77)
+
+
+def execute_job(spec: Mapping[str, Any]) -> dict[str, Any]:
+    """Run one personalization job and return its deterministic payload.
+
+    Raises :class:`repro.errors.ReproError` subclasses for *job* failures
+    (bad spec, corrupted capture, failed gesture check) — the server records
+    those as ``status="failed"`` without disturbing the rest of the batch.
+    """
+    maybe_crash(spec)
+    hits = obs_metrics.counter("localize.delay_map_cache_hits")
+    misses = obs_metrics.counter("localize.delay_map_cache_misses")
+    hits_before, misses_before = hits.value, misses.value
+    started = time.perf_counter()
+
+    session = None
+    if spec.get("session_path") is not None:
+        session = load_session(spec["session_path"])
+    if spec.get("fault"):
+        from repro.testing.faults import apply_fault
+
+        if session is None:
+            session = _simulated_session(spec)
+        session = apply_fault(
+            session, spec["fault"], **dict(spec.get("fault_args") or {})
+        )
+
+    session, result = personalize_capture(
+        subject_seed=spec.get("subject_seed", 0) or 0,
+        session_seed=spec.get("session_seed", 0),
+        probe_interval_s=spec.get("probe_interval_s", 0.4),
+        angle_step_deg=spec.get("angle_step_deg", 5.0),
+        enforce_gesture_check=spec.get("enforce_gesture_check", True),
+        session=session,
+    )
+    a, b, c = result.head_parameters
+    return {
+        "head_parameters": [float(a), float(b), float(c)],
+        "residual_deg": float(result.fusion.residual_deg),
+        "gyro_bias_dps": float(result.fusion.gyro_bias_dps),
+        "n_probes": int(session.n_probes),
+        "n_angles": int(result.table.n_angles),
+        "table_digest": table_digest(result.table),
+        # Operational extras (identical across processes for a fixed spec
+        # would be wrong to assume — keyed under "_stats" and excluded from
+        # determinism comparisons by the server).
+        "_stats": {
+            "worker_pid": os.getpid(),
+            "compute_s": time.perf_counter() - started,
+            "delay_map_cache_hits": hits.value - hits_before,
+            "delay_map_cache_misses": misses.value - misses_before,
+        },
+    }
+
+
+def _simulated_session(spec: Mapping[str, Any]):
+    """Simulate the capture alone (needed to apply a fault before the run)."""
+    from repro.simulation.person import VirtualSubject
+    from repro.simulation.session import MeasurementSession
+
+    subject = VirtualSubject.random(int(spec.get("subject_seed", 0) or 0))
+    return MeasurementSession(
+        subject,
+        seed=int(spec.get("session_seed", 0)),
+        probe_interval_s=float(spec.get("probe_interval_s", 0.4)),
+    ).run()

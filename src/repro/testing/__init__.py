@@ -1,0 +1,35 @@
+"""repro.testing — shared test infrastructure, importable by users too.
+
+The pieces the test suite (and CI) build on:
+
+- :mod:`repro.testing.faults`     — deterministic capture-degradation
+  helpers (clipping, probe dropout, added noise, zeroed recordings) used by
+  the robustness suite and the serve-layer fault-isolation tests;
+- :mod:`repro.testing.golden`     — golden-trace summaries of a seeded
+  personalization (head parameters, per-angle HRTF magnitudes, AoA error)
+  plus the tolerance-aware comparison the regression suite runs;
+- :mod:`repro.testing.regen_golden` — ``python -m repro.testing.regen_golden``
+  regenerates the committed fixtures under ``tests/golden/`` deterministically;
+- :mod:`repro.testing.workloads`  — cheap, pickleable job runners for
+  exercising the batch-serving machinery without multi-second
+  personalizations (property tests, backpressure tests);
+- :mod:`repro.testing.coverage`   — a dependency-free line-coverage tracer
+  (``python -m repro.testing.coverage -- <pytest args>``) backing the CI
+  coverage gate.
+"""
+
+from repro.testing.faults import (
+    apply_fault,
+    clipped,
+    dropout,
+    mic_noise,
+    zeroed,
+)
+
+__all__ = [
+    "apply_fault",
+    "clipped",
+    "dropout",
+    "mic_noise",
+    "zeroed",
+]

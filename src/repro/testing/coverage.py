@@ -1,0 +1,222 @@
+"""Dependency-free line coverage for the repro package.
+
+The CI environment ships no ``coverage``/``pytest-cov``, so this module
+implements the minimal honest subset with the standard library alone:
+executable lines come from the compiler (every code object's
+``co_lines``), executed lines from a ``sys.settrace`` hook filtered to
+``src/repro``, and the gate is a percentage floor over the whole package.
+
+Usage (what CI runs)::
+
+    python -m repro.testing.coverage --report coverage.json \
+        --fail-under 80 -- -q tests
+
+Everything after ``--`` is passed to ``pytest.main``.  The report JSON
+carries per-file covered/executable counts and missing-line ranges.
+
+Known limits, on purpose: code that only runs inside forked worker
+processes is not observed (the workers' trace buffers die with them), and
+``settrace`` costs roughly a 2-4x slowdown — this tool is for the coverage
+gate, not for everyday test runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+from types import CodeType
+from typing import Iterable
+
+__all__ = ["CoverageTracer", "executable_lines", "main"]
+
+_PRAGMA = "pragma: no cover"
+
+
+def _package_root() -> str:
+    """Absolute path of the ``repro`` package source tree."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def executable_lines(path: str) -> set[int]:
+    """Lines the compiler can reach, minus ``pragma: no cover`` lines.
+
+    Walks every code object in the compiled module (functions, classes,
+    comprehensions) and collects their ``co_lines`` line numbers — the
+    same ground truth the interpreter's tracer reports against.
+    """
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    excluded = {
+        lineno
+        for lineno, line in enumerate(source.splitlines(), start=1)
+        if _PRAGMA in line
+    }
+    lines: set[int] = set()
+    stack: list[CodeType] = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        for _, _, lineno in code.co_lines():
+            if lineno is not None and lineno not in excluded:
+                lines.add(lineno)
+        for const in code.co_consts:
+            if isinstance(const, CodeType):
+                stack.append(const)
+    return lines
+
+
+class CoverageTracer:
+    """Record executed lines for every file under ``root``."""
+
+    def __init__(self, root: str | None = None) -> None:
+        self.root = os.path.abspath(root or _package_root()) + os.sep
+        self.hits: dict[str, set[int]] = {}
+
+    def _trace(self, frame, event, arg):
+        filename = frame.f_code.co_filename
+        if not filename.startswith(self.root):
+            return None  # prune: no line events for foreign frames
+        if event == "line":
+            hits = self.hits.get(filename)
+            if hits is None:
+                hits = self.hits[filename] = set()
+            hits.add(frame.f_lineno)
+        return self._trace
+
+    def start(self) -> None:
+        threading.settrace(self._trace)
+        sys.settrace(self._trace)
+
+    def stop(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)
+
+    # -- reporting ----------------------------------------------------------
+
+    def _source_files(self) -> list[str]:
+        files = []
+        for dirpath, _, filenames in os.walk(self.root):
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    files.append(os.path.join(dirpath, name))
+        return files
+
+    def report(self) -> dict:
+        """Per-file and total coverage over every ``.py`` file in root."""
+        per_file = {}
+        total_executable = 0
+        total_covered = 0
+        for path in self._source_files():
+            lines = executable_lines(path)
+            covered = lines & self.hits.get(path, set())
+            missing = sorted(lines - covered)
+            total_executable += len(lines)
+            total_covered += len(covered)
+            rel = os.path.relpath(path, self.root)
+            per_file[rel] = {
+                "executable": len(lines),
+                "covered": len(covered),
+                "percent": round(100.0 * len(covered) / len(lines), 2)
+                if lines
+                else 100.0,
+                "missing": _ranges(missing),
+            }
+        percent = (
+            100.0 * total_covered / total_executable if total_executable else 100.0
+        )
+        return {
+            "root": self.root,
+            "percent": round(percent, 2),
+            "executable": total_executable,
+            "covered": total_covered,
+            "files": per_file,
+        }
+
+
+def _ranges(lines: Iterable[int]) -> list[str]:
+    """Compact ``[4, 5, 6, 9]`` into ``["4-6", "9"]`` for readable reports."""
+    out: list[str] = []
+    start = prev = None
+    for line in lines:
+        if start is None:
+            start = prev = line
+        elif line == prev + 1:
+            prev = line
+        else:
+            out.append(f"{start}-{prev}" if prev > start else str(start))
+            start = prev = line
+    if start is not None:
+        out.append(f"{start}-{prev}" if prev > start else str(start))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--" in argv:
+        split = argv.index("--")
+        own, pytest_args = argv[:split], argv[split + 1 :]
+    else:
+        own, pytest_args = argv, []
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.coverage",
+        description="Run pytest under a stdlib line tracer and gate on "
+        "total src/repro coverage.",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH", default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 2 if total coverage is below PCT",
+    )
+    parser.add_argument(
+        "--show-files",
+        action="store_true",
+        help="print the per-file table, worst first",
+    )
+    args = parser.parse_args(own)
+
+    import pytest
+
+    tracer = CoverageTracer()
+    tracer.start()
+    try:
+        exit_code = pytest.main(pytest_args or ["-q"])
+    finally:
+        tracer.stop()
+    report = tracer.report()
+    print(
+        f"coverage: {report['covered']}/{report['executable']} lines "
+        f"= {report['percent']:.2f}% of src/repro"
+    )
+    if args.show_files:
+        worst = sorted(report["files"].items(), key=lambda kv: kv[1]["percent"])
+        for rel, stats in worst:
+            print(
+                f"  {stats['percent']:6.2f}%  {rel}  "
+                f"({stats['covered']}/{stats['executable']})"
+            )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report: {args.report}")
+    if int(exit_code) != 0:
+        return int(exit_code)
+    if args.fail_under is not None and report["percent"] < args.fail_under:
+        print(
+            f"coverage gate FAILED: {report['percent']:.2f}% < "
+            f"{args.fail_under:.2f}%",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

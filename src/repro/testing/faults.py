@@ -1,0 +1,121 @@
+"""Deterministic capture-degradation ("fault injection") helpers.
+
+A home measurement meets clipped audio, missing probes, loud rooms, and
+broken hardware.  Every helper here takes a finished
+:class:`~repro.simulation.session.SessionData` and returns a degraded copy —
+the session object is immutable, so the original is never touched and two
+calls with the same arguments produce bit-identical degraded sessions.
+
+The robustness suite (``tests/test_robustness.py``) uses these directly; the
+batch-serving layer accepts a ``fault`` spec on a :class:`repro.serve.Job`
+and routes it through :func:`apply_fault`, which is how the serve tests
+corrupt exactly one capture inside a batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.simulation.session import ProbeMeasurement, SessionData
+
+__all__ = [
+    "FAULTS",
+    "apply_fault",
+    "clipped",
+    "dropout",
+    "mic_noise",
+    "zeroed",
+]
+
+
+def clipped(session: SessionData, level: float) -> SessionData:
+    """Hard-clip every probe recording to ``[-level, +level]``.
+
+    ``level`` is an absolute amplitude; pass e.g. ``0.6 * peak`` for the
+    mild clipping a too-hot speaker produces.
+    """
+    probes = tuple(
+        ProbeMeasurement(
+            time=p.time,
+            left=np.clip(p.left, -level, level),
+            right=np.clip(p.right, -level, level),
+        )
+        for p in session.probes
+    )
+    return replace(session, probes=probes)
+
+
+def dropout(session: SessionData, keep_every: int) -> SessionData:
+    """Keep only every ``keep_every``-th probe (lost packets, muted mics).
+
+    The truth block's probe indices are thinned identically so evaluation
+    code keeps lining up with the surviving probes.
+    """
+    if keep_every < 1:
+        raise ValueError(f"keep_every must be >= 1, got {keep_every}")
+    probes = session.probes[::keep_every]
+    truth = replace(
+        session.truth,
+        probe_sample_indices=session.truth.probe_sample_indices[::keep_every],
+    )
+    return replace(session, probes=tuple(probes), truth=truth)
+
+
+def mic_noise(session: SessionData, std: float, seed: int = 0) -> SessionData:
+    """Add seeded white microphone noise of standard deviation ``std``."""
+    rng = np.random.default_rng(seed)
+    probes = tuple(
+        ProbeMeasurement(
+            time=p.time,
+            left=p.left + rng.normal(0.0, std, p.left.shape),
+            right=p.right + rng.normal(0.0, std, p.right.shape),
+        )
+        for p in session.probes
+    )
+    return replace(session, probes=probes)
+
+
+def zeroed(session: SessionData) -> SessionData:
+    """Replace every recording with silence (dead earbud microphones).
+
+    Personalizing such a capture raises a :class:`repro.errors.SignalError`
+    — the canonical "this one job must fail, the batch must not" fixture.
+    """
+    probes = tuple(
+        ProbeMeasurement(
+            time=p.time,
+            left=np.zeros_like(p.left),
+            right=np.zeros_like(p.right),
+        )
+        for p in session.probes
+    )
+    return replace(session, probes=probes)
+
+
+#: Name -> helper registry used by :func:`apply_fault` (and thereby by
+#: ``repro.serve`` job specs, which are plain JSON and name faults by string).
+FAULTS = {
+    "clipped": clipped,
+    "dropout": dropout,
+    "mic_noise": mic_noise,
+    "zeroed": zeroed,
+}
+
+
+def apply_fault(session: SessionData, name: str, **kwargs) -> SessionData:
+    """Apply the registered fault ``name`` to ``session``.
+
+    Raises :class:`repro.errors.ReproError` for unknown fault names so a
+    typo'd job spec fails that job loudly instead of silently running the
+    clean capture.
+    """
+    try:
+        fault = FAULTS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown fault {name!r}; known: {sorted(FAULTS)}"
+        ) from None
+    return fault(session, **kwargs)

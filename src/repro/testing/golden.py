@@ -1,0 +1,227 @@
+"""Golden-trace summaries: committed expectations for seeded pipelines.
+
+A *golden case* pins one fully seeded personalization — virtual subject,
+capture session, UNIQ run — and summarizes everything a refactor must not
+change:
+
+- the learned head parameters ``E_opt = (a, b, c)``;
+- the fusion residual and learned gyro bias;
+- a per-angle magnitude summary of the output table (RMS level in dB for
+  near/far x left/right at every grid angle);
+- known-source AoA errors using the personalized table;
+- the exact SHA-256 digest of the table arrays.
+
+:func:`summarize_case` recomputes the summary; :func:`compare_summaries`
+checks it against a committed fixture with per-field tolerances.  The
+tolerances (see :data:`DEFAULT_TOLERANCES`) are loose enough to absorb
+cross-platform floating-point drift but tight enough that a millimeter-scale
+head-geometry change or a fraction-of-a-dB spectral change fails loudly —
+``docs/TESTING.md`` records how they were chosen.  The digest is only
+compared when ``REPRO_GOLDEN_EXACT=1`` (same-platform runs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.hrtf.io import table_digest
+from repro.simulation.propagation import record_far_field
+from repro.signals.waveforms import probe_chirp
+from repro.core.aoa import KnownSourceAoAEstimator
+from repro.core.pipeline import personalize_capture
+
+__all__ = [
+    "DEFAULT_CASES",
+    "DEFAULT_TOLERANCES",
+    "compare_summaries",
+    "golden_dir",
+    "load_summary",
+    "summarize_case",
+    "write_summary",
+]
+
+#: The committed golden cases: (subject_seed, session_seed).  Small grid and
+#: sparse probes keep each case a few seconds; two independent subjects
+#: guard against a regression that happens to cancel for one head.
+DEFAULT_CASES = ((1, 0), (7, 3))
+
+#: Capture/table configuration shared by every golden case.
+CASE_CONFIG = {"probe_interval_s": 0.6, "angle_step_deg": 15.0}
+
+#: Off-grid AoA test angles (not multiples of the 15-degree table step).
+AOA_ANGLES = (23.0, 71.0, 112.0, 158.0)
+
+#: Per-field absolute tolerances for :func:`compare_summaries`.
+#: Chosen to sit between cross-platform float drift (orders of magnitude
+#: smaller) and the smallest regression worth failing on — e.g. the head
+#: tolerance of 0.5 mm is half the optimizer's own 1 mm-scale resolution,
+#: so a +1 mm head-width perturbation must fail.
+DEFAULT_TOLERANCES = {
+    "head_parameters_m": 5e-4,
+    "residual_deg": 0.05,
+    "gyro_bias_dps": 0.01,
+    "magnitude_rms_db": 0.1,
+    "aoa_error_deg": 0.5,
+}
+
+
+def _rms_db(values: np.ndarray) -> float:
+    rms = float(np.sqrt(np.mean(np.square(values))))
+    return -200.0 if rms <= 0 else float(20.0 * np.log10(rms))
+
+
+def summarize_case(subject_seed: int, session_seed: int) -> dict[str, Any]:
+    """Recompute the golden summary for one seeded case."""
+    session, result = personalize_capture(
+        subject_seed=subject_seed,
+        session_seed=session_seed,
+        **CASE_CONFIG,
+    )
+    table = result.table
+    a, b, c = result.head_parameters
+    magnitudes = {
+        f"{field}_{ear}": [
+            _rms_db(getattr(entry, ear)) for entry in getattr(table, field)
+        ]
+        for field in ("near", "far")
+        for ear in ("left", "right")
+    }
+
+    estimator = KnownSourceAoAEstimator(table)
+    chirp = probe_chirp(session.fs, duration_s=0.05)
+    rng = np.random.default_rng(4_000 + subject_seed)
+    subject = session.truth.subject
+    aoa_errors = []
+    for theta in AOA_ANGLES:
+        left, right = record_far_field(
+            subject, float(theta), chirp, fs=session.fs, rng=rng,
+            noise_std=0.003,
+        )
+        estimate = estimator.estimate(left, right, chirp, session.fs)
+        aoa_errors.append(float(abs(estimate - theta)))
+
+    return {
+        "case": {
+            "subject_seed": int(subject_seed),
+            "session_seed": int(session_seed),
+            **CASE_CONFIG,
+        },
+        "head_parameters_m": [float(a), float(b), float(c)],
+        "residual_deg": float(result.fusion.residual_deg),
+        "gyro_bias_dps": float(result.fusion.gyro_bias_dps),
+        "n_probes": int(session.n_probes),
+        "angles_deg": [float(angle) for angle in table.angles_deg],
+        "magnitude_rms_db": magnitudes,
+        "aoa_angles_deg": [float(angle) for angle in AOA_ANGLES],
+        "aoa_error_deg": aoa_errors,
+        "table_digest": table_digest(table),
+    }
+
+
+def compare_summaries(
+    expected: Mapping[str, Any],
+    actual: Mapping[str, Any],
+    tolerances: Mapping[str, float] | None = None,
+    exact_digest: bool | None = None,
+) -> list[str]:
+    """Tolerance-aware comparison; returns human-readable violations.
+
+    An empty list means the summaries agree.  ``exact_digest`` defaults to
+    the ``REPRO_GOLDEN_EXACT`` environment flag.
+    """
+    tol = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        tol.update(tolerances)
+    if exact_digest is None:
+        exact_digest = os.environ.get("REPRO_GOLDEN_EXACT", "") == "1"
+    violations: list[str] = []
+
+    def check(name: str, want, got, atol: float) -> None:
+        want = np.asarray(want, dtype=float)
+        got = np.asarray(got, dtype=float)
+        if want.shape != got.shape:
+            violations.append(f"{name}: shape {got.shape} != {want.shape}")
+            return
+        gap = float(np.max(np.abs(want - got))) if want.size else 0.0
+        if gap > atol:
+            violations.append(
+                f"{name}: max |delta| {gap:.3e} exceeds tolerance {atol:.1e}"
+            )
+
+    for name, meta_field in (("case", "case"),):
+        if dict(expected[meta_field]) != dict(actual[meta_field]):
+            violations.append(
+                f"{name}: fixture was generated for {expected[meta_field]}, "
+                f"got {actual[meta_field]} — regenerate the fixtures"
+            )
+
+    if expected["n_probes"] != actual["n_probes"]:
+        violations.append(
+            f"n_probes: {actual['n_probes']} != {expected['n_probes']}"
+        )
+    check("angles_deg", expected["angles_deg"], actual["angles_deg"], 1e-9)
+    check(
+        "head_parameters_m",
+        expected["head_parameters_m"],
+        actual["head_parameters_m"],
+        tol["head_parameters_m"],
+    )
+    check(
+        "residual_deg",
+        expected["residual_deg"],
+        actual["residual_deg"],
+        tol["residual_deg"],
+    )
+    check(
+        "gyro_bias_dps",
+        expected["gyro_bias_dps"],
+        actual["gyro_bias_dps"],
+        tol["gyro_bias_dps"],
+    )
+    for bank, values in expected["magnitude_rms_db"].items():
+        check(
+            f"magnitude_rms_db[{bank}]",
+            values,
+            actual["magnitude_rms_db"].get(bank, []),
+            tol["magnitude_rms_db"],
+        )
+    check(
+        "aoa_error_deg",
+        expected["aoa_error_deg"],
+        actual["aoa_error_deg"],
+        tol["aoa_error_deg"],
+    )
+    if exact_digest and expected["table_digest"] != actual["table_digest"]:
+        violations.append(
+            "table_digest: "
+            f"{actual['table_digest'][:12]}… != {expected['table_digest'][:12]}…"
+        )
+    return violations
+
+
+def golden_dir() -> str:
+    """The committed fixture directory, ``tests/golden/`` at the repo root."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "tests", "golden")
+
+
+def fixture_path(subject_seed: int, session_seed: int) -> str:
+    return os.path.join(
+        golden_dir(), f"case_subject{subject_seed}_session{session_seed}.json"
+    )
+
+
+def load_summary(path: str | os.PathLike) -> dict[str, Any]:
+    with open(os.fspath(path)) as handle:
+        return json.load(handle)
+
+
+def write_summary(summary: Mapping[str, Any], path: str | os.PathLike) -> None:
+    with open(os.fspath(path), "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,77 @@
+"""Regenerate the committed golden fixtures: ``python -m repro.testing.regen_golden``.
+
+Recomputes every case in :data:`repro.testing.golden.DEFAULT_CASES` and
+rewrites ``tests/golden/``.  Run this ONLY when an intentional numerical
+change lands (new optimizer, changed constants, different table layout),
+then review the fixture diff like code — the whole point of the golden
+suite is that this file's output changes rarely and visibly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.testing.golden import (
+    DEFAULT_CASES,
+    compare_summaries,
+    fixture_path,
+    golden_dir,
+    load_summary,
+    summarize_case,
+    write_summary,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.regen_golden",
+        description="Recompute and rewrite the tests/golden/ fixtures.",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="do not write; exit 1 if any committed fixture disagrees "
+        "with a fresh run (same comparison the test suite applies)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=None,
+        metavar="DIR",
+        help="write fixtures somewhere other than tests/golden/ "
+        "(for inspecting a perturbed run without touching the real ones)",
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = args.out_dir or golden_dir()
+    os.makedirs(out_dir, exist_ok=True)
+    failures = 0
+    for subject_seed, session_seed in DEFAULT_CASES:
+        start = time.perf_counter()
+        summary = summarize_case(subject_seed, session_seed)
+        wall = time.perf_counter() - start
+        path = fixture_path(subject_seed, session_seed)
+        if args.out_dir:
+            path = os.path.join(out_dir, os.path.basename(path))
+        if args.check:
+            if not os.path.exists(path):
+                print(f"MISSING {path}")
+                failures += 1
+                continue
+            violations = compare_summaries(load_summary(path), summary)
+            status = "ok" if not violations else "DIFFERS"
+            print(f"{status:8s} subject {subject_seed} / session "
+                  f"{session_seed} ({wall:.1f} s)")
+            for violation in violations:
+                print(f"  - {violation}")
+            failures += bool(violations)
+        else:
+            write_summary(summary, path)
+            print(f"wrote    {path} ({wall:.1f} s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

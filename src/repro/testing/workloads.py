@@ -1,0 +1,82 @@
+"""Cheap, pickleable job runners for exercising the serve machinery.
+
+A real personalization takes seconds; queueing, coalescing, backpressure,
+priorities, crash retry, and order/worker-count invariance are properties of
+the *service*, not of the pipeline, so the serve tests (and the hypothesis
+property suite) exercise them with these millisecond runners instead.  Each
+is a top-level function over a job-spec dict — the exact contract of
+:func:`repro.serve.worker.execute_job` — so it pickles into worker
+processes.
+
+All runners are pure functions of the spec's compute fields (the ones in
+:meth:`repro.serve.job.Job.spec_key`), so the server's determinism guarantee
+is testable against them: same spec, same payload, bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+from repro.serve.worker import maybe_crash
+
+__all__ = ["digest_runner", "flaky_runner", "sleepy_runner"]
+
+#: fault name that makes :func:`digest_runner` raise (job-failure path).
+FAILING_FAULT = "synthetic-failure"
+
+
+def _spec_digest(spec: Mapping[str, Any]) -> str:
+    """SHA-256 over the compute-relevant spec fields only."""
+    compute = {
+        key: spec.get(key)
+        for key in (
+            "subject_seed",
+            "session_path",
+            "session_seed",
+            "probe_interval_s",
+            "angle_step_deg",
+            "enforce_gesture_check",
+            "fault",
+            "fault_args",
+        )
+    }
+    if compute.get("fault_args"):
+        compute["fault_args"] = dict(sorted(compute["fault_args"].items()))
+    blob = json.dumps(compute, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def digest_runner(spec: Mapping[str, Any]) -> dict[str, Any]:
+    """Hash the spec — the fastest possible deterministic "payload".
+
+    Honors ``crash_marker`` (die once, succeed on retry) and treats
+    ``fault == FAILING_FAULT`` as a job failure, mirroring the two
+    unhappy paths of the real runner.
+    """
+    maybe_crash(spec)
+    if spec.get("fault") == FAILING_FAULT:
+        raise ReproError(f"synthetic failure for job {spec.get('job_id')}")
+    return {
+        "digest": _spec_digest(spec),
+        "subject_seed": spec.get("subject_seed"),
+    }
+
+
+def sleepy_runner(spec: Mapping[str, Any]) -> dict[str, Any]:
+    """Like :func:`digest_runner` but sleeps ``fault_args['sleep_s']`` first.
+
+    The knob backpressure and timeout tests turn to make workers busy for
+    a controlled interval.
+    """
+    time.sleep(float((spec.get("fault_args") or {}).get("sleep_s", 0.05)))
+    return digest_runner(spec)
+
+
+def flaky_runner(spec: Mapping[str, Any]) -> dict[str, Any]:
+    """Crash (once, via marker) then compute — shorthand used by docs."""
+    maybe_crash(spec)
+    return digest_runner(spec)

@@ -1,0 +1,115 @@
+"""Golden-trace regression suite: seeded pipelines vs committed fixtures.
+
+Each case in ``tests/golden/`` pins a fully seeded personalization (head
+parameters, per-angle HRTF magnitudes, AoA errors, table digest).  These
+tests recompute each case and compare within the documented tolerances —
+see ``docs/TESTING.md`` for how the tolerances were chosen and for the
+regeneration workflow (``python -m repro.testing.regen_golden``).
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+
+import pytest
+
+from repro.testing.golden import (
+    DEFAULT_CASES,
+    DEFAULT_TOLERANCES,
+    compare_summaries,
+    fixture_path,
+    load_summary,
+    summarize_case,
+)
+
+pytestmark = pytest.mark.golden
+
+
+@pytest.fixture(scope="module", params=DEFAULT_CASES, ids=lambda c: f"s{c[0]}r{c[1]}")
+def case(request):
+    subject_seed, session_seed = request.param
+    path = fixture_path(subject_seed, session_seed)
+    assert os.path.exists(path), (
+        f"missing golden fixture {path} — run "
+        "`python -m repro.testing.regen_golden`"
+    )
+    expected = load_summary(path)
+    actual = summarize_case(subject_seed, session_seed)
+    return expected, actual
+
+
+class TestGoldenCases:
+    def test_pipeline_matches_committed_fixture(self, case):
+        expected, actual = case
+        violations = compare_summaries(expected, actual)
+        assert not violations, "golden regression:\n" + "\n".join(
+            f"  - {v}" for v in violations
+        )
+
+    def test_exact_digest_matches_on_this_platform(self, case):
+        # The float summaries passing but the digest moving would mean a
+        # bit-level change below every tolerance; on the machine that
+        # generated the fixtures that still deserves a look.  Opt-in via
+        # REPRO_GOLDEN_EXACT=1 so cross-platform runs are not flaky.
+        if os.environ.get("REPRO_GOLDEN_EXACT", "") != "1":
+            pytest.skip("exact-digest check is opt-in (REPRO_GOLDEN_EXACT=1)")
+        expected, actual = case
+        assert actual["table_digest"] == expected["table_digest"]
+
+
+class TestComparatorSensitivity:
+    """The comparator itself must catch the regressions it exists for."""
+
+    @pytest.fixture(scope="class")
+    def expected(self):
+        return load_summary(fixture_path(*DEFAULT_CASES[0]))
+
+    def test_identical_summaries_agree(self, expected):
+        assert compare_summaries(expected, copy.deepcopy(expected)) == []
+
+    def test_one_millimeter_head_shift_fails(self, expected):
+        # The ISSUE's litmus test: +1 mm on the head half-width must trip
+        # the 0.5 mm tolerance (verified end-to-end once against a real
+        # perturbed run; see docs/TESTING.md).
+        actual = copy.deepcopy(expected)
+        actual["head_parameters_m"][0] += 1e-3
+        violations = compare_summaries(expected, actual)
+        assert any("head_parameters_m" in v for v in violations)
+
+    def test_sub_tolerance_float_drift_passes(self, expected):
+        actual = copy.deepcopy(expected)
+        actual["head_parameters_m"][0] += 1e-7
+        actual["residual_deg"] += 1e-6
+        for values in actual["magnitude_rms_db"].values():
+            values[0] += 1e-6
+        assert compare_summaries(expected, actual) == []
+
+    def test_magnitude_regression_fails(self, expected):
+        actual = copy.deepcopy(expected)
+        actual["magnitude_rms_db"]["far_left"][2] += 0.5
+        violations = compare_summaries(expected, actual)
+        assert any("magnitude_rms_db[far_left]" in v for v in violations)
+
+    def test_aoa_regression_fails(self, expected):
+        actual = copy.deepcopy(expected)
+        actual["aoa_error_deg"][1] += 5.0
+        violations = compare_summaries(expected, actual)
+        assert any("aoa_error_deg" in v for v in violations)
+
+    def test_digest_only_checked_when_exact(self, expected):
+        actual = copy.deepcopy(expected)
+        actual["table_digest"] = "0" * 64
+        assert compare_summaries(expected, actual, exact_digest=False) == []
+        violations = compare_summaries(expected, actual, exact_digest=True)
+        assert any("table_digest" in v for v in violations)
+
+    def test_config_drift_is_reported_as_fixture_staleness(self, expected):
+        actual = copy.deepcopy(expected)
+        actual["case"]["angle_step_deg"] = 5.0
+        violations = compare_summaries(expected, actual)
+        assert any("regenerate" in v for v in violations)
+
+    def test_tolerances_documented_fields_exist(self, expected):
+        for field in DEFAULT_TOLERANCES:
+            assert field in expected

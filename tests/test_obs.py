@@ -100,6 +100,11 @@ class TestSpanTracer:
 
     def test_disabled_overhead_is_negligible(self):
         """The acceptance bar is <2%; the span() fast path must be a flag check."""
+        import sys
+
+        if sys.gettrace() is not None:
+            pytest.skip("micro-timing is meaningless under a line tracer "
+                        "(coverage gate run)")
         def loop(n):
             total = 0.0
             for i in range(n):

@@ -6,47 +6,25 @@ get worse, not wrong) or an explicit :class:`CalibrationError` — never
 silent garbage.
 """
 
-from dataclasses import replace
-
 import numpy as np
 import pytest
 
-from repro.errors import CalibrationError
+from repro.errors import CalibrationError, SignalError
 from repro.core.fusion import DiffractionAwareSensorFusion
 from repro.core.pipeline import Uniq, UniqConfig
 from repro.simulation.imu import GyroscopeModel
 from repro.simulation.room import RoomModel
-from repro.simulation.session import MeasurementSession, ProbeMeasurement
+from repro.simulation.session import MeasurementSession
+from repro.testing.faults import apply_fault, clipped, dropout, zeroed
 
 GRID = tuple(float(a) for a in range(0, 181, 20))
-
-
-def _clipped(session, level: float):
-    probes = tuple(
-        ProbeMeasurement(
-            time=p.time,
-            left=np.clip(p.left, -level, level),
-            right=np.clip(p.right, -level, level),
-        )
-        for p in session.probes
-    )
-    return replace(session, probes=probes)
-
-
-def _dropout(session, keep_every: int):
-    probes = session.probes[::keep_every]
-    truth = replace(
-        session.truth,
-        probe_sample_indices=session.truth.probe_sample_indices[::keep_every],
-    )
-    return replace(session, probes=tuple(probes), truth=truth)
 
 
 class TestClipping:
     def test_mild_clipping_survivable(self, small_session):
         """Soft clipping distorts but the chirp structure survives."""
         peak = max(np.max(np.abs(p.left)) for p in small_session.probes)
-        session = _clipped(small_session, 0.6 * peak)
+        session = clipped(small_session, 0.6 * peak)
         fusion = DiffractionAwareSensorFusion().run(session)
         truth = session.truth.probe_angles_deg()
         assert np.median(np.abs(fusion.fused_angles_deg - truth)) < 8.0
@@ -54,12 +32,12 @@ class TestClipping:
 
 class TestProbeDropout:
     def test_half_the_probes_still_personalizes(self, small_session):
-        session = _dropout(small_session, 2)
+        session = dropout(small_session, 2)
         result = Uniq(UniqConfig(angle_grid_deg=GRID)).personalize(session)
         assert result.table.n_angles == len(GRID)
 
     def test_sparse_probes_still_fuse(self, small_session):
-        session = _dropout(small_session, 4)
+        session = dropout(small_session, 4)
         fusion = DiffractionAwareSensorFusion().run(session)
         truth = session.truth.probe_angles_deg()
         assert np.median(np.abs(fusion.fused_angles_deg - truth)) < 8.0
@@ -115,3 +93,33 @@ class TestHostileEnvironment:
         truth = session.truth.probe_angles_deg()
         errors = np.abs(result.fusion.fused_angles_deg - truth)
         assert np.median(errors) < 10.0
+
+
+class TestFaultHelpers:
+    """The promoted repro.testing.faults module itself."""
+
+    def test_faults_never_mutate_the_original(self, small_session):
+        before = small_session.probes[0].left.copy()
+        clipped(small_session, 0.001)
+        zeroed(small_session)
+        np.testing.assert_array_equal(small_session.probes[0].left, before)
+
+    def test_zeroed_capture_raises_not_garbage(self, small_session):
+        with pytest.raises(SignalError):
+            Uniq(UniqConfig(angle_grid_deg=GRID)).personalize(
+                zeroed(small_session)
+            )
+
+    def test_apply_fault_by_name_matches_direct_call(self, small_session):
+        by_name = apply_fault(small_session, "dropout", keep_every=2)
+        direct = dropout(small_session, 2)
+        assert len(by_name.probes) == len(direct.probes)
+        np.testing.assert_array_equal(
+            by_name.probes[0].left, direct.probes[0].left
+        )
+
+    def test_apply_fault_rejects_unknown_name(self, small_session):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown fault"):
+            apply_fault(small_session, "gremlins")
