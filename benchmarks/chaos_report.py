@@ -1,0 +1,160 @@
+"""Run the fault matrix end to end and write the aggregated quality reports.
+
+The chaos record: one seeded capture (the golden-case configuration) is
+personalized clean and then under every fault registered in
+``repro.testing.faults.FAULTS``, and each run's quality verdict is written
+to one JSON document — the confidence, every flag, the salvage record, or
+the typed error that rejected the capture.  CI's ``chaos`` job uploads the
+result as an artifact, so every commit carries a reviewable record of how
+the pipeline degrades (see ``docs/ROBUSTNESS.md``).
+
+    PYTHONPATH=src python benchmarks/chaos_report.py --output chaos_report.json
+    PYTHONPATH=src python benchmarks/chaos_report.py --quick   # audio faults only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro import __version__
+from repro.errors import ReproError
+from repro.core.pipeline import personalize_capture
+from repro.simulation.person import VirtualSubject
+from repro.simulation.session import MeasurementSession
+from repro.testing.faults import FAULTS, apply_fault
+
+#: The golden-case pipeline configuration (small grid, sparse probes).
+SPEC = {"probe_interval_s": 0.6, "angle_step_deg": 15.0}
+
+#: Fault severities, matching the calibrated matrix in tests/test_quality.py
+#: (``peak`` is the largest probe amplitude of the clean capture).
+SEVERITIES = {
+    "clipped": lambda peak: {"level": 0.2 * peak},
+    "dropout": lambda peak: {"keep_every": 3},
+    "mic_noise": lambda peak: {"std": 0.6},
+    "zeroed": lambda peak: {},
+    "gyro_saturation": lambda peak: {"limit_dps": 6.0},
+    "gyro_dropout": lambda peak: {"start_frac": 0.25, "duration_frac": 0.3},
+    "gyro_bias_drift": lambda peak: {"drift_dps_per_s": 1.0},
+    "clock_skew": lambda peak: {"skew": 0.2},
+    "synthetic-failure": lambda peak: {},
+}
+
+#: The cheap audio-only subset for CI smoke runs.
+QUICK_FAULTS = ("clipped", "dropout", "zeroed", "synthetic-failure")
+
+
+def run_case(session, name: str | None, kwargs: dict) -> dict:
+    """Personalize ``session`` under one fault; never raises."""
+    record: dict = {"fault": name, "fault_args": kwargs}
+    started = time.perf_counter()
+    try:
+        faulted = session if name is None else apply_fault(session, name, **kwargs)
+        _, result = personalize_capture(
+            1, 0, angle_step_deg=SPEC["angle_step_deg"], session=faulted
+        )
+    except ReproError as error:
+        record.update(
+            status="rejected",
+            error_type=type(error).__name__,
+            error=str(error),
+        )
+    else:
+        record.update(
+            status="ok",
+            confidence=result.confidence,
+            quality=result.quality.to_dict(),
+        )
+    record["wall_s"] = round(time.perf_counter() - started, 3)
+    return record
+
+
+def generate(quick: bool = False) -> dict:
+    missing = sorted(set(FAULTS) - set(SEVERITIES))
+    if missing:
+        raise SystemExit(
+            f"faults without a chaos severity: {missing}; add them to "
+            "SEVERITIES (and to tests/test_quality.py)"
+        )
+    subject = VirtualSubject.random(1)
+    session = MeasurementSession(
+        subject, seed=0, probe_interval_s=SPEC["probe_interval_s"]
+    ).run()
+    peak = max(float(np.max(np.abs(p.left))) for p in session.probes)
+
+    names = QUICK_FAULTS if quick else sorted(SEVERITIES)
+    cases = [run_case(session, None, {})]
+    for name in names:
+        print(f"chaos: {name} ...", flush=True)
+        cases.append(run_case(session, name, SEVERITIES[name](peak)))
+
+    baseline = cases[0]
+    degraded = [c for c in cases[1:] if c["status"] == "ok"]
+    rejected = [c for c in cases[1:] if c["status"] == "rejected"]
+    return {
+        "record": "chaos_report",
+        "version": __version__,
+        "python": platform.python_version(),
+        "spec": SPEC,
+        "quick": quick,
+        "baseline_confidence": baseline.get("confidence"),
+        "summary": {
+            "n_faults": len(cases) - 1,
+            "n_degraded": len(degraded),
+            "n_rejected": len(rejected),
+            "min_confidence": min(
+                (c["confidence"] for c in degraded), default=None
+            ),
+            "rejected_errors": sorted(
+                {c["error_type"] for c in rejected}
+            ),
+        },
+        "cases": cases,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/chaos_report.py",
+        description="Personalize one capture under every registered fault "
+        "and write the aggregated quality reports.",
+    )
+    parser.add_argument("--output", default="chaos_report.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="audio faults only (skips the slow gyro rejections)",
+    )
+    args = parser.parse_args(argv)
+    report = generate(quick=args.quick)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    summary = report["summary"]
+    print(
+        f"wrote {args.output}: {summary['n_faults']} faults, "
+        f"{summary['n_degraded']} degraded "
+        f"(min confidence {summary['min_confidence']}), "
+        f"{summary['n_rejected']} rejected {summary['rejected_errors']}"
+    )
+    # The chaos contract, machine-checked here too: every fault degraded
+    # or was rejected with a typed error.
+    clean = [
+        c["fault"]
+        for c in report["cases"][1:]
+        if c["status"] == "ok"
+        and c["confidence"] >= report["baseline_confidence"]
+    ]
+    if clean:
+        print(f"ERROR: faults with un-degraded confidence: {clean}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

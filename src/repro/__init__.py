@@ -22,6 +22,8 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.eval`       — experiment harnesses behind every paper figure
 - :mod:`repro.obs`        — observability: span tracer, metrics registry,
   structured logging, run-report renderers (docs/OBSERVABILITY.md)
+- :mod:`repro.quality`    — capture preflight, stage sentinels, quality
+  flags, and the per-result confidence score (docs/ROBUSTNESS.md)
 """
 
 from repro.constants import (
@@ -66,6 +68,13 @@ from repro.core import (
     UniqConfig,
     UnknownSourceAoAEstimator,
 )
+from repro.quality import (
+    CaptureHealth,
+    PreflightThresholds,
+    QualityFlag,
+    QualityReport,
+    preflight,
+)
 from repro.room_acoustics import BinauralRoomRenderer, ShoeboxRoom
 
 __version__ = "1.0.0"
@@ -105,6 +114,11 @@ __all__ = [
     "SpatialSource",
     "HRTFField",
     "SphericalPersonalizer",
+    "CaptureHealth",
+    "PreflightThresholds",
+    "QualityFlag",
+    "QualityReport",
+    "preflight",
     "BinauralRoomRenderer",
     "ShoeboxRoom",
     "__version__",

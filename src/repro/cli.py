@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
         "session caches; outputs are identical across runs)",
     )
     parser.add_argument(
+        "--min-confidence",
+        type=float,
+        default=0.0,
+        metavar="C",
+        help="reject the result (exit 1, no table written) when the quality "
+        "confidence falls below C in [0, 1] (default: 0, accept everything)",
+    )
+    parser.add_argument(
         "--evaluate",
         action="store_true",
         help="also compare the result against the subject's ground truth "
@@ -166,6 +174,14 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="disable sharing one execution among identical job specs",
     )
     parser.add_argument(
+        "--min-confidence",
+        type=float,
+        default=0.0,
+        metavar="C",
+        help="exit 1 when any completed job's quality confidence falls "
+        "below C in [0, 1] (default: 0, accept everything)",
+    )
+    parser.add_argument(
         "--report",
         metavar="PATH",
         default=None,
@@ -226,6 +242,27 @@ def main_batch(argv: list[str] | None = None) -> int:
         if not result.ok:
             print(f"  {result.job_id}: {result.status} — {result.error}",
                   file=sys.stderr)
+    quality = report.quality_summary()
+    low_confidence: list[str] = []
+    if quality["graded_jobs"]:
+        print(f"quality          : {quality['graded_jobs']} jobs graded, "
+              f"confidence mean {quality['mean_confidence']:.3f} "
+              f"min {quality['min_confidence']:.3f}, "
+              f"{len(quality['flagged_jobs'])} flagged")
+        for key, count in quality["flag_counts"].items():
+            print(f"                   {key} x{count}")
+        for result in report.results:
+            payload = result.payload or {}
+            if (
+                result.ok
+                and payload.get("quality") is not None
+                and float(payload["confidence"]) < args.min_confidence
+            ):
+                low_confidence.append(result.job_id)
+                print(f"  {result.job_id}: confidence "
+                      f"{payload['confidence']:.3f} below "
+                      f"--min-confidence {args.min_confidence}",
+                      file=sys.stderr)
     if args.report is not None:
         try:
             report.save(args.report)
@@ -234,7 +271,8 @@ def main_batch(argv: list[str] | None = None) -> int:
             return 1
         print(f"report saved     : {args.report}")
     _write_metrics(args.metrics_json)
-    return 0 if report.n_ok == len(report.results) else 1
+    ok = report.n_ok == len(report.results) and not low_confidence
+    return 0 if ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -298,6 +336,23 @@ def main(argv: list[str] | None = None) -> int:
           + ", ".join(f"{v * 100:.2f} cm" for v in result.head_parameters))
     print(f"fusion residual  : {result.fusion.residual_deg:.1f} deg")
     print(f"gyro bias        : {result.fusion.gyro_bias_dps:+.2f} deg/s")
+
+    if result.quality is not None:
+        print(f"confidence       : {result.quality.confidence:.3f}")
+        print("quality          : stage        score  flags")
+        for stage, score, flags in result.quality.stage_table():
+            print(f"                   {stage:<12} {score:.3f}  {flags}")
+        if result.quality.salvage.get("retried"):
+            dropped = result.quality.salvage.get("dropped_probes", [])
+            print(f"salvage          : retried with {len(dropped)} probes dropped")
+        if result.quality.confidence < args.min_confidence:
+            print(
+                f"error: confidence {result.quality.confidence:.3f} below "
+                f"--min-confidence {args.min_confidence}; table not saved",
+                file=sys.stderr,
+            )
+            _write_metrics(args.metrics_json)
+            return 1
 
     if args.evaluate:
         angles = np.asarray(grid)

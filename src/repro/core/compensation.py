@@ -102,8 +102,19 @@ def check_gesture_quality(
     The paper's triggers: the estimated phone distance to the head center is
     too small (arm dropped / phone drifted toward the head), or the overall
     optimization error is too large (gesture deviated from instructions).
+
+    When the fusion ran on a salvaged subset (``fusion.active``), the solved
+    fraction is judged over the probes that actually participated — probes
+    the preflight dropped should not double-count as gesture failures.
     """
-    solved_fraction = float(np.mean(fusion.solved)) if fusion.n_probes else 0.0
+    if fusion.active is not None:
+        solved_fraction = (
+            float(np.mean(fusion.solved[fusion.active]))
+            if fusion.active.any()
+            else 0.0
+        )
+    else:
+        solved_fraction = float(np.mean(fusion.solved)) if fusion.n_probes else 0.0
     if solved_fraction < min_solved_fraction:
         raise CalibrationError(
             f"only {solved_fraction:.0%} of probes localized; redo the sweep"

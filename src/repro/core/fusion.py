@@ -27,6 +27,8 @@ from repro.geometry.head import HeadGeometry
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.logging import get_logger, kv
+from repro.quality.flags import QualityCollector
+from repro.quality.report import degradation_score, fitness_score
 from repro.simulation.imu import IMUTrace, integrate_gyro
 from repro.simulation.session import SessionData
 from repro.signals.channel import (
@@ -46,6 +48,17 @@ _BOUNDS = {"a": (0.065, 0.115), "b": (0.085, 0.145), "c": (0.072, 0.125)}
 #: Co-estimated gyro bias guard (deg/s): the cost function rejects candidate
 #: vertices beyond this, and the returned estimate is clipped to match.
 MAX_GYRO_BIAS_DPS = 3.0
+
+#: Sentinel thresholds (docs/ROBUSTNESS.md).  Clean simulated captures land
+#: at 3–5 deg residual with every probe solved and |bias| well under
+#: 1.5 deg/s; the gesture check rejects at 12 deg residual, so the ramp
+#: keeps degrading past that for runs with the check disabled.
+_RESIDUAL_GOOD_DEG = 6.0
+_RESIDUAL_BAD_DEG = 20.0
+_SOLVED_GOOD = 0.85
+_SOLVED_BAD = 0.35
+_BIAS_GOOD_DPS = 1.5
+_BIAS_BAD_DPS = 4.5
 
 _log = get_logger("core.fusion")
 
@@ -74,6 +87,12 @@ class FusionResult:
         optimizer's final misfit, also used by the gesture-quality check.
     solved:
         Boolean mask of probes the delay inversion explained.
+    active:
+        Boolean mask of probes the solve actually used, or ``None`` when
+        every probe participated.  Probes down-weighted to zero by the
+        capture preflight (see :mod:`repro.quality.preflight`) are
+        inactive: their delays are never extracted and downstream stages
+        skip them.
     """
 
     head: HeadGeometry
@@ -86,6 +105,7 @@ class FusionResult:
     residual_deg: float
     solved: np.ndarray
     gyro_bias_dps: float = 0.0
+    active: np.ndarray | None = None
 
     @property
     def n_probes(self) -> int:
@@ -131,7 +151,10 @@ class DiffractionAwareSensorFusion:
     speed_of_sound: float = SPEED_OF_SOUND
 
     def extract_probe_delays(
-        self, session: SessionData, bank: ProbeChannelBank | None = None
+        self,
+        session: SessionData,
+        bank: ProbeChannelBank | None = None,
+        active: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Per-probe absolute first-tap delays (s) at the (left, right) ears.
 
@@ -141,6 +164,9 @@ class DiffractionAwareSensorFusion:
         are shared with the interpolation stage; standalone calls build a
         private bank (the shared ``rfft(source)`` still pays off within the
         call).
+
+        Probes excluded by ``active`` (salvaged-out dead or corrupted
+        channels) are never deconvolved; their delays come back NaN.
         """
         if bank is None:
             bank = ProbeChannelBank(session.probe_signal)
@@ -148,6 +174,10 @@ class DiffractionAwareSensorFusion:
         t_left = np.zeros(session.n_probes)
         t_right = np.zeros(session.n_probes)
         for i, probe in enumerate(session.probes):
+            if active is not None and not active[i]:
+                t_left[i] = np.nan
+                t_right[i] = np.nan
+                continue
             for attr, out in (("left", t_left), ("right", t_right)):
                 channel = bank.channel((i, attr), getattr(probe, attr), n_window)
                 tap = refine_tap_position(channel, first_tap_index(channel))
@@ -174,6 +204,8 @@ class DiffractionAwareSensorFusion:
         radii = np.full(n, np.nan)
         solved = np.zeros(n, dtype=bool)
         for i in range(n):
+            if not (np.isfinite(t_left[i]) and np.isfinite(t_right[i])):
+                continue
             candidate = delay_map.locate(t_left[i], t_right[i], alphas[i])
             if candidate is not None:
                 thetas[i] = candidate.theta_deg
@@ -194,6 +226,7 @@ class DiffractionAwareSensorFusion:
         t_right: np.ndarray,
         alphas: np.ndarray,
         elapsed: np.ndarray,
+        weights: np.ndarray | None = None,
     ) -> float:
         obs_metrics.counter("fusion.cost_evaluations").inc()
         a, b, c = params[:3]
@@ -217,28 +250,60 @@ class DiffractionAwareSensorFusion:
         corrected = self._debiased(alphas, elapsed, bias)
         thetas, _, solved = self._localize_all(delay_map, t_left, t_right, corrected)
         deltas = np.where(solved, corrected - thetas, _UNSOLVED_PENALTY_DEG)
-        return float(np.mean(deltas**2))
+        if weights is None:
+            return float(np.mean(deltas**2))
+        # Salvage path: suspect probes vote with reduced weight, dropped
+        # probes (weight 0, delays NaN) not at all.
+        keep = weights > 0.0
+        return float(
+            np.sum(weights[keep] * deltas[keep] ** 2) / np.sum(weights[keep])
+        )
 
     def run(
-        self, session: SessionData, bank: ProbeChannelBank | None = None
+        self,
+        session: SessionData,
+        bank: ProbeChannelBank | None = None,
+        probe_weights: np.ndarray | None = None,
+        quality: QualityCollector | None = None,
     ) -> FusionResult:
         """Execute sensor fusion on one measurement session.
 
         ``bank`` is the session's shared deconvolution cache; the pipeline
         passes one so the interpolation stage reuses these channels.
+
+        ``probe_weights`` (from :func:`repro.quality.preflight.preflight`)
+        down-weights suspect probes in the optimizer cost and drops
+        weight-0 probes from the solve entirely.  ``None`` — or all-ones —
+        runs the exact unweighted code path, so clean captures stay
+        bit-identical to runs without a preflight.  ``quality`` collects
+        the stage's sentinel components and flags.
         """
-        if session.n_probes < 5:
+        weights = None
+        if probe_weights is not None:
+            weights = np.asarray(probe_weights, dtype=float)
+            if weights.shape != (session.n_probes,):
+                raise SignalError(
+                    f"probe_weights must have shape ({session.n_probes},), "
+                    f"got {weights.shape}"
+                )
+            if np.all(weights == 1.0):
+                weights = None
+        active = weights > 0.0 if weights is not None else None
+        n_active = int(active.sum()) if active is not None else session.n_probes
+        if n_active < 5:
             raise SignalError(
-                f"need >= 5 probes for fusion, got {session.n_probes}"
+                f"need >= 5 active probes for fusion, got {n_active}"
+                f" (of {session.n_probes})"
             )
         obs_metrics.counter("fusion.runs").inc()
         with obs_trace.span(
             "fusion.run",
             n_probes=session.n_probes,
+            n_active=n_active,
             grid=f"{self.map_radii[2]}x{self.map_thetas[2]}",
         ) as run_span:
             with obs_trace.span("fusion.extract_delays", n_probes=session.n_probes):
-                t_left, t_right = self.extract_probe_delays(session, bank)
+                t_left, t_right = self.extract_probe_delays(session, bank, active)
             with obs_trace.span("fusion.imu_angles"):
                 alphas = self.imu_angles(session)
             probe_times = np.array([p.time for p in session.probes])
@@ -259,7 +324,7 @@ class DiffractionAwareSensorFusion:
                 result = optimize.minimize(
                     self._cost,
                     x0,
-                    args=(t_left, t_right, alphas, elapsed),
+                    args=(t_left, t_right, alphas, elapsed, weights),
                     method="Nelder-Mead",
                     options={
                         "maxiter": self.max_iterations,
@@ -358,6 +423,8 @@ class DiffractionAwareSensorFusion:
                     gyro_bias_dps=bias,
                 )
             )
+            if quality is not None:
+                self._sentinels(quality, residual, solved, active, n_active, bias)
         return FusionResult(
             head=head,
             t_left=t_left,
@@ -369,4 +436,70 @@ class DiffractionAwareSensorFusion:
             residual_deg=residual,
             solved=solved,
             gyro_bias_dps=bias,
+            active=active,
         )
+
+    def _sentinels(
+        self,
+        quality: QualityCollector,
+        residual: float,
+        solved: np.ndarray,
+        active: np.ndarray | None,
+        n_active: int,
+        bias: float,
+    ) -> None:
+        """Compare the solve against its calibrated envelope and flag drift."""
+        quality.component(
+            "fusion.residual",
+            degradation_score(residual, _RESIDUAL_GOOD_DEG, _RESIDUAL_BAD_DEG),
+        )
+        if residual > _RESIDUAL_GOOD_DEG:
+            quality.flag(
+                "fusion",
+                "residual_high",
+                "warn",
+                f"fusion residual {residual:.1f} deg exceeds the clean "
+                f"envelope ({_RESIDUAL_GOOD_DEG:.1f} deg)",
+                value=residual,
+                threshold=_RESIDUAL_GOOD_DEG,
+            )
+        n_solved = int(solved.sum()) if active is None else int(solved[active].sum())
+        solved_fraction = n_solved / n_active if n_active else 0.0
+        quality.component(
+            "fusion.solved",
+            fitness_score(solved_fraction, _SOLVED_BAD, _SOLVED_GOOD),
+        )
+        if solved_fraction < _SOLVED_GOOD:
+            quality.flag(
+                "fusion",
+                "low_solved",
+                "warn",
+                f"delay inversion explained only {solved_fraction:.0%} of "
+                f"active probes (< {_SOLVED_GOOD:.0%})",
+                value=solved_fraction,
+                threshold=_SOLVED_GOOD,
+            )
+        quality.component(
+            "fusion.bias_margin",
+            degradation_score(abs(bias), _BIAS_GOOD_DPS, _BIAS_BAD_DPS),
+        )
+        if abs(bias) >= 0.999 * MAX_GYRO_BIAS_DPS:
+            quality.flag(
+                "fusion",
+                "gyro_bias_clipped",
+                "error",
+                f"co-estimated gyro bias pinned at the ±{MAX_GYRO_BIAS_DPS} "
+                "deg/s guard; the true drift is likely larger",
+                value=bias,
+                threshold=MAX_GYRO_BIAS_DPS,
+            )
+        elif abs(bias) > _BIAS_GOOD_DPS:
+            quality.flag(
+                "fusion",
+                "gyro_bias_high",
+                "warn",
+                f"co-estimated gyro bias {bias:.2f} deg/s exceeds the clean "
+                f"envelope ({_BIAS_GOOD_DPS} deg/s)",
+                value=bias,
+                threshold=_BIAS_GOOD_DPS,
+            )

@@ -31,6 +31,8 @@ from repro.hrtf.table import interpolate_hrir_pair
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.physics import near_field_first_tap_gain
+from repro.quality.flags import QualityCollector
+from repro.quality.report import degradation_score
 from repro.signals.channel import (
     ProbeChannelBank,
     first_tap_index,
@@ -43,6 +45,16 @@ from repro.core.fusion import FusionResult
 
 #: Samples of headroom before the earliest first tap in an extracted HRIR.
 _PRE_SAMPLES = 12
+
+#: Sentinel thresholds (docs/ROBUSTNESS.md): clean sweeps land measurements
+#: every few degrees, so neighbouring-measurement gaps beyond ~18 deg mean
+#: the blend is bridging real holes; past ~60 deg it is guesswork.  Grid
+#: angles outside the measured span clamp to the nearest measurement — a
+#: small fraction at the sweep edges is normal, a large one is not.
+_GAP_GOOD_DEG = 18.0
+_GAP_BAD_DEG = 60.0
+_EXTRAPOLATION_GOOD = 0.2
+_EXTRAPOLATION_BAD = 0.7
 
 
 @dataclass(frozen=True)
@@ -91,6 +103,7 @@ class NearFieldInterpolator:
         session: SessionData,
         fusion: FusionResult,
         bank: ProbeChannelBank | None = None,
+        probe_weights: np.ndarray | None = None,
     ) -> list[NearFieldMeasurement]:
         """Per-probe near-field HRIRs, windowed around the binaural first taps.
 
@@ -99,14 +112,27 @@ class NearFieldInterpolator:
         truncated per ear relative to its own first tap.  When the pipeline
         passes the session ``bank``, the deconvolutions already done by the
         fusion stage are reused instead of recomputed.
+
+        Probes the fusion solve excluded (``fusion.active``) — or that
+        ``probe_weights`` zeroes out — carry no usable HRIR and are skipped,
+        so a salvaged run interpolates only over the surviving captures.
         """
         if bank is None:
             bank = ProbeChannelBank(session.probe_signal)
+        skip = np.zeros(session.n_probes, dtype=bool)
+        if fusion.active is not None:
+            skip |= ~fusion.active
+        if probe_weights is not None:
+            skip |= np.asarray(probe_weights, dtype=float) <= 0.0
         measurements = []
         with obs_trace.span(
-            "interpolation.extract_measurements", n_probes=session.n_probes
+            "interpolation.extract_measurements",
+            n_probes=session.n_probes,
+            n_skipped=int(skip.sum()),
         ):
             for i, probe in enumerate(session.probes):
+                if skip[i]:
+                    continue
                 channels = {}
                 taps = {}
                 for ear, recording in (
@@ -198,16 +224,22 @@ class NearFieldInterpolator:
         head: HeadGeometry,
         angle_grid_deg: np.ndarray,
         reference_radius_m: float | None = None,
+        quality: QualityCollector | None = None,
     ) -> list[BinauralIR]:
         """Interpolate measurements onto ``angle_grid_deg`` with model correction.
 
         Grid angles outside the measured span clamp to the nearest
         measurement (then get model-corrected for their own angle).
+        ``quality`` collects the stage sentinels: the largest gap between
+        neighbouring measurement angles and the fraction of the grid the
+        measurements do not span.
         """
         if len(measurements) < 2:
             raise SignalError("need >= 2 near-field measurements to interpolate")
         ordered = sorted(measurements, key=lambda m: m.angle_deg)
         angles = np.array([m.angle_deg for m in ordered])
+        if quality is not None:
+            self._sentinels(quality, angles, np.asarray(angle_grid_deg, float))
         radius = (
             reference_radius_m
             if reference_radius_m is not None
@@ -241,3 +273,48 @@ class NearFieldInterpolator:
                 )
             obs_metrics.counter("interpolation.grid_entries").inc(len(grid_entries))
         return grid_entries
+
+    def _sentinels(
+        self,
+        quality: QualityCollector,
+        angles: np.ndarray,
+        grid: np.ndarray,
+    ) -> None:
+        """Flag sparse or under-spanning measurement sets before blending."""
+        max_gap = float(np.max(np.diff(angles))) if angles.shape[0] > 1 else 360.0
+        quality.component(
+            "interpolation.coverage",
+            degradation_score(max_gap, _GAP_GOOD_DEG, _GAP_BAD_DEG),
+        )
+        if max_gap > _GAP_GOOD_DEG:
+            quality.flag(
+                "interpolation",
+                "sparse_measurements",
+                "warn",
+                f"largest gap between measurement angles is {max_gap:.1f} deg "
+                f"(> {_GAP_GOOD_DEG:.0f} deg); blends bridge unmeasured arcs",
+                value=max_gap,
+                threshold=_GAP_GOOD_DEG,
+            )
+        if grid.shape[0]:
+            outside = (grid < float(angles.min())) | (grid > float(angles.max()))
+            extrapolated = float(np.mean(outside))
+        else:
+            extrapolated = 0.0
+        quality.component(
+            "interpolation.extrapolation",
+            degradation_score(
+                extrapolated, _EXTRAPOLATION_GOOD, _EXTRAPOLATION_BAD
+            ),
+        )
+        if extrapolated > _EXTRAPOLATION_GOOD:
+            quality.flag(
+                "interpolation",
+                "extrapolated_grid",
+                "warn",
+                f"{extrapolated:.0%} of grid angles fall outside the measured "
+                f"span [{angles.min():.1f}, {angles.max():.1f}] deg and clamp "
+                "to the nearest measurement",
+                value=extrapolated,
+                threshold=_EXTRAPOLATION_GOOD,
+            )

@@ -38,11 +38,21 @@ from repro.hrtf.hrir import BinauralIR
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.physics import far_field_first_tap_gain
+from repro.quality.flags import QualityCollector
+from repro.quality.report import degradation_score
 from repro.signals.correlation import align_to_first_tap
 from repro.signals.delays import apply_fractional_delay
 from repro.core.interpolation import NearFieldMeasurement
 
 _PRE_SAMPLES = 12
+
+#: Sentinel thresholds (docs/ROBUSTNESS.md).  Every target angle needs two
+#: trajectory arcs populated with measurements; empty arcs fall back to the
+#: nearest measurements, which is fine at the sweep edges (grazing arcs are
+#: geometrically tiny) but means the conversion is extrapolating when it
+#: happens across a large fraction of the grid.
+_FALLBACK_GOOD = 0.35
+_FALLBACK_BAD = 0.9
 
 
 def _backtrack_to_radius(anchor: np.ndarray, u: np.ndarray, radius: float) -> np.ndarray:
@@ -117,8 +127,15 @@ class NearFarConverter:
         head: HeadGeometry,
         theta_deg: float,
         trajectory_radius_m: float,
+        fallbacks: list[int] | None = None,
     ) -> BinauralIR:
-        """Far-field HRIR pair for one target angle."""
+        """Far-field HRIR pair for one target angle.
+
+        When ``fallbacks`` is given, the number of arcs (0–2) that had no
+        in-arc measurements and fell back to nearest-measurement selection
+        is appended to it — :meth:`convert` aggregates these counts into
+        the stage's arc-support sentinel.
+        """
         if not measurements:
             raise SignalError("no near-field measurements to convert")
         n = measurements[0].hrir.n_samples
@@ -130,9 +147,11 @@ class NearFarConverter:
         arcs = {Ear.LEFT: _arc_interval(phi_c, phi_b), Ear.RIGHT: _arc_interval(phi_c, phi_d)}
 
         averaged = {}
+        n_fallback = 0
         for ear, (lo, hi) in arcs.items():
             in_arc = np.flatnonzero((angles >= lo) & (angles <= hi))
             if in_arc.shape[0] < self.min_arc_measurements:
+                n_fallback += 1
                 midpoint = 0.5 * (lo + hi)
                 order = np.argsort(np.abs(angles - midpoint))
                 in_arc = order[: max(self.min_arc_measurements, 1)]
@@ -160,6 +179,8 @@ class NearFarConverter:
             gain = float(far_field_first_tap_gain(arrivals[ear].wrap_arc)) / first_tap
             shift = (arrivals[ear].delay - reference) * self.fs
             tuned[ear] = apply_fractional_delay(signal * gain, shift, output_length=n)
+        if fallbacks is not None:
+            fallbacks.append(n_fallback)
         return BinauralIR(left=tuned[Ear.LEFT], right=tuned[Ear.RIGHT], fs=self.fs)
 
     def convert(
@@ -168,25 +189,57 @@ class NearFarConverter:
         head: HeadGeometry,
         angle_grid_deg: np.ndarray,
         trajectory_radius_m: float | None = None,
+        quality: QualityCollector | None = None,
     ) -> list[BinauralIR]:
-        """Far-field HRIRs for every angle in ``angle_grid_deg``."""
+        """Far-field HRIRs for every angle in ``angle_grid_deg``.
+
+        ``quality`` collects the arc-support sentinel: the fraction of
+        (angle, ear) arcs that were empty and fell back to
+        nearest-measurement averaging.
+        """
         radius = (
             trajectory_radius_m
             if trajectory_radius_m is not None
             else float(np.median([m.radius_m for m in measurements]))
         )
         grid = np.asarray(angle_grid_deg, dtype=float)
+        fallbacks: list[int] = []
         with obs_trace.span(
             "near_far.convert",
             n_angles=int(grid.shape[0]),
             n_measurements=len(measurements),
             trajectory_radius_m=radius,
-        ):
+        ) as convert_span:
             converted = [
-                self.convert_angle(measurements, head, float(theta), radius)
+                self.convert_angle(
+                    measurements, head, float(theta), radius, fallbacks=fallbacks
+                )
                 for theta in grid
             ]
             obs_metrics.counter("near_far.angles_converted").inc(len(converted))
+            fallback_fraction = (
+                float(sum(fallbacks)) / (2.0 * grid.shape[0]) if grid.shape[0] else 0.0
+            )
+            obs_metrics.counter("near_far.arc_fallbacks").inc(int(sum(fallbacks)))
+            convert_span.update(fallback_fraction=fallback_fraction)
+            if quality is not None:
+                quality.component(
+                    "near_far.arc_support",
+                    degradation_score(
+                        fallback_fraction, _FALLBACK_GOOD, _FALLBACK_BAD
+                    ),
+                )
+                if fallback_fraction > _FALLBACK_GOOD:
+                    quality.flag(
+                        "near_far",
+                        "arc_fallback",
+                        "warn",
+                        f"{fallback_fraction:.0%} of conversion arcs had no "
+                        "in-arc measurements and fell back to the nearest "
+                        "measurement",
+                        value=fallback_fraction,
+                        threshold=_FALLBACK_GOOD,
+                    )
         return converted
 
 

@@ -14,12 +14,19 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.constants import DEFAULT_ANGLE_GRID_DEG
-from repro.errors import CalibrationError
+from repro.errors import CalibrationError, SignalError
 from repro.hrtf.table import HRTFTable
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.logging import get_logger, kv
 from repro.obs.trace import Span
+from repro.quality.flags import QualityCollector
+from repro.quality.preflight import (
+    CaptureHealth,
+    PreflightThresholds,
+    preflight,
+)
+from repro.quality.report import QualityReport, combine_components
 from repro.signals.channel import ProbeChannelBank
 from repro.simulation.person import VirtualSubject
 from repro.simulation.session import MeasurementSession, SessionData
@@ -62,6 +69,14 @@ class UniqConfig:
         When ``True`` (default), a degraded sweep raises
         :class:`repro.errors.CalibrationError` exactly like the real app
         asks the user to redo the gesture.
+    preflight_thresholds:
+        Calibrated envelope for the capture preflight
+        (:mod:`repro.quality.preflight`); ``None`` uses the defaults.
+    salvage:
+        When ``True`` (default), a solve that fails the gesture check on a
+        capture with suspect probes is retried once with those probes
+        dropped before the :class:`repro.errors.CalibrationError`
+        propagates.
     """
 
     angle_grid_deg: tuple[float, ...] = DEFAULT_ANGLE_GRID_DEG
@@ -69,6 +84,8 @@ class UniqConfig:
         default_factory=DiffractionAwareSensorFusion
     )
     enforce_gesture_check: bool = True
+    preflight_thresholds: PreflightThresholds | None = None
+    salvage: bool = True
 
 
 @dataclass(frozen=True)
@@ -88,17 +105,27 @@ class PersonalizationResult:
         The finished ``uniq.personalize`` span tree when tracing was
         enabled during the run (see :mod:`repro.obs.trace`), else ``None``.
         Render it with :func:`repro.obs.report.render_span_tree`.
+    quality:
+        The run's :class:`repro.quality.QualityReport` — per-stage
+        component scores, every sentinel flag raised, the salvage record,
+        and the scalar confidence (see ``docs/ROBUSTNESS.md``).
     """
 
     table: HRTFTable
     fusion: FusionResult
     measurements: tuple[NearFieldMeasurement, ...]
     trace: Span | None = None
+    quality: QualityReport | None = None
 
     @property
     def head_parameters(self) -> tuple[float, float, float]:
         """The learned head parameter vector ``E_opt = (a, b, c)``."""
         return self.fusion.head.parameters
+
+    @property
+    def confidence(self) -> float:
+        """Scalar confidence in [0, 1]; 1.0 when no quality report exists."""
+        return float(self.quality.confidence) if self.quality is not None else 1.0
 
 
 class Uniq:
@@ -150,8 +177,12 @@ class Uniq:
 
         Raises
         ------
+        SignalError
+            If the capture preflight finds no usable probe at all.
         CalibrationError
-            If the gesture-quality check fails (and is enforced).
+            If fewer usable probes survive the preflight than fusion needs,
+            or the gesture-quality check fails (and is enforced) even after
+            the salvage retry.
         """
         obs_metrics.counter("uniq.personalize.runs").inc()
         root = obs_trace.span(
@@ -160,38 +191,79 @@ class Uniq:
             n_grid=len(self.config.angle_grid_deg),
             fs=session.fs,
         )
+        collector = QualityCollector()
         with root:
             if system_response is not None:
                 with obs_trace.span("uniq.compensate", n_probes=session.n_probes):
                     session = self._compensated(session, system_response)
+
+            health = preflight(
+                session, self.config.preflight_thresholds, collector
+            )
+            if health.n_usable == 0:
+                raise SignalError(
+                    "capture preflight found no usable probe: "
+                    f"{health.n_dead} of {session.n_probes} recordings are "
+                    "dead/zeroed"
+                )
+            if health.n_usable < 5:
+                raise CalibrationError(
+                    f"only {health.n_usable} of {session.n_probes} probes "
+                    "survived the capture preflight (need >= 5); redo the sweep"
+                )
 
             # One deconvolution cache for the whole run: fusion's delay
             # extraction and the interpolator's HRIR extraction share the
             # per-probe channel estimates (created after compensation so
             # cached impulses reflect the equalized recordings).
             bank = ProbeChannelBank(session.probe_signal)
-            fusion = self.config.fusion.run(session, bank=bank)
-            if self.config.enforce_gesture_check:
-                with obs_trace.span("uniq.gesture_check"):
-                    try:
-                        check_gesture_quality(fusion)
-                    except CalibrationError as error:
-                        obs_metrics.counter("uniq.gesture_rejections").inc()
-                        _log.warning(kv("uniq.gesture_rejected", reason=str(error)))
-                        raise
+            weights = health.weights
+            # All-healthy captures must stay bit-identical to pre-quality
+            # runs, so the weighted solve only activates on degraded input.
+            weights_arg = None if bool(np.all(weights == 1.0)) else weights
+            salvage: dict = {
+                "downweighted": weights_arg is not None,
+                "suspect_probes": [
+                    p.index for p in health.probes if p.verdict == "suspect"
+                ],
+                "dropped_probes": [
+                    p.index for p in health.probes if p.verdict == "dead"
+                ],
+                "retried": False,
+            }
+            try:
+                fusion = self._solve(session, bank, weights_arg, collector)
+            except CalibrationError as error:
+                fusion = self._salvage_retry(
+                    session, bank, health, collector, salvage, error
+                )
 
             grid = np.asarray(self.config.angle_grid_deg, dtype=float)
             interpolator = NearFieldInterpolator(session.fs)
             measurements = interpolator.extract_measurements(
                 session, fusion, bank=bank
             )
-            near_entries = interpolator.build_grid(measurements, fusion.head, grid)
+            near_entries = interpolator.build_grid(
+                measurements, fusion.head, grid, quality=collector
+            )
 
             converter = NearFarConverter(fs=session.fs)
-            far_entries = converter.convert(measurements, fusion.head, grid)
+            far_entries = converter.convert(
+                measurements, fusion.head, grid, quality=collector
+            )
 
             table = HRTFTable(
                 angles_deg=grid, near=tuple(near_entries), far=tuple(far_entries)
+            )
+            report = QualityReport(
+                confidence=combine_components(collector.components),
+                components=collector.components,
+                flags=collector.flags,
+                salvage=salvage,
+            )
+            obs_metrics.gauge("quality.confidence").set(report.confidence)
+            obs_metrics.histogram("quality.confidence_dist").observe(
+                report.confidence
             )
             obs_metrics.counter("uniq.personalize.completed").inc()
             _log.info(
@@ -200,6 +272,8 @@ class Uniq:
                     n_probes=session.n_probes,
                     n_angles=int(grid.shape[0]),
                     residual_deg=fusion.residual_deg,
+                    confidence=report.confidence,
+                    n_flags=report.n_flags,
                 )
             )
         return PersonalizationResult(
@@ -207,7 +281,80 @@ class Uniq:
             fusion=fusion,
             measurements=tuple(measurements),
             trace=root if isinstance(root, Span) else None,
+            quality=report,
         )
+
+    def _solve(
+        self,
+        session: SessionData,
+        bank: ProbeChannelBank,
+        weights: np.ndarray | None,
+        collector: QualityCollector,
+    ) -> FusionResult:
+        """One fusion solve + gesture check under the given probe weights."""
+        fusion = self.config.fusion.run(
+            session, bank=bank, probe_weights=weights, quality=collector
+        )
+        if self.config.enforce_gesture_check:
+            with obs_trace.span("uniq.gesture_check"):
+                try:
+                    check_gesture_quality(fusion)
+                except CalibrationError as error:
+                    obs_metrics.counter("uniq.gesture_rejections").inc()
+                    _log.warning(kv("uniq.gesture_rejected", reason=str(error)))
+                    raise
+        return fusion
+
+    def _salvage_retry(
+        self,
+        session: SessionData,
+        bank: ProbeChannelBank,
+        health: CaptureHealth,
+        collector: QualityCollector,
+        salvage: dict,
+        error: CalibrationError,
+    ) -> FusionResult:
+        """Retry a rejected solve once with all suspect probes dropped.
+
+        Down-weighted suspects can still drag the optimizer off a good
+        head fit; when enough healthy probes remain, dropping the suspects
+        entirely and re-solving often recovers a usable gesture.  If
+        salvage is disabled, impossible (too few healthy probes), or
+        pointless (nothing was suspect), the original error propagates.
+        """
+        weights = health.weights
+        retry_weights = np.where(weights >= 1.0, 1.0, 0.0)
+        n_healthy = int(np.count_nonzero(retry_weights))
+        if (
+            not self.config.salvage
+            or not salvage["suspect_probes"]
+            or n_healthy < 5
+        ):
+            raise error
+        collector.flag(
+            "pipeline",
+            "salvage_retry",
+            "warn",
+            f"solve rejected ({error}); retrying once with "
+            f"{len(salvage['suspect_probes'])} suspect probes dropped "
+            f"({n_healthy} healthy probes remain)",
+            value=float(len(salvage["suspect_probes"])),
+        )
+        obs_metrics.counter("quality.salvage_retries").inc()
+        _log.warning(
+            kv(
+                "uniq.salvage_retry",
+                reason=str(error),
+                n_dropped=len(salvage["suspect_probes"]),
+                n_healthy=n_healthy,
+            )
+        )
+        salvage["retried"] = True
+        salvage["dropped_probes"] = sorted(
+            set(salvage["dropped_probes"]) | set(salvage["suspect_probes"])
+        )
+        with obs_trace.span("uniq.salvage_retry", n_active=n_healthy):
+            return self._solve(session, bank, retry_weights, collector)
 
 
 def personalize_capture(

@@ -1,0 +1,60 @@
+"""repro.quality — degradation detection and graceful degradation.
+
+Every personalization result must carry a machine-readable answer to *"can
+I trust this?"*.  This package provides the three layers that produce it:
+
+- :mod:`repro.quality.preflight` — grade a capture before any solve:
+  per-probe SNR / clipping / dead channels, angle-grid coverage, gyro
+  saturation / dropout / bias-jump / clock-skew heuristics.  Emits a
+  :class:`CaptureHealth` whose per-probe weights drive **probe salvage** in
+  the fusion and interpolation stages;
+- :mod:`repro.quality.flags` — typed, stage-attributed
+  :class:`QualityFlag`\\ s accumulated in a :class:`QualityCollector` the
+  pipeline threads through every stage (each stage's *sentinels* compare
+  residuals / coverage / margins against calibrated thresholds and flag
+  instead of silently proceeding);
+- :mod:`repro.quality.report` — the final :class:`QualityReport`: named
+  per-stage components in ``[0, 1]`` combined into one scalar confidence,
+  attached to :class:`repro.core.pipeline.PersonalizationResult`,
+  serialized by the serve layer, exported as ``quality.*`` metrics, and
+  surfaced by the CLI (``--min-confidence``).
+
+Semantics, thresholds, and the salvage policy are documented in
+``docs/ROBUSTNESS.md``.
+"""
+
+from repro.quality.flags import (
+    SEVERITIES,
+    STAGES,
+    QualityCollector,
+    QualityFlag,
+)
+from repro.quality.preflight import (
+    DEFAULT_THRESHOLDS,
+    CaptureHealth,
+    PreflightThresholds,
+    ProbeHealth,
+    preflight,
+)
+from repro.quality.report import (
+    QualityReport,
+    combine_components,
+    degradation_score,
+    fitness_score,
+)
+
+__all__ = [
+    "SEVERITIES",
+    "STAGES",
+    "QualityCollector",
+    "QualityFlag",
+    "DEFAULT_THRESHOLDS",
+    "CaptureHealth",
+    "PreflightThresholds",
+    "ProbeHealth",
+    "preflight",
+    "QualityReport",
+    "combine_components",
+    "degradation_score",
+    "fitness_score",
+]

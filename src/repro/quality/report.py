@@ -1,0 +1,146 @@
+"""The quality report: per-stage scores, flags, and one scalar confidence.
+
+Confidence semantics (documented in ``docs/ROBUSTNESS.md``): every stage
+contributes named *components* in ``[0, 1]`` (1.0 = "nothing about this
+aspect argues against trusting the result").  The scalar confidence is the
+**product** of all components — multiplicative, because independent
+degradations compound and because a single dead aspect (score 0) must zero
+the whole result no matter how healthy the rest looks.  Confidence is
+monotone: any component getting worse can only lower it.
+
+Component scores come from the piecewise-linear maps below
+(:func:`degradation_score` / :func:`fitness_score`): flat 1.0 inside the
+calibrated "clean capture" envelope, linear to 0.0 at the "unusable"
+threshold.  The flat region is what keeps clean captures at stable
+confidence across platforms; the linear ramp is what makes injected faults
+*strictly* lower confidence once they leave that envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.quality.flags import STAGES, QualityFlag
+
+__all__ = [
+    "QualityReport",
+    "combine_components",
+    "degradation_score",
+    "fitness_score",
+]
+
+
+def degradation_score(value: float, good: float, bad: float) -> float:
+    """Score a *higher-is-worse* quantity: 1.0 at ``<= good``, 0.0 at ``>= bad``."""
+    if not good < bad:
+        raise ValueError(f"need good < bad, got {good} >= {bad}")
+    value = float(value)
+    if value <= good:
+        return 1.0
+    if value >= bad:
+        return 0.0
+    return float((bad - value) / (bad - good))
+
+
+def fitness_score(value: float, bad: float, good: float) -> float:
+    """Score a *higher-is-better* quantity: 0.0 at ``<= bad``, 1.0 at ``>= good``."""
+    if not bad < good:
+        raise ValueError(f"need bad < good, got {bad} >= {good}")
+    value = float(value)
+    if value >= good:
+        return 1.0
+    if value <= bad:
+        return 0.0
+    return float((value - bad) / (good - bad))
+
+
+def combine_components(components: Mapping[str, float]) -> float:
+    """The scalar confidence: the product of all component scores."""
+    confidence = 1.0
+    for score in components.values():
+        confidence *= float(min(1.0, max(0.0, score)))
+    return float(confidence)
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Everything one personalization run says about its own trustworthiness.
+
+    Attributes
+    ----------
+    confidence:
+        Scalar in ``[0, 1]``; the product of ``components``.
+    components:
+        ``"<stage>.<aspect>" -> score`` map (see module docstring).
+    flags:
+        Every :class:`~repro.quality.flags.QualityFlag` any stage raised,
+        in emission order.
+    salvage:
+        The probe-salvage record: whether down-weighting was applied,
+        which probes were dropped, and whether the solve was retried on
+        the salvaged subset.
+    """
+
+    confidence: float
+    components: Mapping[str, float]
+    flags: tuple[QualityFlag, ...] = ()
+    salvage: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_flags(self) -> int:
+        return len(self.flags)
+
+    @property
+    def worst_component(self) -> tuple[str, float] | None:
+        """The lowest-scoring component — the first place to look."""
+        if not self.components:
+            return None
+        name = min(self.components, key=lambda k: (self.components[k], k))
+        return name, float(self.components[name])
+
+    def stage_scores(self) -> dict[str, float]:
+        """Per-stage confidence: the product of that stage's components."""
+        scores: dict[str, float] = {}
+        for name, value in self.components.items():
+            stage = name.split(".", 1)[0]
+            scores[stage] = scores.get(stage, 1.0) * float(value)
+        return scores
+
+    def stage_flags(self, stage: str) -> tuple[QualityFlag, ...]:
+        return tuple(flag for flag in self.flags if flag.stage == stage)
+
+    def stage_table(self) -> list[tuple[str, float, str]]:
+        """``(stage, score, flag summary)`` rows in pipeline order."""
+        scores = self.stage_scores()
+        rows = []
+        for stage in STAGES:
+            if stage not in scores and not self.stage_flags(stage):
+                continue
+            flags = ", ".join(
+                f"{f.code}({f.severity})" for f in self.stage_flags(stage)
+            )
+            rows.append((stage, float(scores.get(stage, 1.0)), flags or "-"))
+        return rows
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "confidence": float(self.confidence),
+            "components": {
+                name: float(score)
+                for name, score in sorted(self.components.items())
+            },
+            "flags": [flag.to_dict() for flag in self.flags],
+            "salvage": dict(self.salvage),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "QualityReport":
+        return cls(
+            confidence=float(record["confidence"]),
+            components=dict(record.get("components", {})),
+            flags=tuple(
+                QualityFlag.from_dict(f) for f in record.get("flags", ())
+            ),
+            salvage=dict(record.get("salvage", {})),
+        )

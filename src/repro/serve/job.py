@@ -91,6 +91,34 @@ class Job:
                 f"job {self.job_id!r} must set exactly one of subject_seed "
                 f"or session_path"
             )
+        if self.fault is not None:
+            self._validate_fault()
+
+    def _validate_fault(self) -> None:
+        """Fail a bad fault spec at load time, not deep inside a worker.
+
+        Checks the name against the :data:`repro.testing.faults.FAULTS`
+        registry and binds ``fault_args`` against the helper's signature,
+        so a typo'd JSONL line rejects the whole file immediately instead
+        of failing one job minutes into a batch.
+        """
+        import inspect
+
+        from repro.testing.faults import FAULTS
+
+        if self.fault not in FAULTS:
+            raise ReproError(
+                f"job {self.job_id!r} names unknown fault {self.fault!r}; "
+                f"known: {sorted(FAULTS)}"
+            )
+        signature = inspect.signature(FAULTS[self.fault])
+        try:
+            signature.bind(None, **dict(self.fault_args))
+        except TypeError as error:
+            raise ReproError(
+                f"job {self.job_id!r}: fault_args {dict(self.fault_args)!r} "
+                f"do not fit fault {self.fault!r}{signature}: {error}"
+            ) from None
 
     def spec_key(self) -> str:
         """Canonical key of the *computation* this job asks for.

@@ -108,6 +108,36 @@ class BatchReport:
             "queue_wait_p95_s": _percentile(waits, 0.95),
         }
 
+    def quality_summary(self) -> dict[str, Any]:
+        """Aggregate confidence and flag statistics across completed jobs.
+
+        Jobs run by runners without quality reporting (the test workloads)
+        contribute nothing; a batch of those reports zero graded jobs.
+        """
+        confidences: list[float] = []
+        flagged_jobs: list[str] = []
+        flag_counts: dict[str, int] = {}
+        for result in self.results:
+            payload = result.payload or {}
+            if not result.ok or payload.get("quality") is None:
+                continue
+            confidences.append(float(payload["confidence"]))
+            flags = payload["quality"].get("flags", [])
+            if flags:
+                flagged_jobs.append(result.job_id)
+            for flag in flags:
+                key = f"{flag['stage']}.{flag['code']}"
+                flag_counts[key] = flag_counts.get(key, 0) + 1
+        return {
+            "graded_jobs": len(confidences),
+            "mean_confidence": (
+                sum(confidences) / len(confidences) if confidences else None
+            ),
+            "min_confidence": min(confidences) if confidences else None,
+            "flagged_jobs": flagged_jobs,
+            "flag_counts": dict(sorted(flag_counts.items())),
+        }
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "n_jobs": len(self.results),
@@ -120,6 +150,7 @@ class BatchReport:
             "coalesced_jobs": sum(1 for r in self.results if r.coalesced),
             "total_attempts": sum(r.attempts for r in self.results),
             "latency": self.latency_summary(),
+            "quality": self.quality_summary(),
             "results": [result.to_dict() for result in self.results],
         }
 

@@ -97,6 +97,8 @@ def execute_job(spec: Mapping[str, Any]) -> dict[str, Any]:
         "n_probes": int(session.n_probes),
         "n_angles": int(result.table.n_angles),
         "table_digest": table_digest(result.table),
+        "confidence": float(result.confidence),
+        "quality": result.quality.to_dict() if result.quality else None,
         # Operational extras (identical across processes for a fixed spec
         # would be wrong to assume — keyed under "_stats" and excluded from
         # determinism comparisons by the server).

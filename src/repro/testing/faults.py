@@ -19,14 +19,20 @@ from dataclasses import replace
 import numpy as np
 
 from repro.errors import ReproError
+from repro.simulation.imu import IMUTrace
 from repro.simulation.session import ProbeMeasurement, SessionData
 
 __all__ = [
     "FAULTS",
     "apply_fault",
     "clipped",
+    "clock_skew",
     "dropout",
+    "gyro_bias_drift",
+    "gyro_dropout",
+    "gyro_saturation",
     "mic_noise",
+    "synthetic_failure",
     "zeroed",
 ]
 
@@ -95,12 +101,115 @@ def zeroed(session: SessionData) -> SessionData:
     return replace(session, probes=probes)
 
 
+def gyro_saturation(session: SessionData, limit_dps: float) -> SessionData:
+    """Clip the gyro rate to ``[-limit_dps, +limit_dps]`` (rail saturation).
+
+    A fast sweep (or a cheap part with a narrow full-scale range) pins the
+    measured rate at the rails; integration then under-rotates and the IMU
+    angles lag the true sweep.
+    """
+    if limit_dps <= 0:
+        raise ReproError(f"limit_dps must be positive, got {limit_dps}")
+    imu = session.imu
+    return replace(
+        session,
+        imu=IMUTrace(
+            times=imu.times.copy(),
+            rate_dps=np.clip(imu.rate_dps, -limit_dps, limit_dps),
+        ),
+    )
+
+
+def gyro_dropout(
+    session: SessionData, start_frac: float = 0.3, duration_frac: float = 0.2
+) -> SessionData:
+    """Drop a contiguous window of IMU samples (sensor hub stall).
+
+    The window covers ``[start_frac, start_frac + duration_frac)`` of the
+    trace; timestamps stay strictly increasing, so the gap shows up as one
+    huge inter-sample interval exactly like a real dropout does.
+    """
+    if not 0.0 <= start_frac < 1.0 or duration_frac <= 0.0:
+        raise ReproError(
+            f"need 0 <= start_frac < 1 and duration_frac > 0, got "
+            f"{start_frac}, {duration_frac}"
+        )
+    imu = session.imu
+    n = len(imu)
+    lo = int(start_frac * n)
+    hi = min(n, int((start_frac + duration_frac) * n))
+    keep = np.ones(n, dtype=bool)
+    keep[lo:hi] = False
+    if keep.sum() < 2:
+        raise ReproError("gyro_dropout would leave fewer than 2 IMU samples")
+    return replace(
+        session,
+        imu=IMUTrace(times=imu.times[keep], rate_dps=imu.rate_dps[keep]),
+    )
+
+
+def gyro_bias_drift(session: SessionData, drift_dps_per_s: float) -> SessionData:
+    """Add a slowly growing rate bias (thermal drift after power-on).
+
+    The bias ramps linearly from 0 at the start of the trace to
+    ``drift_dps_per_s * duration`` at the end; integration accumulates it
+    into a quadratically growing angle error.
+    """
+    imu = session.imu
+    elapsed = imu.times - imu.times[0]
+    return replace(
+        session,
+        imu=IMUTrace(
+            times=imu.times.copy(),
+            rate_dps=imu.rate_dps + float(drift_dps_per_s) * elapsed,
+        ),
+    )
+
+
+def clock_skew(session: SessionData, skew: float) -> SessionData:
+    """Scale the IMU timestamps by ``1 + skew`` (mic/IMU clock mismatch).
+
+    The earbud audio clock and the phone IMU clock are independent
+    oscillators; a relative rate error stretches one timeline against the
+    other, so probe emission times no longer line up with the IMU samples
+    they were emitted at.
+    """
+    if skew <= -1.0:
+        raise ReproError(f"skew must be > -1, got {skew}")
+    imu = session.imu
+    origin = imu.times[0]
+    return replace(
+        session,
+        imu=IMUTrace(
+            times=origin + (imu.times - origin) * (1.0 + float(skew)),
+            rate_dps=imu.rate_dps.copy(),
+        ),
+    )
+
+
+def synthetic_failure(session: SessionData) -> SessionData:
+    """Always raise — the fault that *is* a failure.
+
+    Serve tests use this (as ``repro.testing.workloads.FAILING_FAULT``) to
+    make exactly one job in a batch fail deterministically and cheaply,
+    exercising the failure-isolation paths without corrupting any signal.
+    """
+    raise ReproError(
+        f"synthetic failure injected (session of {session.n_probes} probes)"
+    )
+
+
 #: Name -> helper registry used by :func:`apply_fault` (and thereby by
 #: ``repro.serve`` job specs, which are plain JSON and name faults by string).
 FAULTS = {
     "clipped": clipped,
+    "clock_skew": clock_skew,
     "dropout": dropout,
+    "gyro_bias_drift": gyro_bias_drift,
+    "gyro_dropout": gyro_dropout,
+    "gyro_saturation": gyro_saturation,
     "mic_noise": mic_noise,
+    "synthetic-failure": synthetic_failure,
     "zeroed": zeroed,
 }
 

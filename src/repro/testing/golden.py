@@ -66,6 +66,10 @@ DEFAULT_TOLERANCES = {
     "gyro_bias_dps": 0.01,
     "magnitude_rms_db": 0.1,
     "aoa_error_deg": 0.5,
+    # Confidence is a product of piecewise-linear maps of the quantities
+    # above, so its cross-platform drift is bounded by theirs; golden cases
+    # are clean captures pinned at 1.0 exactly, and any flag at all fails.
+    "confidence": 0.02,
 }
 
 
@@ -119,6 +123,12 @@ def summarize_case(subject_seed: int, session_seed: int) -> dict[str, Any]:
         "aoa_angles_deg": [float(angle) for angle in AOA_ANGLES],
         "aoa_error_deg": aoa_errors,
         "table_digest": table_digest(table),
+        "confidence": float(result.confidence),
+        "quality_flags": sorted(
+            {flag.key for flag in result.quality.flags}
+        )
+        if result.quality is not None
+        else [],
     }
 
 
@@ -195,6 +205,19 @@ def compare_summaries(
         actual["aoa_error_deg"],
         tol["aoa_error_deg"],
     )
+    if "confidence" in expected:
+        check(
+            "confidence",
+            expected["confidence"],
+            actual.get("confidence", float("nan")),
+            tol["confidence"],
+        )
+        want_flags = list(expected.get("quality_flags", []))
+        got_flags = list(actual.get("quality_flags", []))
+        if want_flags != got_flags:
+            violations.append(
+                f"quality_flags: {got_flags} != {want_flags}"
+            )
     if exact_digest and expected["table_digest"] != actual["table_digest"]:
         violations.append(
             "table_digest: "
