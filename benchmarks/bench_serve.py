@@ -203,7 +203,9 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": obs.registry().snapshot(),
     }
     if args.output:
-        with open(args.output, "w") as handle:
+        from repro.ioutil import atomic_write
+
+        with atomic_write(args.output, "w") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"record         : {args.output}")

@@ -102,7 +102,9 @@ def main(argv: list[str] | None = None) -> int:
         probe_interval_s=args.probe_interval,
         repeat=args.repeat,
     )
-    with open(args.output, "w") as handle:
+    from repro.ioutil import atomic_write
+
+    with atomic_write(args.output, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(

@@ -20,6 +20,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 
@@ -125,8 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
 def _write_metrics(path: str | None) -> None:
     if path is None:
         return
+    from repro.ioutil import atomic_write
+
     try:
-        with open(path, "w") as handle:
+        with atomic_write(path, "w") as handle:
             handle.write(obs.registry().to_json())
     except OSError as error:
         print(f"error: cannot write metrics to {path}: {error}", file=sys.stderr)
@@ -174,6 +177,35 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="disable sharing one execution among identical job specs",
     )
     parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="write-ahead journal file: every submission and outcome is "
+        "durably recorded so a killed batch can be resumed (see --resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the --journal before running: jobs already recorded "
+        "as done (or dead-lettered) are restored, not re-executed",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max transient retries per job with capped exponential "
+        "backoff (default: 1 immediate retry, the legacy behavior)",
+    )
+    parser.add_argument(
+        "--heartbeat-deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="enable the hung-worker watchdog: kill and retry any worker "
+        "silent for more than S seconds",
+    )
+    parser.add_argument(
         "--min-confidence",
         type=float,
         default=0.0,
@@ -203,30 +235,73 @@ def build_batch_parser() -> argparse.ArgumentParser:
 
 
 def main_batch(argv: list[str] | None = None) -> int:
-    from repro.serve import BatchServer, load_jobs
+    """Run a job file through the batch server.
+
+    Exit codes: 0 every job completed ok, 1 transient failures or
+    low-confidence results, 2 the job file (or journal) could not be used,
+    3 the batch completed but left dead letters (permanently failed jobs),
+    4 the batch was interrupted (SIGINT/SIGTERM) and is resumable from the
+    journal.
+    """
+    import signal
+
+    from repro.serve import BatchServer, RetryPolicy, load_jobs
     from repro.serve.server import DEFAULT_QUEUE_SIZE
 
     args = build_batch_parser().parse_args(argv)
     if args.verbose:
         obs.configure_logging(verbosity=args.verbose)
+    if args.resume and args.journal is None:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
     try:
         jobs = load_jobs(args.jobs)
     except (OSError, ReproError) as error:
         print(f"error: cannot load jobs: {error}", file=sys.stderr)
         return 2
 
+    retry_policy = None
+    if args.retries is not None:
+        retry_policy = RetryPolicy(max_transient_retries=args.retries)
     queue_size = args.queue_size if args.queue_size else DEFAULT_QUEUE_SIZE
     print(f"jobs             : {len(jobs)} from {args.jobs}")
-    with BatchServer(
-        workers=args.workers,
-        queue_size=queue_size,
-        default_timeout_s=args.timeout,
-        coalesce=not args.no_coalesce,
-    ) as server:
+    previous_handlers = {}
+    try:
+        server = BatchServer(
+            workers=args.workers,
+            queue_size=queue_size,
+            default_timeout_s=args.timeout,
+            coalesce=not args.no_coalesce,
+            retry_policy=retry_policy,
+            journal=args.journal,
+            resume=args.resume,
+            heartbeat_deadline_s=args.heartbeat_deadline,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    def _interrupt(signum, frame):  # noqa: ARG001 - signal signature
+        name = signal.Signals(signum).name
+        print(f"\n{name} received: draining — in-flight jobs finish, "
+              f"queued jobs return to the journal", file=sys.stderr)
+        server.interrupt()
+
+    with server:
+        if args.journal is not None:
+            mode = "resume" if args.resume else "new"
+            print(f"journal          : {args.journal} ({mode})")
+            # Graceful drain on Ctrl-C / kill: the journal stays resumable.
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                previous_handlers[signum] = signal.signal(signum, _interrupt)
         print(f"server           : {server._pool.workers} workers, "
               f"queue bound {queue_size}, "
               f"coalescing {'on' if server.coalesce else 'off'}")
-        report = server.run_batch(jobs)
+        try:
+            report = server.run_batch(jobs)
+        finally:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
 
     counts = ", ".join(
         f"{status} {count}" for status, count in sorted(report.counts.items())
@@ -235,9 +310,10 @@ def main_batch(argv: list[str] | None = None) -> int:
     print(f"batch done       : {counts}")
     print(f"wall time        : {report.wall_s:.2f} s "
           f"({report.jobs_per_s:.2f} jobs/s)")
-    print(f"job latency      : p50 {latency['run_p50_s']:.2f} s, "
-          f"p95 {latency['run_p95_s']:.2f} s "
-          f"(queue wait p95 {latency['queue_wait_p95_s']:.2f} s)")
+    if not math.isnan(latency["run_p50_s"]):
+        print(f"job latency      : p50 {latency['run_p50_s']:.2f} s, "
+              f"p95 {latency['run_p95_s']:.2f} s "
+              f"(queue wait p95 {latency['queue_wait_p95_s']:.2f} s)")
     for result in report.results:
         if not result.ok:
             print(f"  {result.job_id}: {result.status} — {result.error}",
@@ -263,6 +339,10 @@ def main_batch(argv: list[str] | None = None) -> int:
                       f"{payload['confidence']:.3f} below "
                       f"--min-confidence {args.min_confidence}",
                       file=sys.stderr)
+    if report.n_replayed:
+        print(f"resumed          : {report.n_replayed} jobs replayed from "
+              f"the journal, {len(report.results) - report.n_replayed} "
+              f"executed")
     if args.report is not None:
         try:
             report.save(args.report)
@@ -271,6 +351,16 @@ def main_batch(argv: list[str] | None = None) -> int:
             return 1
         print(f"report saved     : {args.report}")
     _write_metrics(args.metrics_json)
+    if report.interrupted:
+        print(f"interrupted      : {report.n_interrupted} jobs not run; "
+              f"resume with --journal {args.journal} --resume",
+              file=sys.stderr)
+        return 4
+    dead = report.dead_letters
+    if dead:
+        print(f"dead letters     : {len(dead)} jobs failed permanently "
+              f"({', '.join(r.job_id for r in dead)})", file=sys.stderr)
+        return 3
     ok = report.n_ok == len(report.results) and not low_confidence
     return 0 if ok else 1
 

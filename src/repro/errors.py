@@ -34,3 +34,21 @@ class ConvergenceError(ReproError):
 
 class TableError(ReproError):
     """HRTF table access problems (angle out of range, missing field, ...)."""
+
+
+class WorkerDiedError(ReproError):
+    """A worker process died mid-task (segfault, OOM kill, SIGKILL).
+
+    This is an *infrastructure* failure — it says nothing about the job
+    spec — so the serve layer classifies it transient and retries with
+    backoff, unlike job-level :class:`ReproError`\\ s which are permanent.
+    """
+
+
+class WorkerHungError(WorkerDiedError):
+    """A worker stopped heartbeating and was killed by the watchdog.
+
+    A subclass of :class:`WorkerDiedError` because the recovery is the
+    same — the process is gone (the watchdog killed it) and the task is
+    retried as a transient failure.
+    """

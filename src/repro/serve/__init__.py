@@ -1,36 +1,46 @@
 """repro.serve — batch personalization as a managed workload.
 
 The production layer over the one-shot pipeline: many users' captures in,
-one managed batch out.  Four pieces:
+one managed batch out.  Six pieces:
 
-- :mod:`repro.serve.job`    — :class:`Job`/:class:`JobResult` dataclasses
+- :mod:`repro.serve.job`     — :class:`Job`/:class:`JobResult` dataclasses
   and the JSONL job-spec format;
-- :mod:`repro.serve.pool`   — :class:`WorkerPool`, the crash-tolerant,
-  timeout-aware process pool (also the engine under
-  :func:`repro.eval.common.get_cohort`);
-- :mod:`repro.serve.worker` — the worker-side runner
+- :mod:`repro.serve.pool`    — :class:`WorkerPool`, the crash-tolerant,
+  timeout-aware process pool with a hung-worker watchdog (also the engine
+  under :func:`repro.eval.common.get_cohort`);
+- :mod:`repro.serve.retry`   — :class:`RetryPolicy`: transient-vs-permanent
+  failure classification, capped exponential backoff with deterministic
+  jitter, per-batch retry budget;
+- :mod:`repro.serve.journal` — :class:`Journal`, the append-only, fsync'd,
+  checksummed write-ahead log that makes batches crash-safe and resumable;
+- :mod:`repro.serve.worker`  — the worker-side runner
   (:func:`execute_job`): job spec in, deterministic payload out;
-- :mod:`repro.serve.server` — :class:`BatchServer`: bounded priority queue,
-  backpressure, per-job timeouts, crash retry, request coalescing, metrics,
-  and the structured :class:`BatchReport`.
+- :mod:`repro.serve.server`  — :class:`BatchServer`: bounded priority queue,
+  backpressure, per-job timeouts, classified retries, request coalescing,
+  journaling/resume, graceful drain, metrics, and the structured
+  :class:`BatchReport`.
 
 Quickstart::
 
     from repro.serve import BatchServer, Job
 
     jobs = [Job(job_id=f"u{i}", subject_seed=i) for i in range(32)]
-    with BatchServer(workers=4) as server:
+    with BatchServer(workers=4, journal="batch.journal") as server:
         report = server.run_batch(jobs)
     report.save("batch_report.json")
 
-Or from the command line::
+Or from the command line (resumable after a crash or Ctrl-C)::
 
     python -m repro.cli batch --jobs jobs.jsonl --workers 4 \
-        --report batch_report.json
+        --journal batch.journal --report batch_report.json
+    python -m repro.cli batch --jobs jobs.jsonl --workers 4 \
+        --journal batch.journal --resume --report batch_report.json
 """
 
 from repro.serve.job import STATUSES, Job, JobResult, dump_jobs, load_jobs
+from repro.serve.journal import Journal, JournalState, replay_journal
 from repro.serve.pool import TaskOutcome, WorkerPool
+from repro.serve.retry import RetryPolicy
 from repro.serve.server import DEFAULT_QUEUE_SIZE, BatchReport, BatchServer
 from repro.serve.worker import execute_job
 
@@ -40,10 +50,14 @@ __all__ = [
     "DEFAULT_QUEUE_SIZE",
     "Job",
     "JobResult",
+    "Journal",
+    "JournalState",
+    "RetryPolicy",
     "STATUSES",
     "TaskOutcome",
     "WorkerPool",
     "dump_jobs",
     "execute_job",
     "load_jobs",
+    "replay_journal",
 ]

@@ -32,8 +32,11 @@ __all__ = [
     "dump_jobs",
 ]
 
-#: Every terminal state a job can reach.
-STATUSES = ("ok", "failed", "timeout", "crashed", "rejected")
+#: Every terminal state a job can reach.  ``interrupted`` marks a job a
+#: graceful drain (SIGINT/SIGTERM) gave back unexecuted — the write-ahead
+#: journal still holds its ``submitted`` record, so a ``--resume`` run
+#: picks it up.
+STATUSES = ("ok", "failed", "timeout", "crashed", "rejected", "interrupted")
 
 
 @dataclass(frozen=True)
@@ -187,9 +190,12 @@ class JobResult:
     runner: head parameters, residual, gyro bias, probe/angle counts, and
     the table digest) and is a pure function of the job spec; ``status``,
     ``error`` and the runner identity complete the deterministic part.
-    ``attempts``, ``queue_wait_s``, ``run_s``, and ``coalesced`` describe
-    how this particular execution went and are excluded from
-    :meth:`deterministic`.
+    ``attempts``, ``queue_wait_s``, ``run_s``, ``coalesced``, and
+    ``replayed`` describe how this particular execution went and are
+    excluded from :meth:`deterministic`.  ``replayed=True`` marks a result
+    restored from a write-ahead journal's ``done`` record instead of being
+    re-executed — bit-identical to the original execution by the
+    determinism contract, with ``attempts=0``.
     """
 
     job_id: str
@@ -200,6 +206,7 @@ class JobResult:
     queue_wait_s: float = 0.0
     run_s: float = 0.0
     coalesced: bool = False
+    replayed: bool = False
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -239,6 +246,7 @@ class JobResult:
             queue_wait_s=self.queue_wait_s,
             run_s=self.run_s,
             coalesced=self.coalesced,
+            replayed=self.replayed,
         )
         return record
 

@@ -6,13 +6,20 @@ managed workload needs and a bare executor lacks:
 - **fork context** (when the platform has it) so workers inherit the
   parent's warm :func:`repro.core.localize.cached_delay_map` store instead
   of rebuilding maps from scratch;
-- **crash retry**: a worker process dying (segfault, OOM kill,
-  ``os._exit``) re-dispatches the affected tasks on a rebuilt executor, at
-  most ``max_crash_retries`` extra attempts each, instead of poisoning the
-  whole batch;
+- **classified retries** through a :class:`repro.serve.retry.RetryPolicy`:
+  a worker process dying (segfault, OOM kill, ``os._exit``) is a
+  *transient* failure, re-dispatched with capped exponential backoff and
+  deterministic jitter under a per-batch retry budget; the task function
+  *raising* is a *permanent* failure and is never retried (the runner is a
+  pure function of the spec);
+- **a watchdog** for hung — not just dead — workers: every task beats a
+  per-attempt heartbeat file (:mod:`repro.serve.heartbeat`); a worker
+  whose beat goes stale past ``heartbeat_deadline_s`` is SIGKILLed and the
+  task retried as a transient failure, exactly like a crash;
 - **per-task timeouts** via timers — a task over budget resolves as
-  ``timeout`` without blocking the caller (the busy worker finishes in the
-  background; its slot returns when it does);
+  ``timeout`` without blocking the caller; with the watchdog enabled and
+  ``retry_timeouts`` on, the stuck worker is killed (freeing its slot) and
+  the task retried instead;
 - **inline mode** (``workers <= 1`` by default) that runs tasks in the
   calling process with no subprocess at all — the single-core opt-out
   :func:`repro.eval.common.get_cohort` has always honored via
@@ -26,8 +33,11 @@ the evaluation cohort.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
+import signal
+import tempfile
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -35,10 +45,15 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
-from repro.errors import ReproError
+from repro.errors import ReproError, WorkerDiedError, WorkerHungError
 from repro.obs import metrics as obs_metrics
+from repro.serve import heartbeat as hb
+from repro.serve.retry import RetryPolicy
 
 __all__ = ["TaskOutcome", "WorkerPool"]
+
+#: Bucket ladder for retry backoff delays (seconds).
+_BACKOFF_BUCKETS_S = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
 
 
 @dataclass
@@ -47,8 +62,9 @@ class TaskOutcome:
 
     ``status`` is one of ``ok`` (``value`` holds the return), ``error``
     (the function raised; ``exception`` holds the re-raised instance),
-    ``crashed`` (the worker process died and retries ran out), or
-    ``timeout``.
+    ``crashed`` (the worker process died or hung and retries ran out —
+    ``exception`` is a :class:`WorkerDiedError` / :class:`WorkerHungError`),
+    or ``timeout``.
     """
 
     status: str
@@ -62,10 +78,11 @@ class TaskOutcome:
 class _Task:
     __slots__ = (
         "fn", "arg", "timeout_s", "on_done", "attempts", "resolved",
-        "started", "timer", "executor",
+        "started", "timer", "executor", "token", "task_id", "hb_path",
+        "hung", "dispatched_at",
     )
 
-    def __init__(self, fn, arg, timeout_s, on_done):
+    def __init__(self, fn, arg, timeout_s, on_done, token, task_id):
         self.fn = fn
         self.arg = arg
         self.timeout_s = timeout_s
@@ -75,6 +92,11 @@ class _Task:
         self.started = 0.0
         self.timer: threading.Timer | None = None
         self.executor: ProcessPoolExecutor | None = None
+        self.token = token
+        self.task_id = task_id
+        self.hb_path: str | None = None
+        self.hung = False
+        self.dispatched_at = 0.0
 
 
 def _noop() -> None:
@@ -103,7 +125,21 @@ class WorkerPool:
         subprocess even for one worker — what the batch server does so a
         single-worker service still survives job crashes.
     max_crash_retries:
-        Extra attempts granted to a task whose worker process died.
+        Legacy knob: when ``retry_policy`` is not given, builds a policy
+        granting this many immediate (no-backoff) retries on worker death
+        — the pre-RetryPolicy behavior, still what the evaluation cohort
+        wants.
+    retry_policy:
+        Full retry semantics (classification, backoff, budget); overrides
+        ``max_crash_retries``.
+    heartbeat_deadline_s:
+        Enable the watchdog: a task whose worker has not heartbeaten for
+        this long is presumed hung; the worker is SIGKILLed and the task
+        retried as a transient failure.  ``None`` (default) disables the
+        watchdog and the heartbeat wrapping entirely.
+    heartbeat_interval_s:
+        How often workers touch their heartbeat file (only meaningful with
+        a deadline; keep the deadline several intervals wide).
     """
 
     def __init__(
@@ -113,18 +149,42 @@ class WorkerPool:
         inline: bool | None = None,
         mp_context=None,
         max_crash_retries: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        heartbeat_deadline_s: float | None = None,
+        heartbeat_interval_s: float = 0.2,
     ) -> None:
         self.workers = max(1, int(workers if workers is not None else os.cpu_count() or 1))
         self.inline = (self.workers <= 1) if inline is None else bool(inline)
-        self.max_crash_retries = int(max_crash_retries)
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                max_transient_retries=int(max_crash_retries),
+                base_backoff_s=0.0,
+                jitter_frac=0.0,
+            )
+        self.retry_policy = retry_policy
+        self.heartbeat_deadline_s = heartbeat_deadline_s
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
         self._context = mp_context if mp_context is not None else _default_context()
         self._lock = threading.Lock()
         self._executor: ProcessPoolExecutor | None = None
         self._closed = False
+        self._task_ids = itertools.count()
+        self._running: set[_Task] = set()
+        self._hb_dir: tempfile.TemporaryDirectory | None = None
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop = threading.Event()
         obs_metrics.gauge("serve.pool.workers").set(float(self.workers))
         if not self.inline:
             with self._lock:
                 self._ensure_executor()
+            if self.heartbeat_deadline_s is not None:
+                self._hb_dir = tempfile.TemporaryDirectory(prefix="repro-hb-")
+                self._watchdog = threading.Thread(
+                    target=self._run_watchdog,
+                    name="repro-pool-watchdog",
+                    daemon=True,
+                )
+                self._watchdog.start()
 
     # -- executor lifecycle -------------------------------------------------
 
@@ -153,8 +213,17 @@ class WorkerPool:
         with self._lock:
             self._closed = True
             executor, self._executor = self._executor, None
+        self._watchdog_stop.set()
         if executor is not None:
             executor.shutdown(wait=wait)
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=5.0)
+        if self._hb_dir is not None:
+            try:
+                self._hb_dir.cleanup()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            self._hb_dir = None
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -171,6 +240,7 @@ class WorkerPool:
         *,
         timeout_s: float | None = None,
         on_done: Callable[[TaskOutcome], None],
+        retry_token: str | None = None,
     ) -> None:
         """Run ``fn(arg)`` on the pool; deliver a :class:`TaskOutcome`.
 
@@ -178,10 +248,15 @@ class WorkerPool:
         mode and from an executor/timer thread otherwise.  The timeout
         clock starts at dispatch and covers executor handoff plus
         execution; inline mode cannot preempt, so timeouts are ignored
-        there.
+        there.  ``retry_token`` seeds the deterministic backoff jitter
+        (the batch server passes the job's spec key).
         """
         obs_metrics.counter("serve.pool.dispatched").inc()
-        task = _Task(fn, arg, timeout_s, on_done)
+        task = _Task(
+            fn, arg, timeout_s, on_done,
+            retry_token if retry_token is not None else "",
+            next(self._task_ids),
+        )
         if self.inline:
             task.attempts = 1
             started = time.perf_counter()
@@ -189,6 +264,7 @@ class WorkerPool:
                 value = fn(arg)
             except Exception as error:  # noqa: BLE001 - outcome carries it
                 obs_metrics.counter("serve.pool.errors").inc()
+                self.retry_policy.classify("error", error)
                 outcome = TaskOutcome(
                     status="error",
                     error=f"{type(error).__name__}: {error}",
@@ -208,12 +284,34 @@ class WorkerPool:
         self._submit(task)
 
     def _submit(self, task: _Task) -> None:
+        submitted = False
         with self._lock:
-            executor = self._ensure_executor()
-            task.attempts += 1
-            task.executor = executor
-            task.started = time.perf_counter()
-            future = executor.submit(task.fn, task.arg)
+            if not self._closed:
+                submitted = True
+                executor = self._ensure_executor()
+                task.attempts += 1
+                task.executor = executor
+                task.started = time.perf_counter()
+                task.dispatched_at = time.time()
+                task.hung = False
+                if self._hb_dir is not None:
+                    task.hb_path = os.path.join(
+                        self._hb_dir.name,
+                        f"task{task.task_id}-a{task.attempts}.hb",
+                    )
+                    future = executor.submit(
+                        hb.run_with_heartbeat,
+                        (task.fn, task.arg, task.hb_path,
+                         self.heartbeat_interval_s),
+                    )
+                else:
+                    future = executor.submit(task.fn, task.arg)
+                self._running.add(task)
+        if not submitted:
+            # Outside the lock: the resolution callback belongs to the
+            # caller (server / outcomes) and must not run under pool state.
+            self._resolve_closed(task)
+            return
         if task.timeout_s is not None:
             timer = threading.Timer(task.timeout_s, self._timed_out, (task, future))
             timer.daemon = True
@@ -221,13 +319,89 @@ class WorkerPool:
             timer.start()
         future.add_done_callback(lambda f, t=task: self._completed(t, f))
 
+    def _resolve_closed(self, task: _Task) -> None:
+        """Resolve a task that can no longer run (pool shut down mid-retry)."""
+        if task.resolved:
+            return
+        task.resolved = True
+        error = "pool shut down before the task could be retried"
+        task.on_done(
+            TaskOutcome(
+                status="crashed",
+                error=error,
+                exception=WorkerDiedError(error),
+                attempts=task.attempts,
+            )
+        )
+
+    # -- watchdog -----------------------------------------------------------
+
+    def _run_watchdog(self) -> None:
+        deadline = float(self.heartbeat_deadline_s or 0.0)
+        interval = max(0.02, min(self.heartbeat_interval_s, deadline / 4.0))
+        while not self._watchdog_stop.wait(interval):
+            obs_metrics.counter("serve.watchdog.scans").inc()
+            now = time.time()
+            with self._lock:
+                running = list(self._running)
+            for task in running:
+                if task.resolved or task.hung or task.hb_path is None:
+                    continue
+                last = hb.last_beat(task.hb_path)
+                reference = max(task.dispatched_at, last or 0.0)
+                if now - reference <= deadline:
+                    continue
+                task.hung = True
+                obs_metrics.counter("serve.watchdog.hangs").inc()
+                self._kill_worker(hb.heartbeat_pid(task.hb_path), task)
+
+    def _kill_worker(self, pid: int | None, task: _Task) -> None:
+        """SIGKILL the worker running ``task`` (or the whole broken pool).
+
+        Killing any worker breaks the ``ProcessPoolExecutor``; its other
+        in-flight futures resolve as ``BrokenProcessPool`` and ride the
+        same transient-retry path — collateral the executor design forces,
+        bounded by the retry budget.
+        """
+        pids: list[int] = []
+        if pid is not None:
+            pids = [pid]
+        elif task.executor is not None:  # no beat yet: pid unknown
+            pids = [p.pid for p in (task.executor._processes or {}).values()]
+        for target in pids:
+            try:
+                os.kill(target, signal.SIGKILL)
+                obs_metrics.counter("serve.watchdog.kills").inc()
+            except (OSError, ProcessLookupError):  # pragma: no cover
+                pass
+
+    # -- completion ---------------------------------------------------------
+
     def _timed_out(self, task: _Task, future) -> None:
+        policy = self.retry_policy
+        if (
+            policy.retry_timeouts
+            and task.hb_path is not None
+            and not task.resolved
+        ):
+            pid = hb.heartbeat_pid(task.hb_path)
+            if pid is not None:
+                # Convert the timeout into a watchdog kill: the slot comes
+                # back, the future breaks, and the crash path (which owns
+                # the retry/backoff decision) takes over.
+                obs_metrics.counter("serve.pool.timeouts").inc()
+                policy.classify("timeout")
+                task.hung = True
+                self._kill_worker(pid, task)
+                return
         with self._lock:
             if task.resolved:
                 return
             task.resolved = True
+            self._running.discard(task)
         future.cancel()
         obs_metrics.counter("serve.pool.timeouts").inc()
+        policy.classify("timeout")
         task.on_done(
             TaskOutcome(
                 status="timeout",
@@ -244,39 +418,23 @@ class WorkerPool:
             # Only the timeout path cancels futures, and it resolves the
             # task itself; CancelledError must not reach result() below
             # (it is a BaseException and would escape this callback).
+            with self._lock:
+                self._running.discard(task)
             return
         duration = time.perf_counter() - task.started
         try:
             value = future.result()
         except BrokenProcessPool:
-            with self._lock:
-                if task.resolved:
-                    return
-                self._retire_executor(task.executor)
-                retry = task.attempts <= self.max_crash_retries and not self._closed
-                if not retry:
-                    task.resolved = True
-            obs_metrics.counter("serve.pool.crashes").inc()
-            if retry:
-                obs_metrics.counter("serve.pool.crash_retries").inc()
-                self._submit(task)
-                return
-            task.on_done(
-                TaskOutcome(
-                    status="crashed",
-                    error="worker process died "
-                    f"(attempt {task.attempts}, retries exhausted)",
-                    attempts=task.attempts,
-                    duration_s=duration,
-                )
-            )
+            self._worker_died(task, duration)
             return
         except Exception as error:  # noqa: BLE001 - the job's own failure
             with self._lock:
+                self._running.discard(task)
                 if task.resolved:
                     return
                 task.resolved = True
             obs_metrics.counter("serve.pool.errors").inc()
+            self.retry_policy.classify("error", error)
             task.on_done(
                 TaskOutcome(
                     status="error",
@@ -288,6 +446,7 @@ class WorkerPool:
             )
             return
         with self._lock:
+            self._running.discard(task)
             if task.resolved:
                 return
             task.resolved = True
@@ -296,6 +455,58 @@ class WorkerPool:
             TaskOutcome(
                 status="ok",
                 value=value,
+                attempts=task.attempts,
+                duration_s=duration,
+            )
+        )
+
+    def _worker_died(self, task: _Task, duration: float) -> None:
+        """Handle a ``BrokenProcessPool``: classify, back off, retry or give up."""
+        hung = task.hung
+        policy = self.retry_policy
+        with self._lock:
+            self._running.discard(task)
+            if task.resolved:
+                return
+            self._retire_executor(task.executor)
+            closed = self._closed
+        obs_metrics.counter("serve.pool.crashes").inc()
+        policy.classify("crashed")
+        if not closed and policy.should_retry("crashed", task.attempts):
+            obs_metrics.counter("serve.pool.crash_retries").inc()
+            delay = policy.backoff_s(task.attempts, task.token)
+            obs_metrics.histogram(
+                "serve.retry.backoff_s", _BACKOFF_BUCKETS_S
+            ).observe(delay)
+            if delay > 0:
+                timer = threading.Timer(delay, self._submit, (task,))
+                timer.daemon = True
+                timer.start()
+            else:
+                self._submit(task)
+            return
+        with self._lock:
+            if task.resolved:
+                return
+            task.resolved = True
+        if hung:
+            error = (
+                f"worker hung (no heartbeat for > "
+                f"{self.heartbeat_deadline_s}s); killed by watchdog "
+                f"(attempt {task.attempts}, retries exhausted)"
+            )
+            exception: WorkerDiedError = WorkerHungError(error)
+        else:
+            error = (
+                "worker process died "
+                f"(attempt {task.attempts}, retries exhausted)"
+            )
+            exception = WorkerDiedError(error)
+        task.on_done(
+            TaskOutcome(
+                status="crashed",
+                error=error,
+                exception=exception,
                 attempts=task.attempts,
                 duration_s=duration,
             )
@@ -323,7 +534,10 @@ class WorkerPool:
             return on_done
 
         for index, item in enumerate(items):
-            self.dispatch(fn, item, timeout_s=timeout_s, on_done=deliver(index))
+            self.dispatch(
+                fn, item, timeout_s=timeout_s, on_done=deliver(index),
+                retry_token=f"item-{index}",
+            )
         for _ in items:
             pending.acquire()
         return [outcome for outcome in results if outcome is not None]
@@ -338,8 +552,9 @@ class WorkerPool:
         """Like ``Executor.map`` with crash retry: values in input order.
 
         Re-raises the first task failure (the original exception instance
-        when the task's function raised; :class:`ReproError` for crashes
-        and timeouts), matching what a plain serial loop would do.
+        when the task's function raised; :class:`WorkerDiedError` /
+        :class:`ReproError` for crashes and timeouts), matching what a
+        plain serial loop would do.
         """
         values = []
         for outcome in self.outcomes(fn, items, timeout_s=timeout_s):

@@ -8,12 +8,20 @@
   submit records a ``rejected`` result and moves on;
 - a :class:`~repro.serve.pool.WorkerPool` of long-lived worker processes
   that keep their :func:`~repro.core.localize.cached_delay_map` stores warm
-  across jobs, with per-job timeouts and automatic retry (at most one) when
-  a worker process dies;
+  across jobs, with per-job timeouts, **classified retries** (transient
+  worker deaths/hangs back off and retry under a budget; permanent job
+  failures dead-letter immediately), and an optional heartbeat watchdog
+  that kills and replaces hung workers;
 - **request coalescing**: jobs asking for the same computation
   (:meth:`Job.spec_key`) share one execution — the service-level cache that
   makes a fleet of repeated captures cheap (disable with
   ``coalesce=False``);
+- an optional **write-ahead journal** (:class:`repro.serve.journal
+  .Journal`): every submission, dispatch, completion, and failure is
+  durably recorded, so a crashed or interrupted batch resumes
+  (``resume=True``) by replaying ``done`` records instead of re-executing
+  them, and a SIGINT/SIGTERM **graceful drain** (:meth:`interrupt`)
+  journals unfinished work and returns a resumable report;
 - per-job metrics and spans through :mod:`repro.obs` (``serve.*`` counters,
   queue-wait and run-time histograms) and a structured
   :class:`BatchReport`.
@@ -22,26 +30,31 @@ The core guarantee, enforced by the regression suite: for a fixed job list,
 the :meth:`JobResult.deterministic` part of every result is **bit-identical
 for any worker count and any submission order** — results are pure
 functions of job specs; the service only decides *when and where* they run.
+The journal extends that guarantee across process boundaries: a batch
+killed mid-run and resumed produces the same deterministic results as an
+uninterrupted one, with zero completed jobs re-executed.
 """
 
 from __future__ import annotations
 
-import json
 import math
 import os
 import queue
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ReproError
+from repro.ioutil import atomic_write_json
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import TIME_BUCKETS_S
 from repro.serve.job import Job, JobResult
+from repro.serve.journal import Journal
 from repro.serve.pool import TaskOutcome, WorkerPool
+from repro.serve.retry import RetryPolicy
 from repro.serve.worker import execute_job
 
 __all__ = ["BatchReport", "BatchServer", "DEFAULT_QUEUE_SIZE"]
@@ -57,6 +70,10 @@ _OUTCOME_STATUS = {
     "crashed": "crashed",
     "timeout": "timeout",
 }
+
+#: Outcome statuses whose journal record is a *transient* failure — the
+#: spec was never judged, a resumed batch re-executes it.
+_TRANSIENT_RESULTS = ("crashed", "timeout")
 
 
 def _percentile(values: Sequence[float], q: float) -> float:
@@ -81,6 +98,9 @@ class BatchReport:
     workers: int
     queue_size: int
     coalesce: bool
+    resumed: bool = False
+    journal_path: str | None = None
+    interrupted: bool = field(default=False)
 
     @property
     def counts(self) -> dict[str, int]:
@@ -94,13 +114,33 @@ class BatchReport:
         return self.counts.get("ok", 0)
 
     @property
+    def dead_letters(self) -> tuple[JobResult, ...]:
+        """Permanently failed jobs (the spec is at fault; never retried)."""
+        return tuple(r for r in self.results if r.status == "failed")
+
+    @property
+    def n_interrupted(self) -> int:
+        return self.counts.get("interrupted", 0)
+
+    @property
+    def n_replayed(self) -> int:
+        """Jobs restored from the journal instead of re-executed."""
+        return sum(1 for r in self.results if r.replayed)
+
+    @property
     def jobs_per_s(self) -> float:
         return len(self.results) / self.wall_s if self.wall_s > 0 else float("inf")
 
     def latency_summary(self) -> dict[str, float]:
         """p50/p95 of executed-job run time and queue wait (seconds)."""
-        runs = [r.run_s for r in self.results if r.ok and not r.coalesced]
-        waits = [r.queue_wait_s for r in self.results if r.status != "rejected"]
+        runs = [
+            r.run_s for r in self.results
+            if r.ok and not r.coalesced and not r.replayed
+        ]
+        waits = [
+            r.queue_wait_s for r in self.results
+            if r.status not in ("rejected", "interrupted")
+        ]
         return {
             "run_p50_s": _percentile(runs, 0.50),
             "run_p95_s": _percentile(runs, 0.95),
@@ -148,6 +188,11 @@ class BatchReport:
             "queue_size": self.queue_size,
             "coalesce": self.coalesce,
             "coalesced_jobs": sum(1 for r in self.results if r.coalesced),
+            "replayed_jobs": self.n_replayed,
+            "dead_letters": [r.job_id for r in self.dead_letters],
+            "interrupted": self.interrupted,
+            "resumed": self.resumed,
+            "journal_path": self.journal_path,
             "total_attempts": sum(r.attempts for r in self.results),
             "latency": self.latency_summary(),
             "quality": self.quality_summary(),
@@ -155,9 +200,8 @@ class BatchReport:
         }
 
     def save(self, path: str | os.PathLike) -> None:
-        with open(os.fspath(path), "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        """Write the report as JSON, atomically (never a truncated file)."""
+        atomic_write_json(self.to_dict(), path)
 
 
 class _Sentinel:
@@ -188,6 +232,24 @@ class BatchServer:
         :mod:`repro.testing.workloads`.
     coalesce:
         Share one execution among jobs with equal :meth:`Job.spec_key`.
+    retry_policy:
+        Classified-retry semantics (see :class:`repro.serve.retry
+        .RetryPolicy`); defaults to the legacy one-immediate-crash-retry
+        behavior via ``max_crash_retries``.
+    journal:
+        A :class:`repro.serve.journal.Journal`, or a path to open one at.
+        Enables the write-ahead log of every submission and outcome.
+    resume:
+        Replay the journal's ``done`` records: jobs whose spec key already
+        has a terminal record resolve instantly (``replayed=True``,
+        ``serve.journal.replayed_done``) instead of re-executing.
+        Requires ``journal``.  Without ``resume``, a non-empty journal is
+        refused — silently appending a fresh batch onto an old journal is
+        almost never what the caller meant.
+    heartbeat_deadline_s / heartbeat_interval_s:
+        Enable the pool watchdog: workers heartbeat every ``interval``;
+        one silent for longer than ``deadline`` is killed and its job
+        retried as a transient failure.
     """
 
     def __init__(
@@ -199,17 +261,51 @@ class BatchServer:
         runner: Callable[[Mapping[str, Any]], Mapping[str, Any]] | None = None,
         coalesce: bool = True,
         max_crash_retries: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        journal: Journal | str | os.PathLike | None = None,
+        resume: bool = False,
+        heartbeat_deadline_s: float | None = None,
+        heartbeat_interval_s: float = 0.2,
         mp_context=None,
     ) -> None:
         if queue_size < 1:
             raise ReproError(f"queue_size must be >= 1, got {queue_size}")
+        if resume and journal is None:
+            raise ReproError("resume=True requires a journal")
         self.default_timeout_s = default_timeout_s
         self.coalesce = bool(coalesce)
         self._runner = runner if runner is not None else execute_job
+        if journal is not None and not isinstance(journal, Journal):
+            journal = Journal(journal)
+        self._journal: Journal | None = journal
+        self.resume = bool(resume)
+        if journal is not None and not resume and journal.state.n_records:
+            raise ReproError(
+                f"journal {journal.path} already holds "
+                f"{journal.state.n_records} records; pass resume=True to "
+                "continue that batch, or point --journal at a fresh path"
+            )
+        if journal is not None and resume:
+            state = journal.state
+            obs_metrics.gauge("serve.journal.resume_done_records").set(
+                float(len(state.done))
+            )
+            _log.info(
+                kv(
+                    "serve.journal.resume",
+                    path=journal.path,
+                    done=len(state.done),
+                    pending=len(state.pending()),
+                    corrupt=len(state.corrupt),
+                )
+            )
         self._pool = WorkerPool(
             workers if workers is not None else os.cpu_count(),
             inline=False,
             max_crash_retries=max_crash_retries,
+            retry_policy=retry_policy,
+            heartbeat_deadline_s=heartbeat_deadline_s,
+            heartbeat_interval_s=heartbeat_interval_s,
             mp_context=mp_context,
         )
         self.queue_size = int(queue_size)
@@ -219,6 +315,7 @@ class BatchServer:
         self._seq = 0
         self._outstanding = 0
         self._closed = False
+        self._draining = False
         self._order: list[str] = []
         self._results: dict[str, JobResult] = {}
         self._inflight: dict[str, list[tuple[Job, float]]] = {}
@@ -239,16 +336,27 @@ class BatchServer:
         waits for room).  With ``block=False`` a full queue *rejects*: a
         ``rejected`` :class:`JobResult` is recorded, the
         ``serve.jobs_rejected`` counter bumps, and ``False`` returns.
+        During a graceful drain new submissions resolve ``interrupted``
+        without executing (their journal record makes them resumable).
         """
         with self._state:
             if self._closed:
                 raise ReproError("BatchServer is closed")
             if job.job_id in self._results or job.job_id in set(self._order):
                 raise ReproError(f"duplicate job_id {job.job_id!r}")
+            draining = self._draining
             self._order.append(job.job_id)
             self._outstanding += 1
             self._seq += 1
             seq = self._seq
+        if self._journal is not None:
+            # Write-ahead: the submission is durable before it can run.
+            self._journal.append(
+                "submitted", spec_key=job.spec_key(), job_id=job.job_id
+            )
+        if draining:
+            self._resolve(self._interrupted_result(job.job_id))
+            return False
         obs_metrics.counter("serve.jobs_submitted").inc()
         item = (-int(job.priority), seq, job, time.perf_counter())
         try:
@@ -271,6 +379,28 @@ class BatchServer:
         with self._state:
             self._state.wait_for(lambda: self._outstanding == 0)
 
+    def interrupt(self) -> None:
+        """Begin a graceful drain (the SIGINT/SIGTERM path).
+
+        Queued-but-undispatched jobs resolve ``interrupted`` (their
+        journal ``submitted`` records make them resumable); in-flight jobs
+        finish and are journaled normally; new submissions are refused
+        into ``interrupted`` results.  :meth:`drain` / :meth:`run_batch`
+        then return a report marked ``interrupted`` — exit code 4 at the
+        CLI — and the journal gets a final checkpoint.
+        """
+        with self._state:
+            if self._draining:
+                return
+            self._draining = True
+        obs_metrics.counter("serve.interrupts").inc()
+        _log.warning(kv("serve.interrupted", journal=getattr(self._journal, "path", None)))
+
+    @property
+    def interrupted(self) -> bool:
+        with self._state:
+            return self._draining
+
     def results(self) -> tuple[JobResult, ...]:
         """All results so far, in submission order."""
         with self._state:
@@ -281,7 +411,7 @@ class BatchServer:
             )
 
     def run_batch(self, jobs: Iterable[Job]) -> BatchReport:
-        """Submit ``jobs`` (backpressured), wait, and report.
+        """Submit ``jobs`` (backpressured), wait, checkpoint, and report.
 
         Jobs are queued in the given order; the priority queue reorders
         whatever is pending at each moment, so priorities matter exactly as
@@ -298,17 +428,22 @@ class BatchServer:
             for job in jobs:
                 self.submit(job, block=True)
             self.drain()
+        if self._journal is not None:
+            with obs_trace.span("serve.journal.checkpoint"):
+                self._journal.checkpoint()
         wall = time.perf_counter() - started
         with self._state:
             results = tuple(
                 self._results[job.job_id] for job in jobs
             )
+            interrupted = self._draining
         _log.info(
             kv(
                 "serve.batch_done",
                 n_jobs=len(jobs),
                 wall_s=round(wall, 3),
                 workers=self._pool.workers,
+                interrupted=interrupted,
             )
         )
         return BatchReport(
@@ -317,6 +452,9 @@ class BatchServer:
             workers=self._pool.workers,
             queue_size=self.queue_size,
             coalesce=self.coalesce,
+            resumed=self.resume,
+            journal_path=getattr(self._journal, "path", None),
+            interrupted=interrupted,
         )
 
     def close(self) -> None:
@@ -328,6 +466,8 @@ class BatchServer:
         self._queue.put((math.inf, math.inf, _Sentinel(), 0.0))
         self._scheduler.join()
         self._pool.shutdown()
+        if self._journal is not None:
+            self._journal.close()
 
     def __enter__(self) -> "BatchServer":
         return self
@@ -337,13 +477,56 @@ class BatchServer:
 
     # -- scheduler ----------------------------------------------------------
 
+    def _interrupted_result(self, job_id: str, enqueued: float | None = None) -> JobResult:
+        obs_metrics.counter("serve.jobs_interrupted").inc()
+        return JobResult(
+            job_id=job_id,
+            status="interrupted",
+            error="batch interrupted before this job ran; resume from the journal",
+            attempts=0,
+            queue_wait_s=(
+                time.perf_counter() - enqueued if enqueued is not None else 0.0
+            ),
+        )
+
+    def _replay_result(self, job: Job, record: Mapping[str, Any], enqueued: float) -> JobResult:
+        """Materialize a journal ``done``/dead-letter record as a result."""
+        status = record.get("status", "failed")
+        if status == "ok":
+            obs_metrics.counter("serve.journal.replayed_done").inc()
+        else:
+            obs_metrics.counter("serve.journal.replayed_dead_letters").inc()
+        return JobResult(
+            job_id=job.job_id,
+            status=status,
+            payload=record.get("payload"),
+            error=record.get("error"),
+            attempts=0,
+            queue_wait_s=time.perf_counter() - enqueued,
+            replayed=True,
+        )
+
     def _run_scheduler(self) -> None:
         while True:
             _, _, job, enqueued = self._queue.get()
             if isinstance(job, _Sentinel):
                 return
-            key = job.spec_key() if self.coalesce else None
-            if key is not None:
+            with self._state:
+                draining = self._draining
+            if draining:
+                self._resolve(self._interrupted_result(job.job_id, enqueued))
+                continue
+            key = (
+                job.spec_key()
+                if (self.coalesce or self._journal is not None)
+                else None
+            )
+            if self._journal is not None and self.resume and key is not None:
+                record = self._journal.done_record(key)
+                if record is not None:
+                    self._resolve(self._replay_result(job, record, enqueued))
+                    continue
+            if key is not None and self.coalesce:
                 with self._state:
                     cached = self._done_cache.get(key)
                     if cached is not None:
@@ -371,19 +554,69 @@ class BatchServer:
             # Backpressure on workers: hold the job here (queue stays
             # bounded) until a worker slot frees up.
             self._slots.acquire()
+            with self._state:
+                draining = self._draining
+            if draining:
+                # interrupt() fired while this job waited for a slot.
+                self._slots.release()
+                self._resolve(self._interrupted_result(job.job_id, enqueued))
+                continue
             dispatched = time.perf_counter()
             queue_wait = dispatched - enqueued
             obs_metrics.histogram("serve.queue_wait_s", TIME_BUCKETS_S).observe(
                 queue_wait
             )
+            if self._journal is not None:
+                self._journal.append("started", spec_key=key)
             timeout = job.timeout_s if job.timeout_s is not None else self.default_timeout_s
             self._pool.dispatch(
                 self._runner,
                 job.to_dict(),
                 timeout_s=timeout,
+                retry_token=key,
                 on_done=lambda outcome, j=job, k=key, w=queue_wait: self._job_done(
                     j, k, w, outcome
                 ),
+            )
+
+    def _journal_outcome(
+        self, job: Job, key: str | None, status: str, outcome: TaskOutcome
+    ) -> None:
+        """Durably record one execution outcome before results propagate."""
+        if self._journal is None:
+            return
+        if status == "ok":
+            self._journal.append(
+                "done",
+                spec_key=key,
+                job_id=job.job_id,
+                status="ok",
+                payload=outcome.value,
+                attempts=outcome.attempts,
+            )
+        elif status == "failed":
+            # Permanent: the spec itself is bad.  The dead-letter record
+            # carries the full error payload and is terminal — a resumed
+            # batch replays it rather than retrying a deterministic failure.
+            obs_metrics.counter("serve.journal.dead_letters").inc()
+            self._journal.append(
+                "failed",
+                spec_key=key,
+                job_id=job.job_id,
+                status="failed",
+                classification="permanent",
+                error=outcome.error,
+                attempts=outcome.attempts,
+            )
+        elif status in _TRANSIENT_RESULTS:
+            self._journal.append(
+                "failed",
+                spec_key=key,
+                job_id=job.job_id,
+                status=status,
+                classification="transient",
+                error=outcome.error,
+                attempts=outcome.attempts,
             )
 
     def _job_done(
@@ -392,6 +625,7 @@ class BatchServer:
         self._slots.release()
         status = _OUTCOME_STATUS[outcome.status]
         payload = outcome.value if outcome.status == "ok" else None
+        self._journal_outcome(job, key, status, outcome)
         obs_metrics.counter(f"serve.jobs_{status}").inc()
         obs_metrics.counter("serve.job_attempts").inc(outcome.attempts)
         if outcome.attempts > 1:
@@ -409,7 +643,7 @@ class BatchServer:
             run_s=outcome.duration_s,
         )
         followers: list[tuple[Job, float]] = []
-        if key is not None:
+        if key is not None and self.coalesce:
             with self._state:
                 followers = self._inflight.pop(key, [])
                 # Cache only deterministic outcomes: a timeout or a crash

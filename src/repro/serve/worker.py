@@ -69,10 +69,18 @@ def execute_job(spec: Mapping[str, Any]) -> dict[str, Any]:
     hits_before, misses_before = hits.value, misses.value
     started = time.perf_counter()
 
+    process_fault = False
+    if spec.get("fault"):
+        # Process-level faults (worker kill/hang/slow start) act on this
+        # worker, not the capture — apply before any expensive simulation.
+        from repro.testing.faults import apply_process_fault
+
+        process_fault = apply_process_fault(spec)
+
     session = None
     if spec.get("session_path") is not None:
         session = load_session(spec["session_path"])
-    if spec.get("fault"):
+    if spec.get("fault") and not process_fault:
         from repro.testing.faults import apply_fault
 
         if session is None:

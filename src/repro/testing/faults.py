@@ -14,7 +14,12 @@ corrupt exactly one capture inside a batch.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import signal
+import time
 from dataclasses import replace
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -24,7 +29,9 @@ from repro.simulation.session import ProbeMeasurement, SessionData
 
 __all__ = [
     "FAULTS",
+    "PROCESS_FAULTS",
     "apply_fault",
+    "apply_process_fault",
     "clipped",
     "clock_skew",
     "dropout",
@@ -32,7 +39,10 @@ __all__ = [
     "gyro_dropout",
     "gyro_saturation",
     "mic_noise",
+    "slow_start",
     "synthetic_failure",
+    "worker_hang",
+    "worker_kill",
     "zeroed",
 ]
 
@@ -199,6 +209,87 @@ def synthetic_failure(session: SessionData) -> SessionData:
     )
 
 
+# -- process-level faults ----------------------------------------------------
+#
+# The faults above degrade the *capture*; these degrade the *worker process*
+# executing it — the failure modes the durable-batch machinery (retry
+# classification, heartbeat watchdog, journal resume) exists for.  They take
+# the same ``(session, **kwargs)`` shape as the session faults so job specs
+# validate and spec-key identically, but the session passes through untouched
+# (it may be ``None`` when a cheap test runner applies them spec-side via
+# :func:`apply_process_fault`).
+
+
+def _fired_once(marker: str | None) -> bool:
+    """``True`` if a once-only fault already fired (marker file exists).
+
+    Without a marker the fault fires on *every* attempt — the shape
+    retries-exhausted tests need.  With one, the first attempt creates the
+    file and fires; retries find it and run clean, so a batch with retry
+    enabled completes.
+    """
+    if marker is None:
+        return False
+    if os.path.exists(marker):
+        return True
+    with open(marker, "w") as handle:
+        handle.write(f"fired in pid {os.getpid()}\n")
+    return False
+
+
+def worker_kill(session: SessionData, marker: str | None = None) -> SessionData:
+    """SIGKILL the executing worker mid-job (OOM killer, segfault).
+
+    Uncatchable and instant — the parent sees a broken pool, classifies the
+    loss as transient, and re-dispatches with backoff.  Refuses to fire in
+    the main process (inline runners) so a misconfigured test cannot kill
+    the suite itself.
+    """
+    if _fired_once(marker):
+        return session
+    if multiprocessing.parent_process() is None:
+        raise ReproError(
+            "worker_kill fired in the main process; run it on a real "
+            "worker pool (workers >= 1, subprocess mode)"
+        )
+    os.kill(os.getpid(), signal.SIGKILL)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def worker_hang(
+    session: SessionData, hang_s: float = 30.0, marker: str | None = None
+) -> SessionData:
+    """Wedge the worker: suspend its heartbeat and sleep ``hang_s``.
+
+    From the parent's side this is indistinguishable from a worker stuck
+    in native code — the process is alive but its beat goes stale.  With
+    the watchdog enabled the worker is SIGKILLed mid-sleep and the job
+    retried; without one (or with ``hang_s`` under the deadline) the
+    worker wakes up, resumes beating, and finishes normally.
+    """
+    if _fired_once(marker):
+        return session
+    from repro.serve import heartbeat
+
+    heartbeat.suspend()
+    try:
+        time.sleep(float(hang_s))
+    finally:
+        heartbeat.resume()
+    return session
+
+
+def slow_start(session: SessionData, delay_s: float = 0.5) -> SessionData:
+    """Stall ``delay_s`` before computing (cold caches, page-in, NFS).
+
+    Benign: the job still completes.  Exercises the watchdog's
+    false-positive margin — a slow worker that *is* beating must not be
+    killed.
+    """
+    time.sleep(float(delay_s))
+    return session
+
+
 #: Name -> helper registry used by :func:`apply_fault` (and thereby by
 #: ``repro.serve`` job specs, which are plain JSON and name faults by string).
 FAULTS = {
@@ -209,9 +300,32 @@ FAULTS = {
     "gyro_dropout": gyro_dropout,
     "gyro_saturation": gyro_saturation,
     "mic_noise": mic_noise,
+    "slow_start": slow_start,
     "synthetic-failure": synthetic_failure,
+    "worker_hang": worker_hang,
+    "worker_kill": worker_kill,
     "zeroed": zeroed,
 }
+
+#: Faults that act on the worker process, not the capture.  Excluded from
+#: the capture-degradation matrices (``tests/test_quality.py``,
+#: ``benchmarks/chaos_report.py``) — running them in-process would kill or
+#: stall the caller; the durability suite exercises them on a real pool.
+PROCESS_FAULTS = frozenset({"slow_start", "worker_hang", "worker_kill"})
+
+
+def apply_process_fault(spec: Mapping[str, Any]) -> bool:
+    """Apply a job spec's fault iff it is process-level; ``True`` if it was.
+
+    Runners call this first: process faults need no session (the capture
+    passes through untouched anyway), so cheap test runners can exercise
+    worker kills and hangs without simulating anything.
+    """
+    name = spec.get("fault")
+    if name not in PROCESS_FAULTS:
+        return False
+    FAULTS[name](None, **dict(spec.get("fault_args") or {}))
+    return True
 
 
 def apply_fault(session: SessionData, name: str, **kwargs) -> SessionData:

@@ -245,6 +245,10 @@ def load_summary(path: str | os.PathLike) -> dict[str, Any]:
 
 
 def write_summary(summary: Mapping[str, Any], path: str | os.PathLike) -> None:
-    with open(os.fspath(path), "w") as handle:
+    # Atomic: a crash mid-regeneration must not leave a truncated fixture
+    # that every later test run would then "fail" against.
+    from repro.ioutil import atomic_write
+
+    with atomic_write(path, "w") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")

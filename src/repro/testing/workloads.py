@@ -22,6 +22,7 @@ from typing import Any, Mapping
 
 from repro.errors import ReproError
 from repro.serve.worker import maybe_crash
+from repro.testing.faults import apply_process_fault
 
 __all__ = ["digest_runner", "flaky_runner", "sleepy_runner"]
 
@@ -58,6 +59,7 @@ def digest_runner(spec: Mapping[str, Any]) -> dict[str, Any]:
     unhappy paths of the real runner.
     """
     maybe_crash(spec)
+    apply_process_fault(spec)
     if spec.get("fault") == FAILING_FAULT:
         raise ReproError(f"synthetic failure for job {spec.get('job_id')}")
     return {

@@ -37,7 +37,13 @@ from repro.core.pipeline import (
 )
 from repro.simulation.person import VirtualSubject
 from repro.simulation.session import MeasurementSession, ProbeMeasurement
-from repro.testing.faults import FAULTS, apply_fault, clipped, zeroed
+from repro.testing.faults import (
+    FAULTS,
+    PROCESS_FAULTS,
+    apply_fault,
+    clipped,
+    zeroed,
+)
 
 #: The golden-case configuration — small grid, sparse probes — shared with
 #: tests/test_serve.py so the delay-map caches stay warm across the suite.
@@ -198,7 +204,10 @@ class TestPreflight:
 
 class TestFaultMatrix:
     def test_matrix_covers_the_whole_registry(self):
-        assert set(FAULT_MATRIX) == set(FAULTS)
+        # Process-level faults (worker kill/hang/slow start) degrade the
+        # executing worker, not the capture; they are covered on a real
+        # pool by tests/test_durability.py instead.
+        assert set(FAULT_MATRIX) == set(FAULTS) - PROCESS_FAULTS
 
     @pytest.mark.parametrize("name", sorted(FAULT_MATRIX))
     def test_every_fault_degrades_or_raises(self, name, base_session, clean_result):
