@@ -18,7 +18,9 @@ machine (~1x on a single-core box — the cache and coalescing wins are
 already in the serial service number).
 
 Also verifies on every run that the 4-worker batch is bit-identical to the
-serial run, and that a batch survives one injected worker crash.
+serial run, that turning the telemetry flight recorder on costs under 5% of
+throughput (and changes no deterministic result), and that a batch survives
+one injected worker crash.
 
     PYTHONPATH=src python benchmarks/bench_serve.py --output BENCH_PR3.json
     PYTHONPATH=src python benchmarks/bench_serve.py --quick   # CI smoke
@@ -112,6 +114,60 @@ def run_per_process(jobs: list[Job], samples: int) -> dict:
     }
 
 
+def run_telemetry_phase(
+    jobs: list[Job], workers: int, baseline: dict, budget_frac: float = 0.05
+) -> dict:
+    """Telemetry-on vs telemetry-off throughput on the same workload.
+
+    The observability bar: flight recorder + worker span capture + SLO
+    tracking must cost under ``budget_frac`` of throughput.  Walls are
+    noisy on shared CI boxes, so each side keeps its best (minimum) wall
+    over up to two rounds before the budget is enforced; the first
+    telemetry-off measurement is reused from the main batch phase.
+    """
+    best_off = baseline["wall_s"]
+    best_on = float("inf")
+    overhead = float("inf")
+    n_events = 0
+    on_results: list[dict] = []
+    for round_index in range(2):
+        with tempfile.TemporaryDirectory() as tmp:
+            stream = os.path.join(tmp, "telemetry.jsonl")
+            with BatchServer(workers=workers, telemetry=stream) as server:
+                report = server.run_batch(jobs)
+            if report.n_ok != len(jobs):
+                raise RuntimeError(f"telemetry batch failed: {report.counts}")
+            from repro.serve import read_events
+
+            n_events = len(read_events(stream))
+        best_on = min(best_on, report.wall_s)
+        on_results = [r.deterministic() for r in report.results]
+        overhead = best_on / best_off - 1.0
+        if overhead < budget_frac:
+            break
+        if round_index == 0:
+            # Re-measure the off side too before judging: the baseline may
+            # have been the noisy sample.
+            best_off = min(best_off, run_service(jobs, workers)["wall_s"])
+    if on_results != baseline["results"]:
+        raise RuntimeError(
+            "telemetry changed the deterministic results of the batch"
+        )
+    if overhead >= budget_frac:
+        raise RuntimeError(
+            f"telemetry overhead {overhead:.1%} exceeds the "
+            f"{budget_frac:.0%} throughput budget"
+        )
+    return {
+        "wall_off_s": best_off,
+        "wall_on_s": best_on,
+        "overhead_frac": overhead,
+        "budget_frac": budget_frac,
+        "n_events": n_events,
+        "deterministic_vs_off": True,
+    }
+
+
 def run_crash_phase(workers: int) -> dict:
     """A small batch with one injected worker death must still complete."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -175,6 +231,13 @@ def main(argv: list[str] | None = None) -> int:
     if not identical:
         raise RuntimeError("4-worker batch results differ from serial run")
 
+    print("telemetry      : same workload with the flight recorder on ...")
+    telemetry = run_telemetry_phase(jobs, args.workers, batch)
+    print(f"                 {telemetry['wall_on_s']:.1f} s on vs "
+          f"{telemetry['wall_off_s']:.1f} s off "
+          f"({telemetry['overhead_frac']:+.1%} overhead, "
+          f"{telemetry['n_events']} events)")
+
     print("crash phase    : one injected worker death ...")
     crash = run_crash_phase(args.workers)
     print(f"                 recovered in {crash['victim_attempts']} attempts")
@@ -197,6 +260,7 @@ def main(argv: list[str] | None = None) -> int:
         "serial_service": {k: v for k, v in serial.items() if k != "results"},
         "batch_service": {k: v for k, v in batch.items() if k != "results"},
         "deterministic_vs_serial": identical,
+        "telemetry_overhead": telemetry,
         "crash_recovery": crash,
         "speedup_vs_per_process": speedup_pp,
         "speedup_vs_serial_service": speedup_serial,

@@ -3,10 +3,14 @@
 Runs a seeded end-to-end personalization under the :mod:`repro.obs` tracer
 and writes a single JSON document with the run's wall clock, its per-stage
 durations (flattened from the span tree), and the full metrics snapshot —
-the shape every future perf PR reports its numbers through::
+the shape every future perf PR reports its numbers through.  A second,
+telemetry-enabled batch-service phase adds the serve-side latency breakdown
+(queue wait vs attempt wall, from the SLO tracker's percentiles) and folds
+the workers' ``serve.*`` / ``quality.*`` metrics into the snapshot::
 
     PYTHONPATH=src python benchmarks/export_metrics.py --output BENCH_personalize.json
     PYTHONPATH=src python benchmarks/export_metrics.py --repeat 3   # min-of-N stages
+    PYTHONPATH=src python benchmarks/export_metrics.py --skip-serve # pipeline only
 
 Because subject, session, and pipeline are all seeded, stage *counts* are
 bit-stable across machines; only the durations vary.
@@ -16,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 
@@ -81,6 +86,60 @@ def run_benchmark(
     }
 
 
+def run_serve_benchmark(
+    n_jobs: int = 6,
+    workers: int = 2,
+    angle_step_deg: float = 15.0,
+    probe_interval_s: float = 0.6,
+) -> dict:
+    """A telemetry-enabled batch: the per-stage serve latency breakdown.
+
+    Runs the real pipeline through a :class:`repro.serve.BatchServer` with
+    the flight recorder on, and reports where each job's wall clock went —
+    queue wait (admission/backpressure) vs attempt wall (worker compute) —
+    straight from the SLO tracker's percentiles.  Worker metrics deltas
+    merge into this process's registry, so the final snapshot carries the
+    fleet-wide ``serve.*`` and ``quality.*`` series too.
+    """
+    import tempfile
+
+    from repro.serve import BatchServer, Job, read_events
+
+    jobs = [
+        Job(
+            job_id=f"bench-{i:02d}",
+            subject_seed=1 + i,
+            angle_step_deg=angle_step_deg,
+            probe_interval_s=probe_interval_s,
+        )
+        for i in range(n_jobs)
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        stream = os.path.join(tmp, "telemetry.jsonl")
+        with BatchServer(workers=workers, telemetry=stream) as server:
+            report = server.run_batch(jobs)
+        n_events = len(read_events(stream))
+    if report.n_ok != len(jobs):
+        raise RuntimeError(f"serve benchmark batch failed: {report.counts}")
+    summary = (report.slo or {}).get("summary", {})
+    return {
+        "n_jobs": len(jobs),
+        "workers": workers,
+        "wall_s": report.wall_s,
+        "jobs_per_s": report.jobs_per_s,
+        "n_telemetry_events": n_events,
+        "cold_start_fraction": summary.get("cold_start_fraction"),
+        "latency": {
+            "queue_wait_p50_s": summary.get("queue_wait_p50_s"),
+            "queue_wait_p95_s": summary.get("queue_wait_p95_s"),
+            "queue_wait_p99_s": summary.get("queue_wait_p99_s"),
+            "attempt_wall_p50_s": summary.get("job_p50_s"),
+            "attempt_wall_p95_s": summary.get("job_p95_s"),
+            "attempt_wall_p99_s": summary.get("job_p99_s"),
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python benchmarks/export_metrics.py",
@@ -92,6 +151,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--probe-interval", type=float, default=0.4)
     parser.add_argument("--repeat", type=int, default=1,
                         help="repetitions; stage timings keep the minimum")
+    parser.add_argument("--serve-jobs", type=int, default=6,
+                        help="jobs in the telemetry-enabled serve phase")
+    parser.add_argument("--serve-workers", type=int, default=2)
+    parser.add_argument("--skip-serve", action="store_true",
+                        help="omit the batch-service latency breakdown")
     parser.add_argument("--output", default="BENCH_personalize.json")
     args = parser.parse_args(argv)
 
@@ -102,6 +166,13 @@ def main(argv: list[str] | None = None) -> int:
         probe_interval_s=args.probe_interval,
         repeat=args.repeat,
     )
+    if not args.skip_serve:
+        record["serve"] = run_serve_benchmark(
+            n_jobs=args.serve_jobs, workers=args.serve_workers
+        )
+        # Re-snapshot after the batch: the workers' metrics deltas (merged
+        # home by the telemetry path) put serve.* and quality.* series in.
+        record["metrics"] = obs.registry().snapshot()
     from repro.ioutil import atomic_write
 
     with atomic_write(args.output, "w") as handle:
@@ -112,6 +183,16 @@ def main(argv: list[str] | None = None) -> int:
         f"(cold {record['wall_cold_s']:.2f} s) over "
         f"{len(record['stages_s'])} stages, {record['n_probes']} probes"
     )
+    if "serve" in record:
+        serve = record["serve"]
+        latency = serve["latency"]
+        print(
+            f"serve breakdown: {serve['n_jobs']} jobs @ "
+            f"{serve['workers']} workers, queue wait p95 "
+            f"{latency['queue_wait_p95_s']:.3f} s vs attempt wall p95 "
+            f"{latency['attempt_wall_p95_s']:.3f} s "
+            f"({serve['n_telemetry_events']} events)"
+        )
     return 0
 
 

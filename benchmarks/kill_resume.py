@@ -6,7 +6,7 @@ The end-to-end crash drill for the durable-batch machinery, run from CI's
     PYTHONPATH=src python benchmarks/kill_resume.py \\
         --output kill_resume_report.json --workdir artifacts/
 
-Four acts, all through the real ``python -m repro.cli batch`` entry point
+Five acts, all through the real ``python -m repro.cli batch`` entry point
 and the real :func:`repro.serve.worker.execute_job` runner:
 
 1. **reference** — the batch runs uninterrupted (journaled); its per-job
@@ -22,9 +22,13 @@ and the real :func:`repro.serve.worker.execute_job` runner:
    every deterministic field (status, payload, table digest, error), the
    dead letter must appear exactly once with one attempt, and no spec done
    before the kill may have been re-executed.
+5. **timeline** — every run records a ``--telemetry`` flight-recorder
+   stream; the victim's (fsync'd, so it survives the SIGKILL) must render
+   through ``repro.cli timeline`` into a per-worker Gantt chart.
 
-The report (and both journals) are uploaded as CI artifacts, so every
-commit carries a reviewable record of an actual kill-and-recover cycle.
+The report, both journals, the telemetry streams, and the rendered timeline
+are uploaded as CI artifacts, so every commit carries a reviewable record
+of an actual kill-and-recover cycle.
 """
 
 from __future__ import annotations
@@ -57,7 +61,11 @@ EXIT_DEAD_LETTERS = 3
 
 
 def _batch_cmd(
-    jobs_path: str, report_path: str, journal: str, resume: bool = False
+    jobs_path: str,
+    report_path: str,
+    journal: str,
+    resume: bool = False,
+    telemetry: str | None = None,
 ) -> list[str]:
     cmd = [
         sys.executable, "-m", "repro.cli", "batch",
@@ -67,6 +75,8 @@ def _batch_cmd(
         "--report", report_path,
         "--retries", "3",
     ]
+    if telemetry is not None:
+        cmd += ["--telemetry", telemetry]
     if resume:
         cmd.append("--resume")
     return cmd
@@ -96,9 +106,11 @@ def run_scenario(workdir: str) -> dict:
     # Act 1: the uninterrupted reference run.
     ref_report = os.path.join(workdir, "reference_report.json")
     ref_journal = os.path.join(workdir, "reference.journal")
+    ref_stream = os.path.join(workdir, "reference.telemetry.jsonl")
     print("kill_resume: reference run ...", flush=True)
     reference = subprocess.run(
-        _batch_cmd(jobs_path, ref_report, ref_journal), check=False
+        _batch_cmd(jobs_path, ref_report, ref_journal, telemetry=ref_stream),
+        check=False,
     )
     check(
         reference.returncode == EXIT_DEAD_LETTERS,
@@ -109,12 +121,15 @@ def run_scenario(workdir: str) -> dict:
     # Act 2: SIGKILL at ~50% done.
     victim_report = os.path.join(workdir, "victim_report.json")
     victim_journal = os.path.join(workdir, "batch.journal")
+    victim_stream = os.path.join(workdir, "victim.telemetry.jsonl")
     print("kill_resume: victim run (will be SIGKILLed) ...", flush=True)
     # Own process group: SIGKILLing the group takes the CLI *and* its
     # forked workers down together — otherwise orphaned workers outlive
     # the kill, blocked forever on their dead executor's call queue.
     victim = subprocess.Popen(
-        _batch_cmd(jobs_path, victim_report, victim_journal),
+        _batch_cmd(
+            jobs_path, victim_report, victim_journal, telemetry=victim_stream
+        ),
         start_new_session=True,
     )
     half = len({job.spec_key() for job in JOBS}) // 2
@@ -137,9 +152,13 @@ def run_scenario(workdir: str) -> dict:
 
     # Act 3: resume from the survivor journal.
     resumed_report = os.path.join(workdir, "resumed_report.json")
+    resume_stream = os.path.join(workdir, "resume.telemetry.jsonl")
     print("kill_resume: resume run ...", flush=True)
     resumed = subprocess.run(
-        _batch_cmd(jobs_path, resumed_report, victim_journal, resume=True),
+        _batch_cmd(
+            jobs_path, resumed_report, victim_journal, resume=True,
+            telemetry=resume_stream,
+        ),
         check=False,
     )
     check(
@@ -184,6 +203,22 @@ def run_scenario(workdir: str) -> dict:
     )
     check(full["dead_letters"] == ["poison"], "report names the dead letter")
 
+    # Act 5: the observability drill riding on the chaos drill — the
+    # victim's fsync'd flight-recorder stream survived the SIGKILL (with at
+    # worst one torn final line) and must render as a per-worker timeline.
+    timeline_txt = os.path.join(workdir, "victim_timeline.txt")
+    print("kill_resume: rendering the victim's telemetry timeline ...",
+          flush=True)
+    rendered = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "timeline", victim_stream,
+         "--output", timeline_txt],
+        check=False,
+    )
+    check(
+        rendered.returncode == 0 and os.path.exists(timeline_txt),
+        "timeline renders from the SIGKILLed run's telemetry stream",
+    )
+
     return {
         "record": "kill_resume",
         "jobs": len(JOBS),
@@ -193,6 +228,12 @@ def run_scenario(workdir: str) -> dict:
         "replayed_jobs": sorted(replayed),
         "dead_letters": full["dead_letters"],
         "table_digests": digests,
+        "telemetry_streams": {
+            "reference": ref_stream,
+            "victim": victim_stream,
+            "resume": resume_stream,
+        },
+        "victim_timeline": timeline_txt,
         "failures": failures,
         "ok": not failures,
     }

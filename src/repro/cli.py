@@ -10,11 +10,16 @@ usable by :func:`repro.hrtf.io.load_table`.
 :class:`repro.serve.BatchServer` — the managed-workload counterpart of the
 one-shot command.
 
+``python -m repro.cli timeline`` renders a flight-recorder stream (the
+``batch --telemetry`` output) as a per-worker Gantt chart with a
+critical-path summary and the batch's SLO statistics.
+
 Examples::
 
     uniq-personalize --subject-seed 7 --output my_hrtf.npz --evaluate
     python -m repro.cli batch --jobs jobs.jsonl --workers 4 \
-        --report batch_report.json
+        --telemetry telemetry.jsonl --report batch_report.json
+    python -m repro.cli timeline telemetry.jsonl
 """
 
 from __future__ import annotations
@@ -214,6 +219,21 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "below C in [0, 1] (default: 0, accept everything)",
     )
     parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="record the serve flight-recorder event stream (JSONL) at "
+        "PATH and capture per-job cross-process traces; render it later "
+        "with `python -m repro.cli timeline PATH`",
+    )
+    parser.add_argument(
+        "--slo",
+        metavar="PATH",
+        default=None,
+        help="JSON file of declarative SLO thresholds (max_*/min_* over "
+        "the serve statistics); violations print and exit 5",
+    )
+    parser.add_argument(
         "--report",
         metavar="PATH",
         default=None,
@@ -238,15 +258,17 @@ def main_batch(argv: list[str] | None = None) -> int:
     """Run a job file through the batch server.
 
     Exit codes: 0 every job completed ok, 1 transient failures or
-    low-confidence results, 2 the job file (or journal) could not be used,
-    3 the batch completed but left dead letters (permanently failed jobs),
-    4 the batch was interrupted (SIGINT/SIGTERM) and is resumable from the
-    journal.
+    low-confidence results, 2 the job file (or journal, or SLO policy)
+    could not be used, 3 the batch completed but left dead letters
+    (permanently failed jobs), 4 the batch was interrupted (SIGINT/SIGTERM)
+    and is resumable from the journal, 5 the batch completed ok but
+    violated a declared --slo objective.
     """
     import signal
 
     from repro.serve import BatchServer, RetryPolicy, load_jobs
     from repro.serve.server import DEFAULT_QUEUE_SIZE
+    from repro.serve.telemetry import SloPolicy
 
     args = build_batch_parser().parse_args(argv)
     if args.verbose:
@@ -259,6 +281,13 @@ def main_batch(argv: list[str] | None = None) -> int:
     except (OSError, ReproError) as error:
         print(f"error: cannot load jobs: {error}", file=sys.stderr)
         return 2
+    slo_policy = None
+    if args.slo is not None:
+        try:
+            slo_policy = SloPolicy.from_json_file(args.slo)
+        except (OSError, ValueError, ReproError) as error:
+            print(f"error: cannot load SLO policy: {error}", file=sys.stderr)
+            return 2
 
     retry_policy = None
     if args.retries is not None:
@@ -276,6 +305,8 @@ def main_batch(argv: list[str] | None = None) -> int:
             journal=args.journal,
             resume=args.resume,
             heartbeat_deadline_s=args.heartbeat_deadline,
+            telemetry=args.telemetry,
+            slo=slo_policy,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -343,6 +374,15 @@ def main_batch(argv: list[str] | None = None) -> int:
         print(f"resumed          : {report.n_replayed} jobs replayed from "
               f"the journal, {len(report.results) - report.n_replayed} "
               f"executed")
+    if args.telemetry is not None:
+        print(f"telemetry        : {args.telemetry} "
+              f"(render with `python -m repro.cli timeline "
+              f"{args.telemetry}`)")
+    violations = report.slo_violations
+    for violation in violations:
+        print(f"SLO violated     : {violation['threshold']} "
+              f"(limit {violation['limit']:g}, "
+              f"actual {violation['actual']:g})", file=sys.stderr)
     if args.report is not None:
         try:
             report.save(args.report)
@@ -362,7 +402,174 @@ def main_batch(argv: list[str] | None = None) -> int:
               f"({', '.join(r.job_id for r in dead)})", file=sys.stderr)
         return 3
     ok = report.n_ok == len(report.results) and not low_confidence
+    if ok and violations:
+        return 5
     return 0 if ok else 1
+
+
+def build_timeline_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli timeline",
+        description=(
+            "Render a serve flight-recorder stream (batch --telemetry "
+            "output) as a per-worker Gantt chart, a critical-path summary "
+            "of span self-times, and the batch's SLO statistics."
+        ),
+    )
+    parser.add_argument(
+        "stream",
+        metavar="TELEMETRY_JSONL",
+        help="the flight-recorder JSONL stream to render",
+    )
+    parser.add_argument(
+        "--width",
+        type=int,
+        default=72,
+        help="Gantt chart width in columns (default: 72)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=8,
+        metavar="N",
+        help="show the N largest span self-times (default: 8)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="also write the rendered timeline to PATH (CI artifacts)",
+    )
+    return parser
+
+
+#: Bar glyph per attempt status on the timeline.
+_TIMELINE_BARS = {
+    "ok": "█", "error": "▓", "timeout": "▒", "crashed": "░", "open": "─",
+}
+
+
+def main_timeline(argv: list[str] | None = None) -> int:
+    """Render a flight-recorder stream as a per-worker timeline.
+
+    Exit codes: 0 rendered, 2 the stream could not be read or holds no
+    events.
+    """
+    from repro.obs.report import self_durations
+    from repro.obs.trace import Span
+    from repro.serve.telemetry import SloTracker, iter_attempt_bars, read_events
+    from repro.textplot import gantt
+
+    args = build_timeline_parser().parse_args(argv)
+    try:
+        events = read_events(args.stream)
+    except OSError as error:
+        print(f"error: cannot read telemetry stream: {error}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"error: {args.stream} holds no telemetry events", file=sys.stderr)
+        return 2
+
+    times = [
+        e["t"] for e in events if isinstance(e.get("t"), (int, float))
+    ]
+    t0, t1 = min(times), max(times)
+    if t1 <= t0:
+        t1 = t0 + 1e-3
+
+    # One lane per worker pid (attempt bars + kill marks), plus a server
+    # lane carrying dispatch/retry/dead-letter/drain marks.
+    lanes_map: dict[str, tuple[list, list]] = {}
+
+    def lane(pid) -> tuple[list, list]:
+        label = f"pid {pid}" if pid is not None else "pid ?"
+        return lanes_map.setdefault(label, ([], []))
+
+    n_attempts = 0
+    for bar in iter_attempt_bars(events):
+        n_attempts += 1
+        bars, _ = lane(bar["worker_pid"])
+        char = _TIMELINE_BARS.get(bar["status"] or "ok", "█")
+        bars.append((bar["start_t"], bar["end_t"], char))
+    server_marks: list[tuple[float, str]] = []
+    for event in events:
+        kind = event.get("event")
+        t = event.get("t")
+        if not isinstance(t, (int, float)):
+            continue
+        if kind == "watchdog_kill":
+            lane(event.get("worker_pid"))[1].append((t, "K"))
+        elif kind == "retry":
+            server_marks.append((t, "r"))
+        elif kind == "dead_letter":
+            server_marks.append((t, "D"))
+        elif kind == "drain":
+            server_marks.append((t, "!"))
+        elif kind == "dispatch":
+            server_marks.append((t, "·"))
+
+    lines: list[str] = []
+    n_jobs = sum(1 for e in events if e.get("event") == "done")
+    lines.append(
+        f"timeline: {len(events)} events, {n_jobs} jobs, "
+        f"{n_attempts} attempts, {t1 - t0:.2f} s window ({args.stream})"
+    )
+    lines.append("")
+    lanes = [("server", [], server_marks)]
+    lanes.extend((label,) + lanes_map[label] for label in sorted(lanes_map))
+    lines.append(gantt(lanes, t0, t1, width=args.width))
+    lines.append(
+        "legend: █ ok  ▓ error  ▒ timeout  ░ crashed  ─ open  "
+        "K watchdog kill  r retry  D dead letter  ! drain  · dispatch"
+    )
+
+    # Critical path: per-span-name self time summed over every job trace
+    # shipped home in the done events.
+    totals: dict[str, float] = {}
+    n_traces = 0
+    for event in events:
+        if event.get("event") == "done" and event.get("trace"):
+            n_traces += 1
+            for name, own in self_durations(
+                Span.from_dict(event["trace"])
+            ).items():
+                totals[name] = totals.get(name, 0.0) + own
+    if totals:
+        lines.append("")
+        lines.append(f"critical path (span self-time over {n_traces} traces):")
+        ranked = sorted(totals.items(), key=lambda kv: -kv[1])[: args.top]
+        name_width = max(len(name) for name, _ in ranked)
+        for name, total in ranked:
+            lines.append(f"  {name.ljust(name_width)}  {total:8.3f} s")
+
+    tracker = SloTracker()
+    for event in events:
+        tracker.observe(event)
+    stats = tracker.stats()
+    lines.append("")
+    lines.append(
+        f"slo stats: job p50 {stats['job_p50_s']:.3f} s "
+        f"p95 {stats['job_p95_s']:.3f} s, "
+        f"queue wait p95 {stats['queue_wait_p95_s']:.3f} s, "
+        f"depth peak {stats['queue_depth_peak']}, "
+        f"throughput {stats['throughput_jobs_per_s']:.2f} jobs/s, "
+        f"retry rate {stats['retry_rate']:.2f}, "
+        f"dead-letter rate {stats['dead_letter_rate']:.2f}, "
+        f"cold-start fraction {stats['cold_start_fraction']:.2f}"
+    )
+
+    text = "\n".join(lines)
+    print(text)
+    if args.output is not None:
+        from repro.ioutil import atomic_write
+
+        try:
+            with atomic_write(args.output, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as error:
+            print(f"error: cannot write --output: {error}", file=sys.stderr)
+            return 2
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -370,6 +577,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "batch":
         return main_batch(argv[1:])
+    if argv and argv[0] == "timeline":
+        return main_timeline(argv[1:])
     args = build_parser().parse_args(argv)
     if args.angle_step <= 0 or args.angle_step > 60:
         print(f"error: --angle-step must be in (0, 60], got {args.angle_step}",

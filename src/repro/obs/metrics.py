@@ -33,6 +33,7 @@ __all__ = [
     "MetricsRegistry",
     "TIME_BUCKETS_S",
     "counter",
+    "diff_snapshots",
     "gauge",
     "histogram",
     "registry",
@@ -52,31 +53,42 @@ TIME_BUCKETS_S = (
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total.
 
-    __slots__ = ("name", "value")
+    Thread-safe: serve-layer pool callbacks and the batch scheduler bump
+    counters from several threads at once, and ``value += amount`` is a
+    read-modify-write that loses increments under that interleaving.  The
+    per-metric lock makes every increment exact; the uncontended acquire is
+    ~100 ns, invisible even in the fusion cost-evaluation hot loop.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease ({amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A last-written value."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 class Histogram:
@@ -87,7 +99,10 @@ class Histogram:
     observations are counted separately and never pollute the sum.
     """
 
-    __slots__ = ("name", "buckets", "bucket_counts", "sum", "count", "non_finite")
+    __slots__ = (
+        "name", "buckets", "bucket_counts", "sum", "count", "non_finite",
+        "_lock",
+    )
 
     def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         ordered = tuple(float(b) for b in buckets)
@@ -99,20 +114,23 @@ class Histogram:
         self.sum = 0.0
         self.count = 0
         self.non_finite = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
         if not math.isfinite(value):
-            self.non_finite += 1
+            with self._lock:
+                self.non_finite += 1
             return
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                break
-        else:
-            self.bucket_counts[-1] += 1
-        self.sum += value
-        self.count += 1
+        with self._lock:
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    break
+            else:
+                self.bucket_counts[-1] += 1
+            self.sum += value
+            self.count += 1
 
     @property
     def mean(self) -> float:
@@ -201,18 +219,98 @@ class MetricsRegistry:
         """Zero every metric, keeping all registrations alive."""
         with self._lock:
             for metric in self._counters.values():
-                metric.value = 0.0
+                with metric._lock:
+                    metric.value = 0.0
             for metric in self._gauges.values():
-                metric.value = 0.0
+                with metric._lock:
+                    metric.value = 0.0
             for metric in self._histograms.values():
-                metric.bucket_counts = [0] * (len(metric.buckets) + 1)
-                metric.sum = 0.0
-                metric.count = 0
-                metric.non_finite = 0
+                with metric._lock:
+                    metric.bucket_counts = [0] * (len(metric.buckets) + 1)
+                    metric.sum = 0.0
+                    metric.count = 0
+                    metric.non_finite = 0
+
+    def merge_delta(self, delta: dict[str, Any]) -> None:
+        """Fold a :func:`diff_snapshots` delta into this registry.
+
+        The serve layer's cross-process export path: each worker ships the
+        metrics delta of one job back with its result, and the batch server
+        merges it here so the parent's registry describes the whole fleet.
+        Counter deltas add, gauge values overwrite (last writer wins, same
+        as in-process gauges), histogram deltas add bucket-wise.  A
+        histogram arriving with a different bucket ladder than the local
+        registration cannot be merged faithfully and is dropped, counted by
+        ``obs.merge.bucket_mismatch``.
+        """
+        for name, amount in delta.get("counters", {}).items():
+            if amount:
+                self.counter(name).inc(float(amount))
+        for name, value in delta.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, data in delta.get("histograms", {}).items():
+            buckets = tuple(float(b) for b in data["buckets"])
+            metric = self.histogram(name, buckets)
+            if metric.buckets != buckets:
+                self.counter("obs.merge.bucket_mismatch").inc()
+                continue
+            with metric._lock:
+                for i, count in enumerate(data["counts"]):
+                    metric.bucket_counts[i] += int(count)
+                metric.sum += float(data.get("sum", 0.0))
+                metric.count += int(data.get("count", 0))
+                metric.non_finite += int(data.get("non_finite", 0))
 
     def to_json(self, indent: int | None = 2) -> str:
         """The snapshot serialized as JSON text."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+def diff_snapshots(
+    before: dict[str, Any], after: dict[str, Any]
+) -> dict[str, Any]:
+    """What happened between two :meth:`MetricsRegistry.snapshot` calls.
+
+    Counters subtract (entries whose total did not move are dropped, so a
+    delta stays small even against a long-lived registry); gauges keep the
+    ``after`` value for any gauge that changed or appeared; histograms
+    subtract bucket-wise and drop when no observation landed.  The result
+    is itself snapshot-shaped, which is what lets
+    :meth:`MetricsRegistry.merge_delta` fold it into another process's
+    registry — the worker→server metrics export format.
+    """
+    delta: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    before_counters = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        moved = value - before_counters.get(name, 0.0)
+        if moved:
+            delta["counters"][name] = moved
+    before_gauges = before.get("gauges", {})
+    for name, value in after.get("gauges", {}).items():
+        if name not in before_gauges or before_gauges[name] != value:
+            delta["gauges"][name] = value
+    before_histograms = before.get("histograms", {})
+    for name, data in after.get("histograms", {}).items():
+        prior = before_histograms.get(name)
+        if prior is not None and list(prior["buckets"]) != list(data["buckets"]):
+            prior = None  # re-registered with a new ladder: treat as fresh
+        counts = [
+            count - (prior["counts"][i] if prior else 0)
+            for i, count in enumerate(data["counts"])
+        ]
+        non_finite = data.get("non_finite", 0) - (
+            prior.get("non_finite", 0) if prior else 0
+        )
+        if not any(counts) and not non_finite:
+            continue
+        delta["histograms"][name] = {
+            "buckets": list(data["buckets"]),
+            "counts": counts,
+            "sum": data.get("sum", 0.0) - (prior.get("sum", 0.0) if prior else 0.0),
+            "count": data.get("count", 0) - (prior.get("count", 0) if prior else 0),
+            "non_finite": non_finite,
+        }
+    return delta
 
 
 _registry = MetricsRegistry()

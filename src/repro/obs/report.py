@@ -25,6 +25,7 @@ from repro.obs.trace import Span
 __all__ = [
     "render_metrics",
     "render_span_tree",
+    "self_durations",
     "span_to_dict",
     "stage_durations",
     "trace_to_json",
@@ -107,13 +108,14 @@ def _longest_name(span: Span, depth: int) -> int:
 
 
 def span_to_dict(span: Span) -> dict[str, Any]:
-    """One span (and its subtree) as JSON-serializable nested dicts."""
-    return {
-        "name": span.name,
-        "duration_s": span.duration_s,
-        "attributes": dict(span.attributes),
-        "children": [span_to_dict(child) for child in span.children],
-    }
+    """One span (and its subtree) as JSON-serializable nested dicts.
+
+    Delegates to :meth:`repro.obs.trace.Span.to_dict` so every exporter —
+    benchmark records, worker telemetry, batch reports — speaks one
+    serialization (stable ids, ``start_s``, exact round trip through
+    :meth:`Span.from_dict`).
+    """
+    return span.to_dict()
 
 
 def trace_to_json(root: Span, indent: int | None = 2) -> str:
@@ -129,6 +131,28 @@ def stage_durations(root: Span) -> dict[str, float]:
         node = todo.pop()
         if node.duration_s is not None:
             totals[node.name] = totals.get(node.name, 0.0) + node.duration_s
+        todo.extend(node.children)
+    return totals
+
+
+def self_durations(root: Span) -> dict[str, float]:
+    """Per-name *self* time (own duration minus children) over a trace.
+
+    The critical-path view: a span whose children account for all its wall
+    clock contributes nothing of its own, so ranking these totals names the
+    stages actually burning time rather than the wrappers around them.
+    Negative self-times (timer jitter on near-empty spans) clamp to zero.
+    """
+    totals: dict[str, float] = {}
+    todo = [root]
+    while todo:
+        node = todo.pop()
+        if node.duration_s is not None:
+            in_children = sum(
+                child.duration_s or 0.0 for child in node.children
+            )
+            own = max(node.duration_s - in_children, 0.0)
+            totals[node.name] = totals.get(node.name, 0.0) + own
         todo.extend(node.children)
     return totals
 

@@ -29,9 +29,10 @@ threads each build their own tree and never interleave.
 from __future__ import annotations
 
 import functools
+import hashlib
 import threading
 import time
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Mapping
 
 __all__ = [
     "Span",
@@ -46,6 +47,21 @@ __all__ = [
 
 _enabled = False
 _local = threading.local()
+
+#: Hex digits kept per span id — 48 bits, ample for one trace forest.
+_SPAN_ID_HEX = 12
+
+
+def _derive_span_id(path: tuple[tuple[int, str], ...]) -> str:
+    """A stable span id from the span's root-relative ``(index, name)`` path.
+
+    Pure function of tree *structure*, not of timing or process identity:
+    the same tree shape serializes to the same ids on any machine, which is
+    what lets traces captured in worker processes be diffed and grafted
+    across process boundaries.
+    """
+    blob = "/".join(f"{index}:{name}" for index, name in path)
+    return hashlib.sha256(blob.encode()).hexdigest()[:_SPAN_ID_HEX]
 
 
 class Span:
@@ -65,7 +81,9 @@ class Span:
         Wall-clock duration; ``None`` while the span is still open.
     """
 
-    __slots__ = ("name", "attributes", "children", "start_s", "duration_s")
+    __slots__ = (
+        "name", "attributes", "children", "start_s", "duration_s", "span_id",
+    )
 
     def __init__(self, name: str, attributes: dict[str, Any] | None = None) -> None:
         self.name = name
@@ -73,6 +91,7 @@ class Span:
         self.children: list[Span] = []
         self.start_s: float = 0.0
         self.duration_s: float | None = None
+        self.span_id: str | None = None
 
     def set(self, key: str, value: Any) -> None:
         """Attach one attribute to this span."""
@@ -105,6 +124,49 @@ class Span:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = f"{self.duration_s * 1e3:.2f} ms" if self.duration_s is not None else "open"
         return f"Span({self.name!r}, {state}, {len(self.children)} children)"
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(
+        self, _path: tuple[tuple[int, str], ...] | None = None
+    ) -> dict[str, Any]:
+        """The span (and its subtree) as JSON-serializable nested dicts.
+
+        Spans without an id are assigned one derived from their position in
+        the tree (:func:`_derive_span_id`), so serializing the same finished
+        trace twice yields bit-identical documents, and
+        ``Span.from_dict(span.to_dict()).to_dict() == span.to_dict()``.
+        """
+        path = _path if _path is not None else ((0, self.name),)
+        if self.span_id is None:
+            self.span_id = _derive_span_id(path)
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "children": [
+                child.to_dict(path + ((index, child.name),))
+                for index, child in enumerate(self.children)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output (exact inverse).
+
+        Used by the serve layer to graft traces captured inside worker
+        processes back into the batch server's own trace forest.
+        """
+        span = cls(str(data["name"]), data.get("attributes") or {})
+        span.span_id = data.get("span_id")
+        start = data.get("start_s")
+        span.start_s = 0.0 if start is None else float(start)
+        duration = data.get("duration_s")
+        span.duration_s = None if duration is None else float(duration)
+        span.children = [cls.from_dict(child) for child in data.get("children", [])]
+        return span
 
 
 class _NullSpan:

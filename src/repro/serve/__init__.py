@@ -1,7 +1,7 @@
 """repro.serve — batch personalization as a managed workload.
 
 The production layer over the one-shot pipeline: many users' captures in,
-one managed batch out.  Six pieces:
+one managed batch out.  Seven pieces:
 
 - :mod:`repro.serve.job`     — :class:`Job`/:class:`JobResult` dataclasses
   and the JSONL job-spec format;
@@ -15,6 +15,10 @@ one managed batch out.  Six pieces:
   checksummed write-ahead log that makes batches crash-safe and resumable;
 - :mod:`repro.serve.worker`  — the worker-side runner
   (:func:`execute_job`): job spec in, deterministic payload out;
+- :mod:`repro.serve.telemetry` — the flight recorder (fsync'd JSONL event
+  stream + rollups), :class:`SloTracker`/:class:`SloPolicy`, and
+  :class:`ServeTelemetry`, which grafts worker-captured span trees into
+  per-job cross-process traces (rendered by ``repro.cli timeline``);
 - :mod:`repro.serve.server`  — :class:`BatchServer`: bounded priority queue,
   backpressure, per-job timeouts, classified retries, request coalescing,
   journaling/resume, graceful drain, metrics, and the structured
@@ -42,22 +46,35 @@ from repro.serve.journal import Journal, JournalState, replay_journal
 from repro.serve.pool import TaskOutcome, WorkerPool
 from repro.serve.retry import RetryPolicy
 from repro.serve.server import DEFAULT_QUEUE_SIZE, BatchReport, BatchServer
-from repro.serve.worker import execute_job
+from repro.serve.telemetry import (
+    FlightRecorder,
+    ServeTelemetry,
+    SloPolicy,
+    SloTracker,
+    read_events,
+)
+from repro.serve.worker import execute_job, run_with_telemetry
 
 __all__ = [
     "BatchReport",
     "BatchServer",
     "DEFAULT_QUEUE_SIZE",
+    "FlightRecorder",
     "Job",
     "JobResult",
     "Journal",
     "JournalState",
     "RetryPolicy",
     "STATUSES",
+    "ServeTelemetry",
+    "SloPolicy",
+    "SloTracker",
     "TaskOutcome",
     "WorkerPool",
     "dump_jobs",
     "execute_job",
     "load_jobs",
+    "read_events",
     "replay_journal",
+    "run_with_telemetry",
 ]

@@ -196,6 +196,14 @@ class JobResult:
     restored from a write-ahead journal's ``done`` record instead of being
     re-executed — bit-identical to the original execution by the
     determinism contract, with ``attempts=0``.
+
+    ``trace`` (telemetry-enabled servers only) is the job's merged span
+    tree as nested dicts — the server-side submit → queue → attempt(s) →
+    done spans with the worker-captured pipeline trace grafted under the
+    final attempt.  Purely operational: excluded from
+    :meth:`deterministic`, and :meth:`to_dict` emits the key only when a
+    trace exists, so telemetry-off reports stay bit-identical to
+    pre-telemetry ones.
     """
 
     job_id: str
@@ -207,6 +215,7 @@ class JobResult:
     run_s: float = 0.0
     coalesced: bool = False
     replayed: bool = False
+    trace: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -248,6 +257,8 @@ class JobResult:
             coalesced=self.coalesced,
             replayed=self.replayed,
         )
+        if self.trace is not None:
+            record["trace"] = self.trace
         return record
 
 

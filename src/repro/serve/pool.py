@@ -79,10 +79,10 @@ class _Task:
     __slots__ = (
         "fn", "arg", "timeout_s", "on_done", "attempts", "resolved",
         "started", "timer", "executor", "token", "task_id", "hb_path",
-        "hung", "dispatched_at",
+        "hung", "dispatched_at", "event_key",
     )
 
-    def __init__(self, fn, arg, timeout_s, on_done, token, task_id):
+    def __init__(self, fn, arg, timeout_s, on_done, token, task_id, event_key):
         self.fn = fn
         self.arg = arg
         self.timeout_s = timeout_s
@@ -97,6 +97,7 @@ class _Task:
         self.hb_path: str | None = None
         self.hung = False
         self.dispatched_at = 0.0
+        self.event_key = event_key
 
 
 def _noop() -> None:
@@ -140,6 +141,12 @@ class WorkerPool:
     heartbeat_interval_s:
         How often workers touch their heartbeat file (only meaningful with
         a deadline; keep the deadline several intervals wide).
+    on_event:
+        Optional telemetry sink: called with one flat dict per attempt
+        lifecycle event (``attempt_start``, ``attempt_end``, ``retry``,
+        ``watchdog_kill``), each carrying the ``event_key`` the dispatcher
+        supplied.  Exceptions from the sink are swallowed — telemetry must
+        never take the pool down.
     """
 
     def __init__(
@@ -152,6 +159,7 @@ class WorkerPool:
         retry_policy: RetryPolicy | None = None,
         heartbeat_deadline_s: float | None = None,
         heartbeat_interval_s: float = 0.2,
+        on_event: Callable[[dict[str, Any]], None] | None = None,
     ) -> None:
         self.workers = max(1, int(workers if workers is not None else os.cpu_count() or 1))
         self.inline = (self.workers <= 1) if inline is None else bool(inline)
@@ -162,6 +170,7 @@ class WorkerPool:
                 jitter_frac=0.0,
             )
         self.retry_policy = retry_policy
+        self._on_event = on_event
         self.heartbeat_deadline_s = heartbeat_deadline_s
         self.heartbeat_interval_s = float(heartbeat_interval_s)
         self._context = mp_context if mp_context is not None else _default_context()
@@ -231,6 +240,28 @@ class WorkerPool:
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
+    # -- telemetry ----------------------------------------------------------
+
+    def _emit(self, event: str, task: "_Task | None" = None, **fields: Any) -> None:
+        """Deliver one attempt-lifecycle event to the telemetry sink."""
+        if self._on_event is None:
+            return
+        record: dict[str, Any] = {"event": event}
+        if task is not None:
+            record["event_key"] = task.event_key
+            record["attempt"] = task.attempts
+        record.update(fields)
+        try:
+            self._on_event(record)
+        except Exception:  # noqa: BLE001 - telemetry must not break the pool
+            pass
+
+    def _attempt_pid(self, task: "_Task") -> int | None:
+        """This attempt's worker pid, when the heartbeat has revealed it."""
+        if task.hb_path is None:
+            return None
+        return hb.heartbeat_pid(task.hb_path)
+
     # -- dispatch -----------------------------------------------------------
 
     def dispatch(
@@ -241,6 +272,7 @@ class WorkerPool:
         timeout_s: float | None = None,
         on_done: Callable[[TaskOutcome], None],
         retry_token: str | None = None,
+        event_key: str | None = None,
     ) -> None:
         """Run ``fn(arg)`` on the pool; deliver a :class:`TaskOutcome`.
 
@@ -249,17 +281,22 @@ class WorkerPool:
         clock starts at dispatch and covers executor handoff plus
         execution; inline mode cannot preempt, so timeouts are ignored
         there.  ``retry_token`` seeds the deterministic backoff jitter
-        (the batch server passes the job's spec key).
+        (the batch server passes the job's spec key); ``event_key`` labels
+        this task's telemetry events (the server passes the leader job's
+        id — distinct from the retry token, which collides across jobs
+        sharing a spec).
         """
         obs_metrics.counter("serve.pool.dispatched").inc()
         task = _Task(
             fn, arg, timeout_s, on_done,
             retry_token if retry_token is not None else "",
             next(self._task_ids),
+            event_key,
         )
         if self.inline:
             task.attempts = 1
             started = time.perf_counter()
+            self._emit("attempt_start", task)
             try:
                 value = fn(arg)
             except Exception as error:  # noqa: BLE001 - outcome carries it
@@ -279,6 +316,12 @@ class WorkerPool:
                     attempts=1,
                     duration_s=time.perf_counter() - started,
                 )
+            self._emit(
+                "attempt_end", task,
+                status=outcome.status,
+                duration_s=outcome.duration_s,
+                worker_pid=os.getpid(),
+            )
             on_done(outcome)
             return
         self._submit(task)
@@ -312,6 +355,7 @@ class WorkerPool:
             # caller (server / outcomes) and must not run under pool state.
             self._resolve_closed(task)
             return
+        self._emit("attempt_start", task)
         if task.timeout_s is not None:
             timer = threading.Timer(task.timeout_s, self._timed_out, (task, future))
             timer.daemon = True
@@ -372,6 +416,7 @@ class WorkerPool:
             try:
                 os.kill(target, signal.SIGKILL)
                 obs_metrics.counter("serve.watchdog.kills").inc()
+                self._emit("watchdog_kill", task, worker_pid=target)
             except (OSError, ProcessLookupError):  # pragma: no cover
                 pass
 
@@ -402,12 +447,19 @@ class WorkerPool:
         future.cancel()
         obs_metrics.counter("serve.pool.timeouts").inc()
         policy.classify("timeout")
+        duration = time.perf_counter() - task.started
+        self._emit(
+            "attempt_end", task,
+            status="timeout",
+            duration_s=duration,
+            worker_pid=self._attempt_pid(task),
+        )
         task.on_done(
             TaskOutcome(
                 status="timeout",
                 error=f"task exceeded {task.timeout_s:.3f} s",
                 attempts=task.attempts,
-                duration_s=time.perf_counter() - task.started,
+                duration_s=duration,
             )
         )
 
@@ -435,6 +487,12 @@ class WorkerPool:
                 task.resolved = True
             obs_metrics.counter("serve.pool.errors").inc()
             self.retry_policy.classify("error", error)
+            self._emit(
+                "attempt_end", task,
+                status="error",
+                duration_s=duration,
+                worker_pid=self._attempt_pid(task),
+            )
             task.on_done(
                 TaskOutcome(
                     status="error",
@@ -451,6 +509,17 @@ class WorkerPool:
                 return
             task.resolved = True
         obs_metrics.counter("serve.pool.completed").inc()
+        pid = self._attempt_pid(task)
+        if pid is None and isinstance(value, dict):
+            # Telemetry-wrapped runners report their pid in the payload —
+            # more reliable than the heartbeat file, which needs a watchdog.
+            pid = (value.get("_telemetry") or {}).get("worker_pid")
+        self._emit(
+            "attempt_end", task,
+            status="ok",
+            duration_s=duration,
+            worker_pid=pid,
+        )
         task.on_done(
             TaskOutcome(
                 status="ok",
@@ -472,12 +541,20 @@ class WorkerPool:
             closed = self._closed
         obs_metrics.counter("serve.pool.crashes").inc()
         policy.classify("crashed")
+        self._emit(
+            "attempt_end", task,
+            status="crashed",
+            duration_s=duration,
+            hung=hung,
+            worker_pid=self._attempt_pid(task),
+        )
         if not closed and policy.should_retry("crashed", task.attempts):
             obs_metrics.counter("serve.pool.crash_retries").inc()
             delay = policy.backoff_s(task.attempts, task.token)
             obs_metrics.histogram(
                 "serve.retry.backoff_s", _BACKOFF_BUCKETS_S
             ).observe(delay)
+            self._emit("retry", task, backoff_s=delay)
             if delay > 0:
                 timer = threading.Timer(delay, self._submit, (task,))
                 timer.daemon = True

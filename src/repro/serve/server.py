@@ -37,6 +37,7 @@ uninterrupted one, with zero completed jobs re-executed.
 
 from __future__ import annotations
 
+import functools
 import math
 import os
 import queue
@@ -55,7 +56,8 @@ from repro.serve.job import Job, JobResult
 from repro.serve.journal import Journal
 from repro.serve.pool import TaskOutcome, WorkerPool
 from repro.serve.retry import RetryPolicy
-from repro.serve.worker import execute_job
+from repro.serve.telemetry import ServeTelemetry, SloPolicy
+from repro.serve.worker import execute_job, run_with_telemetry
 
 __all__ = ["BatchReport", "BatchServer", "DEFAULT_QUEUE_SIZE"]
 
@@ -101,6 +103,10 @@ class BatchReport:
     resumed: bool = False
     journal_path: str | None = None
     interrupted: bool = field(default=False)
+    #: The telemetry SLO report (``{"summary", "thresholds", "violations"}``)
+    #: when the server ran with telemetry or an SLO policy; ``None`` keeps
+    #: :meth:`to_dict` bit-identical to a pre-telemetry report.
+    slo: Mapping[str, Any] | None = None
 
     @property
     def counts(self) -> dict[str, int]:
@@ -121,6 +127,13 @@ class BatchReport:
     @property
     def n_interrupted(self) -> int:
         return self.counts.get("interrupted", 0)
+
+    @property
+    def slo_violations(self) -> list[Mapping[str, Any]]:
+        """SLO objectives this batch violated (empty without a policy)."""
+        if not self.slo:
+            return []
+        return list(self.slo.get("violations", ()))
 
     @property
     def n_replayed(self) -> int:
@@ -179,7 +192,7 @@ class BatchReport:
         }
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        record: dict[str, Any] = {
             "n_jobs": len(self.results),
             "counts": self.counts,
             "wall_s": self.wall_s,
@@ -198,6 +211,11 @@ class BatchReport:
             "quality": self.quality_summary(),
             "results": [result.to_dict() for result in self.results],
         }
+        if self.slo is not None:
+            record["slo_summary"] = self.slo.get("summary")
+            record["slo_thresholds"] = self.slo.get("thresholds")
+            record["slo_violations"] = self.slo.get("violations")
+        return record
 
     def save(self, path: str | os.PathLike) -> None:
         """Write the report as JSON, atomically (never a truncated file)."""
@@ -250,6 +268,20 @@ class BatchServer:
         Enable the pool watchdog: workers heartbeat every ``interval``;
         one silent for longer than ``deadline`` is killed and its job
         retried as a transient failure.
+    telemetry:
+        A :class:`repro.serve.telemetry.ServeTelemetry`, or a path to
+        write the flight-recorder JSONL stream at (typically beside the
+        journal).  Enables per-event recording, worker span-tree capture
+        (jobs run under :func:`repro.serve.worker.run_with_telemetry` and
+        ship their trace and metrics delta home), per-job merged traces on
+        results, and the SLO report on the batch report.  ``None``
+        (default) records nothing and leaves every output bit-identical to
+        a telemetry-less build.
+    slo:
+        Declarative objectives (a :class:`repro.serve.telemetry.SloPolicy`
+        or a flat ``max_*``/``min_*`` thresholds mapping) evaluated over
+        the batch; usable without a telemetry path (statistics are then
+        tracked in memory only).
     """
 
     def __init__(
@@ -267,6 +299,8 @@ class BatchServer:
         heartbeat_deadline_s: float | None = None,
         heartbeat_interval_s: float = 0.2,
         mp_context=None,
+        telemetry: ServeTelemetry | str | os.PathLike | None = None,
+        slo: SloPolicy | Mapping[str, float] | None = None,
     ) -> None:
         if queue_size < 1:
             raise ReproError(f"queue_size must be >= 1, got {queue_size}")
@@ -275,6 +309,24 @@ class BatchServer:
         self.default_timeout_s = default_timeout_s
         self.coalesce = bool(coalesce)
         self._runner = runner if runner is not None else execute_job
+        if telemetry is not None and not isinstance(telemetry, ServeTelemetry):
+            telemetry = ServeTelemetry(telemetry, slo=slo)
+        elif telemetry is None and slo is not None:
+            telemetry = ServeTelemetry(None, slo=slo)
+        elif isinstance(telemetry, ServeTelemetry) and slo is not None:
+            if telemetry.policy is None:
+                telemetry.policy = (
+                    slo if isinstance(slo, SloPolicy) else SloPolicy(slo)
+                )
+        self._telemetry: ServeTelemetry | None = telemetry
+        # With telemetry on, jobs execute under the worker-side capture
+        # wrapper (span tree + metrics delta shipped back in the payload).
+        # functools.partial of two top-level functions pickles cleanly.
+        self._dispatch_runner = (
+            functools.partial(run_with_telemetry, self._runner)
+            if self._telemetry is not None
+            else self._runner
+        )
         if journal is not None and not isinstance(journal, Journal):
             journal = Journal(journal)
         self._journal: Journal | None = journal
@@ -307,6 +359,10 @@ class BatchServer:
             heartbeat_deadline_s=heartbeat_deadline_s,
             heartbeat_interval_s=heartbeat_interval_s,
             mp_context=mp_context,
+            on_event=(
+                self._telemetry.pool_event
+                if self._telemetry is not None else None
+            ),
         )
         self.queue_size = int(queue_size)
         self._queue: queue.PriorityQueue = queue.PriorityQueue(maxsize=queue_size)
@@ -328,6 +384,11 @@ class BatchServer:
         self._scheduler.start()
 
     # -- public API ---------------------------------------------------------
+
+    def _record(self, event: str, **fields: Any) -> None:
+        """Forward one event to the telemetry hub (no-op when disabled)."""
+        if self._telemetry is not None:
+            self._telemetry.record(event, **fields)
 
     def submit(self, job: Job, block: bool = True) -> bool:
         """Queue one job.  Returns ``True`` if accepted.
@@ -358,6 +419,10 @@ class BatchServer:
             self._resolve(self._interrupted_result(job.job_id))
             return False
         obs_metrics.counter("serve.jobs_submitted").inc()
+        self._record(
+            "enqueue", job_id=job.job_id, priority=int(job.priority),
+            queue_depth=self._queue.qsize(),
+        )
         item = (-int(job.priority), seq, job, time.perf_counter())
         try:
             self._queue.put(item, block=block)
@@ -394,6 +459,7 @@ class BatchServer:
                 return
             self._draining = True
         obs_metrics.counter("serve.interrupts").inc()
+        self._record("drain", queue_depth=self._queue.qsize())
         _log.warning(kv("serve.interrupted", journal=getattr(self._journal, "path", None)))
 
     @property
@@ -419,6 +485,9 @@ class BatchServer:
         """
         jobs = list(jobs)
         started = time.perf_counter()
+        self._record(
+            "batch_start", n_jobs=len(jobs), workers=self._pool.workers,
+        )
         with obs_trace.span(
             "serve.run_batch",
             n_jobs=len(jobs),
@@ -431,12 +500,21 @@ class BatchServer:
         if self._journal is not None:
             with obs_trace.span("serve.journal.checkpoint"):
                 self._journal.checkpoint()
+            self._record("checkpoint", journal=self._journal.path)
         wall = time.perf_counter() - started
         with self._state:
             results = tuple(
                 self._results[job.job_id] for job in jobs
             )
             interrupted = self._draining
+        slo_report = (
+            self._telemetry.slo_report()
+            if self._telemetry is not None else None
+        )
+        self._record(
+            "batch_done", n_jobs=len(jobs), wall_s=wall,
+            interrupted=interrupted,
+        )
         _log.info(
             kv(
                 "serve.batch_done",
@@ -455,6 +533,7 @@ class BatchServer:
             resumed=self.resume,
             journal_path=getattr(self._journal, "path", None),
             interrupted=interrupted,
+            slo=slo_report,
         )
 
     def close(self) -> None:
@@ -468,6 +547,8 @@ class BatchServer:
         self._pool.shutdown()
         if self._journal is not None:
             self._journal.close()
+        if self._telemetry is not None:
+            self._telemetry.close()
 
     def __enter__(self) -> "BatchServer":
         return self
@@ -524,6 +605,10 @@ class BatchServer:
             if self._journal is not None and self.resume and key is not None:
                 record = self._journal.done_record(key)
                 if record is not None:
+                    self._record(
+                        "replay", job_id=job.job_id,
+                        status=record.get("status", "failed"),
+                    )
                     self._resolve(self._replay_result(job, record, enqueued))
                     continue
             if key is not None and self.coalesce:
@@ -532,6 +617,7 @@ class BatchServer:
                     if cached is not None:
                         status, payload, error = cached
                         obs_metrics.counter("serve.jobs_coalesced").inc()
+                        self._record("coalesced", job_id=job.job_id)
                         result = JobResult(
                             job_id=job.job_id,
                             status=status,
@@ -568,12 +654,16 @@ class BatchServer:
             )
             if self._journal is not None:
                 self._journal.append("started", spec_key=key)
+            self._record(
+                "dispatch", job_id=job.job_id, queue_wait_s=queue_wait,
+            )
             timeout = job.timeout_s if job.timeout_s is not None else self.default_timeout_s
             self._pool.dispatch(
-                self._runner,
+                self._dispatch_runner,
                 job.to_dict(),
                 timeout_s=timeout,
                 retry_token=key,
+                event_key=job.job_id,
                 on_done=lambda outcome, j=job, k=key, w=queue_wait: self._job_done(
                     j, k, w, outcome
                 ),
@@ -619,6 +709,62 @@ class BatchServer:
                 attempts=outcome.attempts,
             )
 
+    def _job_telemetry(
+        self,
+        job: Job,
+        status: str,
+        payload: Mapping[str, Any] | None,
+        queue_wait: float,
+        outcome: TaskOutcome,
+    ) -> Mapping[str, Any] | None:
+        """Fold one finished job into the telemetry hub; returns its trace.
+
+        Merges the worker's metrics delta into this process's registry,
+        grafts the worker-captured span tree under the server-side per-job
+        spans, records the ``done`` (and possibly ``dead_letter``) events,
+        and releases the per-job accumulation.  Returns the merged trace as
+        nested dicts, or ``None`` when telemetry is off.
+        """
+        if self._telemetry is None:
+            return None
+        worker_telemetry: Mapping[str, Any] = {}
+        if isinstance(payload, Mapping):
+            worker_telemetry = payload.get("_telemetry") or {}
+        delta = worker_telemetry.get("metrics_delta")
+        if delta:
+            obs_metrics.registry().merge_delta(delta)
+        trace_dict: Mapping[str, Any] | None = None
+        try:
+            span = self._telemetry.build_job_trace(
+                job.job_id,
+                status=status,
+                attempts=outcome.attempts,
+                queue_wait_s=queue_wait,
+                run_s=outcome.duration_s,
+                worker_trace=worker_telemetry.get("trace"),
+                worker_pid=worker_telemetry.get("worker_pid"),
+                cold_start=worker_telemetry.get("cold_start"),
+            )
+            trace_dict = span.to_dict()
+        except Exception:  # noqa: BLE001 - telemetry must not fail the job
+            trace_dict = None
+        self._record(
+            "done",
+            job_id=job.job_id,
+            status=status,
+            attempts=outcome.attempts,
+            queue_wait_s=queue_wait,
+            run_s=outcome.duration_s,
+            cold_start=worker_telemetry.get("cold_start"),
+            trace=trace_dict,
+        )
+        if status == "failed":
+            self._record(
+                "dead_letter", job_id=job.job_id, error=outcome.error,
+            )
+        self._telemetry.forget_job(job.job_id)
+        return trace_dict
+
     def _job_done(
         self, job: Job, key: str | None, queue_wait: float, outcome: TaskOutcome
     ) -> None:
@@ -633,6 +779,9 @@ class BatchServer:
         obs_metrics.histogram("serve.run_s", TIME_BUCKETS_S).observe(
             outcome.duration_s
         )
+        trace_dict = self._job_telemetry(
+            job, status, payload, queue_wait, outcome
+        )
         result = JobResult(
             job_id=job.job_id,
             status=status,
@@ -641,6 +790,7 @@ class BatchServer:
             attempts=outcome.attempts,
             queue_wait_s=queue_wait,
             run_s=outcome.duration_s,
+            trace=trace_dict,
         )
         followers: list[tuple[Job, float]] = []
         if key is not None and self.coalesce:
@@ -663,6 +813,9 @@ class BatchServer:
         now = time.perf_counter()
         for follower, enqueued in followers:
             obs_metrics.counter("serve.jobs_coalesced").inc()
+            self._record(
+                "coalesced", job_id=follower.job_id, leader=job.job_id,
+            )
             self._resolve(
                 JobResult(
                     job_id=follower.job_id,

@@ -26,9 +26,66 @@ from repro.datasets import load_session
 from repro.errors import ReproError
 from repro.hrtf.io import table_digest
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.core.pipeline import personalize_capture
 
-__all__ = ["execute_job", "maybe_crash"]
+__all__ = ["execute_job", "maybe_crash", "run_with_telemetry"]
+
+#: Jobs completed in *this* process since import.  With the fork start
+#: method workers inherit the parent's zero, so the first job each worker
+#: executes sees 0 here — the definition of a cold start (stone-cold
+#: DelayMap / channel-bank caches).
+_jobs_in_process = 0
+
+
+def run_with_telemetry(
+    runner: "Callable[[Mapping[str, Any]], Mapping[str, Any]]",
+    spec: Mapping[str, Any],
+) -> Any:
+    """Run ``runner(spec)`` under the span tracer and export what happened.
+
+    The worker-side half of cross-process telemetry: the job executes under
+    :func:`repro.obs.trace.capturing` inside a ``serve.worker.job`` root
+    span (the instrumented pipeline hangs its own stage spans beneath it),
+    and the process-global metrics registry is snapshotted before and
+    after.  The finished span tree, the metrics delta, the worker pid, and
+    the cold-start marker ship back inside the payload under the
+    operational ``_telemetry`` key — excluded from the determinism contract
+    like every underscore key, so telemetry-on payloads stay bit-identical
+    on their deterministic fields.
+
+    Dispatched via ``functools.partial(run_with_telemetry, runner)``, which
+    pickles into worker processes as long as ``runner`` does (it already
+    must).  Only mapping payloads can carry telemetry; any other return
+    type passes through untouched.
+    """
+    global _jobs_in_process
+    cold_start = _jobs_in_process == 0
+    registry = obs_metrics.registry()
+    before = registry.snapshot()
+    obs_trace.clear()
+    started = time.perf_counter()
+    with obs_trace.capturing():
+        with obs_trace.span(
+            "serve.worker.job",
+            job_id=spec.get("job_id"),
+            worker_pid=os.getpid(),
+            cold_start=cold_start,
+        ):
+            payload = runner(spec)
+    _jobs_in_process += 1
+    root = obs_trace.last_trace()
+    if not isinstance(payload, Mapping):
+        return payload
+    payload = dict(payload)
+    payload["_telemetry"] = {
+        "worker_pid": os.getpid(),
+        "cold_start": cold_start,
+        "compute_s": time.perf_counter() - started,
+        "trace": root.to_dict() if root is not None else None,
+        "metrics_delta": obs_metrics.diff_snapshots(before, registry.snapshot()),
+    }
+    return payload
 
 
 def maybe_crash(spec: Mapping[str, Any]) -> None:

@@ -21,6 +21,7 @@ import time
 from typing import Any, Mapping
 
 from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
 from repro.serve.worker import maybe_crash
 from repro.testing.faults import apply_process_fault
 
@@ -62,6 +63,9 @@ def digest_runner(spec: Mapping[str, Any]) -> dict[str, Any]:
     apply_process_fault(spec)
     if spec.get("fault") == FAILING_FAULT:
         raise ReproError(f"synthetic failure for job {spec.get('job_id')}")
+    # Worker-side instrumentation: lets the serve tests observe the
+    # cross-process metrics export (the delta rides home with the payload).
+    obs_metrics.counter("workload.digest_jobs").inc()
     return {
         "digest": _spec_digest(spec),
         "subject_seed": spec.get("subject_seed"),

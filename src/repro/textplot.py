@@ -114,6 +114,47 @@ def cdf_plot(values, width: int = 60, markers=(0.5, 0.9)) -> str:
     return "\n".join(lines)
 
 
+def gantt(lanes, t0: float, t1: float, width: int = 72) -> str:
+    """A per-lane text Gantt chart over the window ``[t0, t1]``.
+
+    ``lanes`` is a sequence of ``(label, bars, marks)`` triples: each bar
+    is ``(start, end, char)`` drawn as a filled run (``end=None`` extends
+    to the window edge — an interval still open when recording stopped);
+    each mark is ``(t, char)`` stamped on a single column on top of any
+    bar.  Used by ``repro.cli timeline`` to draw one lane per worker pid —
+    attempt bars, retry gaps, and watchdog-kill marks on one time axis.
+    """
+    lanes = list(lanes)
+    if not lanes:
+        raise SignalError("gantt needs at least one lane")
+    if not (np.isfinite(t0) and np.isfinite(t1)) or t1 <= t0:
+        raise SignalError(f"gantt window must satisfy t0 < t1, got [{t0}, {t1}]")
+    if width < 8:
+        raise SignalError("gantt width must be >= 8")
+    span = t1 - t0
+
+    def column(t: float) -> int:
+        return min(max(int((t - t0) / span * width), 0), width - 1)
+
+    label_width = max(len(str(label)) for label, _, _ in lanes)
+    lines = []
+    for label, bars, marks in lanes:
+        row = [" "] * width
+        for start, end, char in bars:
+            if start is None:
+                start = t0
+            stop = t1 if end is None else end
+            lo, hi = column(start), column(stop)
+            for x in range(lo, hi + 1):
+                row[x] = char
+        for t, char in marks:
+            row[column(t)] = char
+        lines.append(f"{str(label).rjust(label_width)} |{''.join(row)}|")
+    axis = f"{0.0:.2f}s".ljust(width - 6) + f"+{span:.2f}s"
+    lines.append(f"{' ' * label_width} |{axis[:width].ljust(width)}|")
+    return "\n".join(lines)
+
+
 def matrix_heatmap(matrix, row_labels=None, col_step: int = 1) -> str:
     """Shade-mapped matrix (e.g. the Figure 2 correlation matrices)."""
     array = np.asarray(matrix, dtype=float)

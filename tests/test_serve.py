@@ -20,10 +20,12 @@ from repro.serve import (
     BatchServer,
     Job,
     JobResult,
+    RetryPolicy,
     WorkerPool,
     dump_jobs,
     execute_job,
     load_jobs,
+    read_events,
 )
 from repro.testing.workloads import FAILING_FAULT, digest_runner, sleepy_runner
 
@@ -363,3 +365,43 @@ class TestRealPipelineService:
             report = server.run_batch([seeded, from_disk])
         first, second = (r.deterministic()["payload"] for r in report.results)
         assert first == second
+
+
+class TestRetriedJobTrace:
+    def test_crashed_then_retried_trace_holds_both_attempts(self, tmp_path):
+        # The telemetry acceptance scenario: a job whose worker dies on the
+        # first attempt must produce a cross-process trace holding both
+        # attempts with the retry (and its backoff delay) between them,
+        # plus matching retry/attempt events in the flight-recorder stream.
+        path = tmp_path / "telemetry.jsonl"
+        jobs = [
+            _job("crashy", crash_marker=str(tmp_path / "crash.marker")),
+        ]
+        policy = RetryPolicy(
+            max_transient_retries=2, base_backoff_s=0.05,
+            backoff_factor=1.0, jitter_frac=0.0,
+        )
+        with BatchServer(
+            workers=1, runner=digest_runner, retry_policy=policy,
+            telemetry=path,
+        ) as server:
+            report = server.run_batch(jobs)
+        result = report.results[0]
+        assert result.ok and result.attempts == 2
+        names = [c["name"] for c in result.trace["children"]]
+        assert names == [
+            "serve.queue", "serve.attempt", "serve.retry", "serve.attempt",
+        ]
+        first, second = (
+            c for c in result.trace["children"] if c["name"] == "serve.attempt"
+        )
+        assert first["attributes"]["status"] == "crashed"
+        assert second["attributes"]["status"] == "ok"
+        retry = next(
+            c for c in result.trace["children"] if c["name"] == "serve.retry"
+        )
+        assert retry["attributes"]["backoff_s"] == pytest.approx(0.05)
+        events = read_events(path)
+        assert [e["event"] for e in events if e["event"] == "retry"] == ["retry"]
+        ends = [e for e in events if e["event"] == "attempt_end"]
+        assert [e["status"] for e in ends] == ["crashed", "ok"]
