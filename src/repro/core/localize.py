@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constants import SPEED_OF_SOUND
+from repro.core import mapstore
 from repro.errors import GeometryError
 from repro.geometry.batch import binaural_delays_batch
 from repro.geometry.head import DEFAULT_BOUNDARY_SAMPLES, Ear, HeadGeometry
@@ -92,6 +93,7 @@ class DelayMap:
         speed_of_sound: float = SPEED_OF_SOUND,
         model: str = "diffraction",
         refine: bool = True,
+        tables: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> None:
         r_min, r_max, n_r = radii
         t_min, t_max, n_t = thetas
@@ -127,18 +129,33 @@ class DelayMap:
         self.radii = np.linspace(r_min, r_max, n_r)
         self.thetas_deg = np.linspace(t_min, t_max, n_t)
 
-        grid_r, grid_t = np.meshgrid(self.radii, self.thetas_deg, indexing="ij")
-        sources = polar_to_cartesian(grid_r.ravel(), grid_t.ravel())
-        t_left, t_right = self._delays_for(sources)
-        self.t_left = t_left.reshape(n_r, n_t)  # (r, theta)
-        self.t_right = t_right.reshape(n_r, n_t)
+        if tables is not None:
+            # Precomputed tables (the mapstore's mmap-loaded artifacts):
+            # skip the batch diffraction solve entirely.  The arrays must
+            # match the grid this spec would have produced — shape is the
+            # only checkable invariant, content is the store's contract.
+            t_left, t_right = tables
+            if t_left.shape != (n_r, n_t) or t_right.shape != (n_r, n_t):
+                raise GeometryError(
+                    f"precomputed tables {t_left.shape}/{t_right.shape} do not "
+                    f"match the {(n_r, n_t)} grid"
+                )
+            self.t_left = t_left  # (r, theta)
+            self.t_right = t_right
+            obs_metrics.counter("localize.delay_map_loads").inc()
+        else:
+            grid_r, grid_t = np.meshgrid(self.radii, self.thetas_deg, indexing="ij")
+            sources = polar_to_cartesian(grid_r.ravel(), grid_t.ravel())
+            t_left, t_right = self._delays_for(sources)
+            self.t_left = t_left.reshape(n_r, n_t)  # (r, theta)
+            self.t_right = t_right.reshape(n_r, n_t)
+            obs_metrics.counter("localize.delay_map_builds").inc()
         #: Memoized invert() results keyed by the exact (t1, t2) pair — the
         #: tables are immutable after construction, so a repeated delay pair
         #: (cached maps re-served across optimizer runs) is a pure replay.
         self._invert_cache: dict[
             tuple[float, float], tuple[LocalizationCandidate, ...]
         ] = {}
-        obs_metrics.counter("localize.delay_map_builds").inc()
 
     def _delays_for(self, sources: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Exact (un-tabulated) per-source binaural delays under the model."""
@@ -156,7 +173,14 @@ class DelayMap:
         return t_left, t_right
 
     def _radius_for_left_delay(self, t1: float) -> np.ndarray:
-        """Per-angle radius solving ``t_L(r, theta) = t1`` (nan if out of range)."""
+        """Per-angle radius solving ``t_L(r, theta) = t1`` (nan if out of range).
+
+        A column where the bracketing nodes are not strictly increasing
+        (``t_hi <= t_lo``: a flat or non-monotonic table column) has no
+        well-defined inverse; it yields NaN — never a candidate snapped to a
+        grid radius — and is counted under ``localize.degenerate_columns``
+        so the fusion sentinels see inversions degraded by a bad table.
+        """
         table = self.t_left  # increasing along axis 0
         below = table < t1
         idx = below.sum(axis=0)  # first row with t_L >= t1
@@ -165,7 +189,13 @@ class DelayMap:
         idx_c = np.clip(idx, 1, n_r - 1)
         t_lo = np.take_along_axis(table, (idx_c - 1)[None, :], axis=0)[0]
         t_hi = np.take_along_axis(table, idx_c[None, :], axis=0)[0]
-        frac = np.where(t_hi > t_lo, (t1 - t_lo) / (t_hi - t_lo), 0.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            frac = np.where(t_hi > t_lo, (t1 - t_lo) / (t_hi - t_lo), np.nan)
+        degenerate = valid & ~(t_hi > t_lo)
+        if degenerate.any():
+            obs_metrics.counter("localize.degenerate_columns").inc(
+                int(degenerate.sum())
+            )
         radius = self.radii[idx_c - 1] + frac * (self.radii[idx_c] - self.radii[idx_c - 1])
         return np.where(valid, radius, np.nan)
 
@@ -459,6 +489,218 @@ class DelayMap:
             return None
         return min(candidates, key=lambda c: abs(c.theta_deg - imu_angle_deg))
 
+    # ------------------------------------------------------------------
+    # Batched inversion: one vectorized pass over a whole probe array.
+    # Every arithmetic expression below mirrors its scalar counterpart
+    # elementwise in float64, so the candidates are bit-identical to
+    # per-probe invert()/locate() — the golden digests enforce this.
+    # ------------------------------------------------------------------
+
+    def _radius_for_left_delay_batch(self, t1: np.ndarray) -> np.ndarray:
+        """Rows of :meth:`_radius_for_left_delay` for many ``t1`` at once."""
+        table = self.t_left  # increasing along axis 0
+        n_r = self.radii.shape[0]
+        below = table[None, :, :] < t1[:, None, None]  # (m, n_r, n_t)
+        idx = below.sum(axis=1)  # (m, n_t)
+        valid = (idx > 0) & (idx < n_r)
+        idx_c = np.clip(idx, 1, n_r - 1)
+        cols = np.arange(table.shape[1])[None, :]
+        t_lo = table[idx_c - 1, cols]
+        t_hi = table[idx_c, cols]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            frac = np.where(t_hi > t_lo, (t1[:, None] - t_lo) / (t_hi - t_lo), np.nan)
+        degenerate = valid & ~(t_hi > t_lo)
+        if degenerate.any():
+            obs_metrics.counter("localize.degenerate_columns").inc(
+                int(degenerate.sum())
+            )
+        radius = self.radii[idx_c - 1] + frac * (self.radii[idx_c] - self.radii[idx_c - 1])
+        return np.where(valid, radius, np.nan)
+
+    def _right_delay_at_batch(self, radius: np.ndarray) -> np.ndarray:
+        """Rows of :meth:`_right_delay_at` for a ``(m, n_theta)`` radius array."""
+        idx = np.searchsorted(self.radii, radius)
+        n_r = self.radii.shape[0]
+        idx_c = np.clip(idx, 1, n_r - 1)
+        r_lo = self.radii[idx_c - 1]
+        r_hi = self.radii[idx_c]
+        frac = (radius - r_lo) / (r_hi - r_lo)
+        cols = np.arange(self.t_right.shape[1])[None, :]
+        t_lo = self.t_right[idx_c - 1, cols]
+        t_hi = self.t_right[idx_c, cols]
+        return t_lo + frac * (t_hi - t_lo)
+
+    def _tangential_vertices_batch(
+        self,
+        g: np.ndarray,
+        radius: np.ndarray,
+        finite: np.ndarray,
+        found: list[list[LocalizationCandidate]],
+    ) -> list[list[tuple[float, float]]]:
+        """Per-row :meth:`_tangential_vertices` with one vectorized node scan.
+
+        The parabola fit and the graze mask are evaluated for all rows at
+        once; only the (rare) flagged nodes fall back to the scalar
+        per-vertex bookkeeping, in the same node order as the scalar scan.
+        """
+        step = float(self.thetas_deg[1] - self.thetas_deg[0])
+        g_prev, g_mid, g_next = g[:, :-2], g[:, 1:-1], g[:, 2:]
+        neg_prev, neg_mid, neg_next = g_prev < 0, g_mid < 0, g_next < 0
+        with np.errstate(invalid="ignore", divide="ignore"):
+            a = 0.5 * (g_next + g_prev - 2.0 * g_mid)
+            b = 0.5 * (g_next - g_prev)
+            x_star = np.where(a != 0.0, -b / (2.0 * a), np.nan)
+            g_vertex = g_mid - np.where(a != 0.0, b * b / (4.0 * a), np.nan)
+            tolerance = 2.0 * np.abs(a) + 1e-6
+            mask = (
+                finite[:, :-2] & finite[:, 1:-1] & finite[:, 2:]
+                & (neg_prev == neg_mid) & (neg_mid == neg_next)
+                & (a != 0.0)
+                & (np.abs(x_star) <= 1.0)
+                & (
+                    ((a < 0) & neg_mid & (g_vertex >= -tolerance))
+                    | ((a > 0) & ~neg_mid & (g_vertex <= tolerance))
+                )
+            )
+        vertices: list[list[tuple[float, float]]] = [[] for _ in range(g.shape[0])]
+        rows, nodes = np.nonzero(mask)  # row-major: scalar flatnonzero order
+        for k, i in zip(rows, nodes):
+            x = float(x_star[k, i])
+            theta = float(self.thetas_deg[i + 1] + x * step)
+            neighbour = i + 2 if x >= 0 else i
+            r_here = float(
+                radius[k, i + 1] + abs(x) * (radius[k, neighbour] - radius[k, i + 1])
+            )
+            if not np.isfinite(r_here):
+                continue
+            if any(abs(c.theta_deg - theta) <= step for c in found[k]):
+                continue
+            if any(abs(theta_v - theta) <= step for theta_v, _ in vertices[k]):
+                continue
+            vertices[k].append((theta, r_here))
+        return vertices
+
+    def invert_batch(
+        self, t_left: np.ndarray, t_right: np.ndarray
+    ) -> list[list[LocalizationCandidate]]:
+        """Per-probe :meth:`invert` results for whole delay arrays at once.
+
+        One vectorized radius solve / interpolation / crossing scan covers
+        every uncached probe; the per-probe memo cache is consulted and
+        populated exactly as the scalar path would, so mixing batch and
+        scalar calls on one map stays consistent.
+        """
+        t1 = np.asarray(t_left, dtype=float)
+        t2 = np.asarray(t_right, dtype=float)
+        m = t1.shape[0]
+        out: list[list[LocalizationCandidate] | None] = [None] * m
+        todo: list[int] = []  # probe index of each computed row
+        pending: dict[tuple[float, float], int] = {}  # key -> row
+        row_of: dict[int, int] = {}  # probe index -> row
+        for k in range(m):
+            if not (np.isfinite(t1[k]) and np.isfinite(t2[k])):
+                out[k] = []
+                continue
+            key = (float(t1[k]), float(t2[k]))
+            cached = self._invert_cache.get(key)
+            if cached is not None:
+                obs_metrics.counter("localize.invert_cache_hits").inc()
+                out[k] = list(cached)
+                continue
+            row = pending.get(key)
+            if row is None:
+                row = len(todo)
+                todo.append(k)
+                pending[key] = row
+            else:
+                # In-batch duplicate: computed once, served as a cache hit —
+                # matching the scalar loop's counter arithmetic.
+                obs_metrics.counter("localize.invert_cache_hits").inc()
+            row_of[k] = row
+        if todo:
+            sub1 = t1[todo]
+            sub2 = t2[todo]
+            radius = self._radius_for_left_delay_batch(sub1)
+            g = self._right_delay_at_batch(radius) - sub2[:, None]
+            finite = np.isfinite(g)
+            gl, gr = g[:, :-1], g[:, 1:]
+            cross = finite[:, :-1] & finite[:, 1:] & (
+                (gl == 0.0) | ((gl < 0) != (gr < 0))
+            )
+            coarse: list[list[LocalizationCandidate]] = [[] for _ in todo]
+            rows, nodes = np.nonzero(cross)  # row-major: scalar scan order
+            if rows.size:
+                gl_s = g[rows, nodes]
+                span = g[rows, nodes + 1] - gl_s
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    frac = np.where(span == 0.0, 0.0, -gl_s / span)
+                theta = self.thetas_deg[nodes] + frac * (
+                    self.thetas_deg[nodes + 1] - self.thetas_deg[nodes]
+                )
+                r_here = radius[rows, nodes] + frac * (
+                    radius[rows, nodes + 1] - radius[rows, nodes]
+                )
+                for n in range(rows.size):
+                    if np.isfinite(r_here[n]):
+                        coarse[rows[n]].append(
+                            LocalizationCandidate(float(r_here[n]), float(theta[n]))
+                        )
+            if self.refine:
+                resolved = [
+                    self._refine_grazing(
+                        float(sub1[row]), float(sub2[row]),
+                        g[row], radius[row], finite[row], coarse[row],
+                    )
+                    for row in range(len(todo))
+                ]
+            else:
+                ordered = [
+                    sorted(cands, key=lambda c: c.theta_deg) for cands in coarse
+                ]
+                grazes = self._tangential_vertices_batch(g, radius, finite, ordered)
+                resolved = [
+                    ordered[row]
+                    + [
+                        LocalizationCandidate(r_v, theta_v)
+                        for theta_v, r_v in grazes[row]
+                    ]
+                    for row in range(len(todo))
+                ]
+            for key, row in pending.items():
+                if len(self._invert_cache) >= _INVERT_CACHE_MAX:
+                    self._invert_cache.clear()
+                self._invert_cache[key] = tuple(resolved[row])
+            for k, row in row_of.items():
+                out[k] = list(resolved[row])
+        return out  # type: ignore[return-value]
+
+    def locate_batch(
+        self,
+        t_left: np.ndarray,
+        t_right: np.ndarray,
+        imu_angles_deg: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`locate` over a probe array.
+
+        Returns ``(theta_deg, radius_m, solved)`` arrays; unsolved probes
+        (non-finite delays or no consistent grid location) carry NaN angles
+        and radii with ``solved`` False — the layout fusion consumes.
+        """
+        candidate_lists = self.invert_batch(t_left, t_right)
+        n = len(candidate_lists)
+        thetas = np.full(n, np.nan)
+        radii = np.full(n, np.nan)
+        solved = np.zeros(n, dtype=bool)
+        for i, candidates in enumerate(candidate_lists):
+            if not candidates:
+                continue
+            alpha = imu_angles_deg[i]
+            best = min(candidates, key=lambda c: abs(c.theta_deg - alpha))
+            thetas[i] = best.theta_deg
+            radii[i] = best.radius_m
+            solved[i] = True
+        return thetas, radii, solved
+
 
 #: LRU store of built maps.  ~34 KB per coarse fusion map, so the default
 #: capacity comfortably holds every unique vertex of one optimizer run plus
@@ -466,6 +708,24 @@ class DelayMap:
 _MAP_CACHE: OrderedDict[tuple, DelayMap] = OrderedDict()
 _MAP_CACHE_MAX = 256
 _MAP_CACHE_LOCK = threading.Lock()
+
+
+#: Decimal places for quantizing continuous cache-key components: 1e-9 m
+#: (a nanometer) absorbs ulp-level arithmetic noise from callers that pass
+#: geometry through algebra (salvage retries, online refinement) while
+#: staying five orders of magnitude below the optimizer's xatol (2e-4 m),
+#: so numerically distinct candidate heads never collapse onto one entry.
+MAP_KEY_DECIMALS = 9
+
+
+def quantize_key_component(value: float) -> float:
+    """Deterministic quantization for continuous delay-map key components.
+
+    The single definition shared by the in-memory LRU key and the on-disk
+    :mod:`repro.core.mapstore` artifact key — two values within the
+    quantization tolerance always address the same entry in both.
+    """
+    return round(float(value), MAP_KEY_DECIMALS)
 
 
 def _map_cache_key(
@@ -477,10 +737,7 @@ def _map_cache_key(
     model: str,
     refine: bool,
 ) -> tuple:
-    # Quantize the axes far below the optimizer's own tolerance (xatol is
-    # 2e-4 m) so bit-identical revisits hit while numerically distinct
-    # candidates never collapse onto one entry.
-    a, b, c = (round(float(v), 12) for v in parameters)
+    a, b, c = (quantize_key_component(v) for v in parameters)
     return (
         a,
         b,
@@ -488,7 +745,7 @@ def _map_cache_key(
         int(n_boundary),
         tuple(radii),
         tuple(thetas),
-        round(float(speed_of_sound), 9),
+        quantize_key_component(speed_of_sound),
         model,
         bool(refine),
     )
@@ -515,6 +772,11 @@ def cached_delay_map(
     Hits/misses are counted under ``localize.delay_map_cache_hits`` /
     ``_misses``; :func:`clear_delay_map_cache` empties the store (tests,
     memory-pressure escape hatch).
+
+    When a :mod:`repro.core.mapstore` artifact store is active
+    (``REPRO_MAP_STORE``), an in-memory miss first tries the on-disk
+    tables for this key (mmap-loaded, no solve); a store miss builds the
+    map and persists its tables so the next cold process starts warm.
     """
     key = _map_cache_key(
         parameters, n_boundary, radii, thetas, speed_of_sound, model, refine
@@ -530,9 +792,27 @@ def cached_delay_map(
     obs_metrics.counter("localize.delay_map_cache_misses").inc()
     a, b, c = (float(v) for v in parameters)
     head = HeadGeometry(a=a, b=b, c=c, n_boundary=int(n_boundary))
-    built = DelayMap(
-        head, radii, thetas, speed_of_sound, model=model, refine=refine
-    )
+    store = mapstore.active_store()
+    built = None
+    if store is not None:
+        tables = store.load(key)
+        if tables is not None:
+            try:
+                built = DelayMap(
+                    head, radii, thetas, speed_of_sound,
+                    model=model, refine=refine, tables=tables,
+                )
+            except GeometryError:
+                # Validated-on-load artifacts should never get here; treat
+                # any mismatch as corruption and fall through to a rebuild.
+                store.discard(key)
+                built = None
+    if built is None:
+        built = DelayMap(
+            head, radii, thetas, speed_of_sound, model=model, refine=refine
+        )
+        if store is not None:
+            store.save(key, built.t_left, built.t_right)
     with _MAP_CACHE_LOCK:
         existing = _MAP_CACHE.get(key)
         if existing is not None:

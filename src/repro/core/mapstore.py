@@ -1,0 +1,206 @@
+"""On-disk DelayMap artifact store: pre-baked delay tables, mmap-loaded.
+
+The serve cold-start tax is almost entirely DelayMap construction: a fresh
+worker process rebuilds every table the fusion optimizer touches (~170
+coarse maps plus the full-resolution final map, multi-second in total)
+before its in-memory LRU warms up.  The tables are pure functions of the
+quantized cache key — ``(a, b, c, n_boundary, radii, thetas, c_sound,
+model, refine)`` from :func:`repro.core.localize._map_cache_key` — so they
+can be computed once, persisted, and shared by every process on the
+machine.
+
+Artifacts are single ``.npy`` files holding the stacked ``(2, n_r,
+n_theta)`` float64 ``(t_left, t_right)`` tables, written atomically
+(:func:`repro.ioutil.atomic_write`, tmp sibling + rename) and read with
+``np.load(mmap_mode="r")`` — loading is a header parse plus an mmap, the
+table pages fault in lazily and live in the shared page cache, so N
+workers loading the same artifact cost one copy of physical memory.
+
+Activation is by environment variable so worker processes inherit it with
+zero plumbing: ``REPRO_MAP_STORE=/path/to/store``.  An unusable path warns
+and disables the store (the serve path must never die on a bad cache
+knob); corrupt or truncated artifacts are discarded and rebuilt.  Counters:
+``mapstore.hits`` / ``misses`` / ``saved`` / ``corrupt`` / ``disabled``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+
+import numpy as np
+
+from repro.ioutil import atomic_write
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger, kv
+
+#: Environment variable naming the store directory for this process.
+MAP_STORE_ENV = "REPRO_MAP_STORE"
+
+_ARTIFACT_SUFFIX = ".npy"
+
+_log = get_logger("core.mapstore")
+
+
+def _artifact_name(key: tuple) -> str:
+    """Stable filename for one quantized map key.
+
+    The key tuple contains only round-tripped primitives (quantized floats,
+    ints, strings, bools), so its ``repr`` is deterministic across
+    processes and Python runs — no hash randomization, no float formatting
+    drift post-quantization.
+    """
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+    return f"map-{digest[:40]}{_ARTIFACT_SUFFIX}"
+
+
+class MapStore:
+    """A directory of precomputed delay-table artifacts.
+
+    Methods never raise on I/O problems: a load failure reports a miss (or
+    a counted corruption) and a save failure is logged and dropped — the
+    caller always has the build-from-scratch path.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, key: tuple) -> str:
+        return os.path.join(self.root, _artifact_name(key))
+
+    def load(self, key: tuple) -> tuple[np.ndarray, np.ndarray] | None:
+        """The ``(t_left, t_right)`` tables for ``key``, or None on a miss.
+
+        Returned arrays are read-only mmap views.  Anything unreadable —
+        garbage bytes, a truncated write, a shape or dtype that does not
+        match the key's grid spec — counts as corruption: the artifact is
+        discarded so the caller's rebuild can replace it.
+        """
+        path = self.path_for(key)
+        # The grid spec lives in the key: (..., radii, thetas, ...).
+        expected = (2, int(key[4][2]), int(key[5][2]))
+        try:
+            stacked = np.load(path, mmap_mode="r", allow_pickle=False)
+        except FileNotFoundError:
+            obs_metrics.counter("mapstore.misses").inc()
+            return None
+        except (OSError, ValueError) as exc:
+            obs_metrics.counter("mapstore.corrupt").inc()
+            _log.warning(kv("mapstore.corrupt", path=path, error=str(exc)))
+            self.discard(key)
+            return None
+        if stacked.shape != expected or stacked.dtype != np.float64:
+            obs_metrics.counter("mapstore.corrupt").inc()
+            _log.warning(
+                kv(
+                    "mapstore.corrupt",
+                    path=path,
+                    shape=list(stacked.shape),
+                    expected=list(expected),
+                    dtype=str(stacked.dtype),
+                )
+            )
+            del stacked  # drop the mmap handle before unlinking
+            self.discard(key)
+            return None
+        obs_metrics.counter("mapstore.hits").inc()
+        return stacked[0], stacked[1]
+
+    def save(self, key: tuple, t_left: np.ndarray, t_right: np.ndarray) -> None:
+        """Persist one table pair atomically (first writer wins, last lands)."""
+        stacked = np.stack([
+            np.asarray(t_left, dtype=np.float64),
+            np.asarray(t_right, dtype=np.float64),
+        ])
+        path = self.path_for(key)
+        try:
+            # durable=False: atomicity (tmp sibling + rename) without the
+            # fsync tax — a torn artifact after a crash is re-detected as
+            # corruption and rebuilt, so durability buys nothing here.
+            with atomic_write(path, "wb", durable=False) as handle:
+                np.save(handle, stacked)
+        except OSError as exc:
+            obs_metrics.counter("mapstore.save_errors").inc()
+            _log.warning(kv("mapstore.save_failed", path=path, error=str(exc)))
+            return
+        obs_metrics.counter("mapstore.saved").inc()
+
+    def discard(self, key: tuple) -> None:
+        """Best-effort removal of one artifact (corruption recovery)."""
+        try:
+            os.unlink(self.path_for(key))
+        except OSError:
+            pass
+
+    def _artifacts(self) -> list[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return [
+            os.path.join(self.root, name)
+            for name in sorted(names)
+            if name.endswith(_ARTIFACT_SUFFIX)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._artifacts())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self._artifacts():
+            try:
+                total += os.stat(path).st_size
+            except OSError:
+                continue
+        return total
+
+
+def validate_store_path(raw: str) -> str | None:
+    """Lenient store-path validation shared by the env var and CLI flags.
+
+    Returns a usable directory path, or None — with a warning and a
+    ``mapstore.disabled`` count, never an exception — when the value is
+    empty, points at a non-directory, or cannot be created/written.
+    """
+    path = raw.strip()
+    if not path:
+        return None
+    try:
+        os.makedirs(path, exist_ok=True)
+        if not os.path.isdir(path) or not os.access(path, os.W_OK):
+            raise OSError("not a writable directory")
+    except OSError as exc:
+        obs_metrics.counter("mapstore.disabled").inc()
+        _log.warning(kv("mapstore.invalid_path", path=path, error=str(exc)))
+        return None
+    return path
+
+
+_ACTIVE_LOCK = threading.Lock()
+#: (raw env value, resolved store) — revalidated whenever the env changes.
+_ACTIVE: tuple[str, MapStore | None] | None = None
+
+
+def active_store() -> MapStore | None:
+    """The process-wide store named by ``REPRO_MAP_STORE``.
+
+    None when the variable is unset, empty, or names an unusable path (a
+    warning is logged once per distinct value).  The resolution is cached
+    against the raw value so the hot path costs one dict lookup and a
+    string compare.
+    """
+    global _ACTIVE
+    raw = os.environ.get(MAP_STORE_ENV, "")
+    with _ACTIVE_LOCK:
+        if _ACTIVE is not None and _ACTIVE[0] == raw:
+            return _ACTIVE[1]
+        store: MapStore | None = None
+        if raw.strip():
+            path = validate_store_path(raw)
+            if path is not None:
+                store = MapStore(path)
+        _ACTIVE = (raw, store)
+        return store

@@ -29,6 +29,9 @@ from repro.serve.pool import WorkerPool
 from repro.signals.channel import estimate_channel, first_tap_index, truncate_after
 from repro.signals.waveforms import probe_chirp
 from repro.core.pipeline import PersonalizationResult, Uniq, UniqConfig
+from repro.obs.logging import get_logger, kv
+
+_log = get_logger("eval.common")
 
 #: The evaluation angle grid: every 5 degrees over the measured semicircle.
 EVAL_ANGLES = tuple(float(a) for a in range(0, 181, 5))
@@ -93,14 +96,25 @@ def _cohort_workers(requested: int | None, n: int) -> int:
 
     ``REPRO_COHORT_WORKERS=1`` (or ``0``) forces the serial path — the
     opt-out for single-core CI boxes where process spawning only adds
-    overhead.
+    overhead.  A non-integer value (``auto``, a typo) warns and falls back
+    to the cpu-count default instead of failing the whole evaluation over
+    a tuning knob.
     """
     if requested is None:
         env = os.environ.get("REPRO_COHORT_WORKERS", "").strip()
+        requested = os.cpu_count() or 1
         if env:
-            requested = int(env)
-        else:
-            requested = os.cpu_count() or 1
+            try:
+                requested = int(env)
+            except ValueError:
+                obs_metrics.counter("cohort.workers_env_invalid").inc()
+                _log.warning(
+                    kv(
+                        "cohort.workers_env_invalid",
+                        value=env,
+                        fallback=requested,
+                    )
+                )
     return max(1, min(int(requested), n))
 
 

@@ -46,6 +46,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro.core.mapstore import validate_store_path
 from repro.errors import ReproError
 from repro.ioutil import atomic_write_json
 from repro.obs import metrics as obs_metrics
@@ -282,6 +283,13 @@ class BatchServer:
         or a flat ``max_*``/``min_*`` thresholds mapping) evaluated over
         the batch; usable without a telemetry path (statistics are then
         tracked in memory only).
+    map_store:
+        DelayMap artifact store directory (:mod:`repro.core.mapstore`),
+        exported as ``REPRO_MAP_STORE`` to every worker so cold workers
+        mmap pre-baked delay tables instead of rebuilding them — the
+        cold-start killer.  ``None`` (default) inherits whatever
+        ``REPRO_MAP_STORE`` the environment already carries; an unusable
+        path warns and serves storeless.
     """
 
     def __init__(
@@ -301,6 +309,7 @@ class BatchServer:
         mp_context=None,
         telemetry: ServeTelemetry | str | os.PathLike | None = None,
         slo: SloPolicy | Mapping[str, float] | None = None,
+        map_store: str | os.PathLike | None = None,
     ) -> None:
         if queue_size < 1:
             raise ReproError(f"queue_size must be >= 1, got {queue_size}")
@@ -351,6 +360,11 @@ class BatchServer:
                     corrupt=len(state.corrupt),
                 )
             )
+        if map_store is not None:
+            # Same lenient contract as REPRO_MAP_STORE: an unusable path
+            # warns and runs storeless rather than refusing to serve.
+            map_store = validate_store_path(os.fspath(map_store))
+        self.map_store = map_store
         self._pool = WorkerPool(
             workers if workers is not None else os.cpu_count(),
             inline=False,
@@ -363,6 +377,7 @@ class BatchServer:
                 self._telemetry.pool_event
                 if self._telemetry is not None else None
             ),
+            map_store=map_store,
         )
         self.queue_size = int(queue_size)
         self._queue: queue.PriorityQueue = queue.PriorityQueue(maxsize=queue_size)

@@ -163,8 +163,8 @@ class TestCachedDelayMap:
     def test_distinct_parameters_do_not_collapse(self):
         clear_delay_map_cache()
         a, b, c = self.PARAMS
-        # 1e-5 m apart: far above the round(., 12) quantization, well below
-        # anything the optimizer treats as equal.
+        # 1e-5 m apart: far above the quantize_key_component tolerance
+        # (1e-9), well below anything the optimizer treats as equal.
         first = cached_delay_map((a, b, c), radii=(0.2, 1.0, 10))
         other = cached_delay_map((a + 1e-5, b, c), radii=(0.2, 1.0, 10))
         assert other is not first
@@ -211,3 +211,130 @@ class TestCachedDelayMap:
         again = dm.invert(t_left, t_right)
         assert hits.value - h0 == 1
         assert again == first
+
+
+class TestBatchInversion:
+    """The vectorized kernel must reproduce the scalar path bit for bit.
+
+    Each test builds *two* independent maps with identical grids so the
+    scalar results never leak into the batch path (or vice versa) through
+    the per-map inversion memo.
+    """
+
+    @pytest.fixture(scope="class")
+    def refined_pair(self, average_head):
+        return DelayMap(average_head), DelayMap(average_head)
+
+    @pytest.fixture(scope="class")
+    def coarse_pair(self, average_head):
+        grid = {"radii": (0.16, 1.2, 24), "thetas": (-40.0, 220.0, 88)}
+        return (
+            DelayMap(average_head, refine=False, **grid),
+            DelayMap(average_head, refine=False, **grid),
+        )
+
+    @staticmethod
+    def _delay_arrays(head, pairs):
+        t1, t2 = [], []
+        for radius, theta in pairs:
+            a, b = binaural_delays(head, polar_to_cartesian(radius, theta))
+            t1.append(a)
+            t2.append(b)
+        # Pathological rows every batch must handle: a non-finite probe, an
+        # impossible delay pair, and an in-batch duplicate of row 0.
+        t1 += [np.nan, 1e-5, t1[0]]
+        t2 += [1e-3, 1e-5, t2[0]]
+        return np.asarray(t1), np.asarray(t2)
+
+    # Mix ordinary geometry with the grazing zone around +/-90 degrees,
+    # where the tangential-vertex path and _refine_grazing fire.
+    pair_lists = st.lists(
+        st.tuples(
+            st.floats(0.25, 1.1),
+            st.one_of(
+                st.floats(-160.0, 160.0),
+                st.floats(80.0, 100.0),
+                st.floats(-100.0, -80.0),
+            ),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+
+    @given(pairs=pair_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_invert_batch_matches_scalar_refined(
+        self, average_head, refined_pair, pairs
+    ):
+        scalar_map, batch_map = refined_pair
+        t1, t2 = self._delay_arrays(average_head, pairs)
+        batch = batch_map.invert_batch(t1, t2)
+        scalar = [scalar_map.invert(a, b) for a, b in zip(t1, t2)]
+        assert batch == scalar
+
+    @given(pairs=pair_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_invert_batch_matches_scalar_coarse(
+        self, average_head, coarse_pair, pairs
+    ):
+        scalar_map, batch_map = coarse_pair
+        t1, t2 = self._delay_arrays(average_head, pairs)
+        batch = batch_map.invert_batch(t1, t2)
+        scalar = [scalar_map.invert(a, b) for a, b in zip(t1, t2)]
+        assert batch == scalar
+
+    def test_locate_batch_matches_scalar_locate(self, average_head, refined_pair):
+        scalar_map, batch_map = refined_pair
+        pairs = [(0.45, 30.0), (0.45, 90.0), (0.3, 150.0), (0.7, 10.0)]
+        t1, t2 = self._delay_arrays(average_head, pairs)
+        alphas = np.array([34.0, 88.0, 147.0, 12.0, 0.0, 0.0, 34.0])
+        thetas, radii, solved = batch_map.locate_batch(t1, t2, alphas)
+        for i in range(t1.shape[0]):
+            candidate = scalar_map.locate(
+                float(t1[i]), float(t2[i]), float(alphas[i])
+            )
+            if candidate is None:
+                assert not solved[i]
+                assert np.isnan(thetas[i]) and np.isnan(radii[i])
+            else:
+                assert solved[i]
+                assert thetas[i] == candidate.theta_deg
+                assert radii[i] == candidate.radius_m
+
+    def test_batch_hits_scalar_memo_and_back(self, average_head):
+        """Scalar and batch calls share one memo with consistent counters."""
+        dm = DelayMap(average_head)
+        t1, t2 = binaural_delays(average_head, polar_to_cartesian(0.5, 60.0))
+        first = dm.invert(t1, t2)
+        hits = obs_metrics.counter("localize.invert_cache_hits")
+        h0 = hits.value
+        batch = dm.invert_batch(np.array([t1, t1]), np.array([t2, t2]))
+        assert batch == [first, first]
+        assert hits.value - h0 == 2  # one cached hit + one in-batch alias
+        h1 = hits.value
+        assert dm.invert(t1, t2) == first
+        assert hits.value - h1 == 1
+
+
+class TestDegenerateColumns:
+    def test_degenerate_bracket_yields_nan_not_zero(self, average_head):
+        """A non-monotonic t_left column (t_hi <= t_lo at the bracket) must
+        produce NaN for that angle — not a silently wrong radius at frac=0 —
+        and increment the degenerate-column counter."""
+        dm = DelayMap(average_head, radii=(0.2, 1.0, 10), thetas=(-180.0, 180.0, 31))
+        col = 7
+        # Manufacture a dip: row 5 falls back to the row-3 value, so a t1
+        # between rows 3 and 4 brackets a decreasing (t_lo > t_hi) pair.
+        dm.t_left[5, col] = dm.t_left[3, col]
+        t1 = 0.5 * (float(dm.t_left[3, col]) + float(dm.t_left[4, col]))
+        counter = obs_metrics.counter("localize.degenerate_columns")
+
+        c0 = counter.value
+        radius = dm._radius_for_left_delay(t1)
+        assert np.isnan(radius[col])
+        assert counter.value - c0 == 1
+
+        c1 = counter.value
+        radius_b = dm._radius_for_left_delay_batch(np.array([t1]))
+        assert np.isnan(radius_b[0, col])
+        assert counter.value - c1 == 1

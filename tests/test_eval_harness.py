@@ -68,6 +68,25 @@ class TestCohortWorkers:
         monkeypatch.delenv("REPRO_COHORT_WORKERS", raising=False)
         assert _cohort_workers(64, n=3) == 3
 
+    def test_non_integer_env_warns_and_falls_back(self, monkeypatch, caplog):
+        """``REPRO_COHORT_WORKERS=auto`` (or any typo) must not crash the
+        evaluation: warn, count, fall back to the cpu-count default."""
+        import logging
+        import os
+
+        from repro.obs import metrics as obs_metrics
+
+        monkeypatch.setenv("REPRO_COHORT_WORKERS", "auto")
+        counter = obs_metrics.counter("cohort.workers_env_invalid")
+        before = counter.value
+        with caplog.at_level(logging.WARNING, logger="repro.eval.common"):
+            resolved = _cohort_workers(None, n=64)
+        assert resolved == max(1, min(os.cpu_count() or 1, 64))
+        assert counter.value - before == 1
+        assert any(
+            "cohort.workers_env_invalid" in r.message for r in caplog.records
+        )
+
 
 class TestParallelCohort:
     def test_parallel_bit_identical_to_serial(self):
