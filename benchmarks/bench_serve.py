@@ -25,8 +25,14 @@ worker forked cold serves its first job from a pre-baked DelayMap artifact
 store within 2x the warm single-process personalize time, bit-identically
 to the empty-store run (record it with ``--pr7-output BENCH_PR7.json``).
 
+The PR 8 fleet phase pushes a synthetic evaluation population through the
+same serve layer and records subjects/second — the number that sizes the
+CI fleet tier — plus a bit-identity check of the multi-worker
+:class:`~repro.eval.fleet.FleetReport` against a serial run (record it
+with ``--pr8-output BENCH_PR8.json``).
+
     PYTHONPATH=src python benchmarks/bench_serve.py --output BENCH_PR3.json \
-        --pr7-output BENCH_PR7.json
+        --pr7-output BENCH_PR7.json --pr8-output BENCH_PR8.json
     PYTHONPATH=src python benchmarks/bench_serve.py --quick   # CI smoke
 """
 
@@ -271,6 +277,39 @@ def run_cold_start_phase(
     }
 
 
+def run_fleet_phase(subjects: int, seed: int, workers: int) -> dict:
+    """Fleet-evaluation throughput through the serve layer (BENCH_PR8).
+
+    The fleet tier's unit of work is tiny (a synthetic metric model, not a
+    personalization), so this measures the serve layer's fixed per-job
+    costs — queueing, dispatch, result marshalling — at population scale.
+    The multi-worker report must be bit-identical to the serial one; the
+    recorded ``subjects_per_s`` is what sizes the CI quick tier.
+    """
+    from repro.eval.fleet import run_fleet
+
+    report_multi, ops_multi = run_fleet(subjects, seed, workers=workers)
+    report_serial, ops_serial = run_fleet(subjects, seed, workers=1)
+    multi = json.dumps(report_multi.to_dict(), sort_keys=True)
+    serial = json.dumps(report_serial.to_dict(), sort_keys=True)
+    if multi != serial:
+        raise RuntimeError(
+            f"{workers}-worker fleet report differs from the serial run"
+        )
+    return {
+        "subjects": subjects,
+        "seed": seed,
+        "workers": workers,
+        "wall_s": ops_multi["wall_s"],
+        "subjects_per_s": ops_multi["subjects_per_s"],
+        "serial_wall_s": ops_serial["wall_s"],
+        "serial_subjects_per_s": ops_serial["subjects_per_s"],
+        "statuses": dict(ops_multi["statuses"]),
+        "serve_latency": ops_multi["serve_latency"],
+        "deterministic_vs_serial": True,
+    }
+
+
 def run_crash_phase(workers: int) -> dict:
     """A small batch with one injected worker death must still complete."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -309,9 +348,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--pr7-output", default=None, metavar="PATH",
                         help="write the cold-start phase record "
                         "(BENCH_PR7.json) here")
+    parser.add_argument("--pr8-output", default=None, metavar="PATH",
+                        help="write the fleet-throughput phase record "
+                        "(BENCH_PR8.json) here")
+    parser.add_argument("--fleet-subjects", type=int, default=2000,
+                        help="population size for the fleet phase")
     args = parser.parse_args(argv)
     if args.quick:
         args.jobs, args.specs, args.samples = 8, 2, 1
+        args.fleet_subjects = min(args.fleet_subjects, 500)
 
     jobs = make_jobs(args.jobs, args.specs)
     print(f"workload       : {len(jobs)} jobs over {args.specs} distinct specs")
@@ -357,6 +402,12 @@ def main(argv: list[str] | None = None) -> int:
           f"bound {cold['bound']['bound_s']:.2f} s, "
           f"{cold['store']['artifacts']} artifacts)")
 
+    print(f"fleet phase    : {args.fleet_subjects} synthetic subjects ...")
+    fleet = run_fleet_phase(args.fleet_subjects, seed=7, workers=args.workers)
+    print(f"                 {fleet['wall_s']:.1f} s "
+          f"({fleet['subjects_per_s']:.0f} subjects/s at {fleet['workers']} "
+          f"workers, {fleet['serial_subjects_per_s']:.0f} serial)")
+
     speedup_pp = per_process["extrapolated_wall_s"] / batch["wall_s"]
     speedup_serial = serial["wall_s"] / batch["wall_s"]
     print(f"speedup        : {speedup_pp:.2f}x vs per-process, "
@@ -378,6 +429,7 @@ def main(argv: list[str] | None = None) -> int:
         "telemetry_overhead": telemetry,
         "crash_recovery": crash,
         "cold_start": cold,
+        "fleet": fleet,
         "speedup_vs_per_process": speedup_pp,
         "speedup_vs_serial_service": speedup_serial,
         "metrics": obs.registry().snapshot(),
@@ -405,6 +457,21 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(pr7_record, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"record         : {args.pr7_output}")
+    if args.pr8_output:
+        from repro.ioutil import atomic_write
+
+        pr8_record = {
+            "benchmark": "fleet_throughput",
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "quick": args.quick,
+            **fleet,
+        }
+        with atomic_write(args.pr8_output, "w") as handle:
+            json.dump(pr8_record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"record         : {args.pr8_output}")
     return 0
 
 

@@ -18,6 +18,13 @@ critical-path summary and the batch's SLO statistics.
 :mod:`repro.core.mapstore` directory so serve workers start warm (see
 ``docs/PERFORMANCE.md``, "Cold start & the map store").
 
+``python -m repro.cli fleet`` runs the fleet-evaluation tier
+(:mod:`repro.eval.fleet`): ``run`` pushes a deterministic synthetic
+population through the batch server and writes a FleetReport, ``compare``
+gates a report against the pinned distribution baseline with drift
+classification, and ``regen-baseline`` re-pins the baseline (see
+``docs/TESTING.md``, "Fleet tier & distribution digests").
+
 Examples::
 
     uniq-personalize --subject-seed 7 --output my_hrtf.npz --evaluate
@@ -26,6 +33,9 @@ Examples::
         --map-store /var/cache/repro-maps \
         --telemetry telemetry.jsonl --report batch_report.json
     python -m repro.cli timeline telemetry.jsonl
+    python -m repro.cli fleet run --subjects 1000 --seed 7 \
+        --output fleet_report.json
+    python -m repro.cli fleet compare --report fleet_report.json
 """
 
 from __future__ import annotations
@@ -749,6 +759,266 @@ def main_warmup(argv: list[str] | None = None) -> int:
     return status
 
 
+def build_fleet_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli fleet",
+        description=(
+            "Fleet-scale evaluation: run a deterministic synthetic-subject "
+            "population through the batch server, aggregate per-stratum "
+            "metric distributions into a FleetReport, and gate against the "
+            "pinned distribution baseline with drift classification."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_run_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--subjects",
+            type=int,
+            default=1000,
+            help="synthetic population size (default: 1000)",
+        )
+        p.add_argument(
+            "--seed",
+            type=int,
+            default=7,
+            help="population seed; the whole run is a pure function of it "
+            "(default: 7)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=2,
+            help="serve worker process count (default: 2)",
+        )
+        p.add_argument(
+            "--queue-size",
+            type=int,
+            default=256,
+            help="bound on the serve pending-job queue (default: 256)",
+        )
+        p.add_argument(
+            "--bias-fraction",
+            type=float,
+            default=0.0,
+            metavar="F",
+            help="fraction of subjects given a systematic head-geometry "
+            "bias — the canonical injected regression (default: 0)",
+        )
+        p.add_argument(
+            "--head-bias-mm",
+            type=float,
+            default=0.0,
+            metavar="MM",
+            help="head-half-width bias in millimeters applied to the "
+            "biased fraction (default: 0)",
+        )
+        p.add_argument(
+            "--map-store",
+            metavar="DIR",
+            default=None,
+            help="DelayMap artifact store for the serve workers (pre-bake "
+            "with `python -m repro.cli warmup`)",
+        )
+
+    run = sub.add_parser(
+        "run", help="run the population and write the FleetReport JSON"
+    )
+    add_run_args(run)
+    run.add_argument(
+        "--output",
+        metavar="PATH",
+        default="fleet_report.json",
+        help="FleetReport path (default: fleet_report.json); same config "
+        "twice writes bit-identical files",
+    )
+    run.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="write the fleet/serve metrics registry as JSON to PATH",
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help="compare a FleetReport (or a fresh run) against the pinned "
+        "baseline; drift fails with a classified diff table",
+    )
+    add_run_args(compare)
+    compare.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="existing FleetReport to compare; omitted: run a fresh "
+        "population with the options above",
+    )
+    compare.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline report (default: the pinned tests/golden/"
+        "fleet_baseline.json)",
+    )
+    compare.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="also save the compared report (fresh runs only)",
+    )
+
+    regen = sub.add_parser(
+        "regen-baseline",
+        help="re-pin the distribution baseline after an intentional change",
+    )
+    add_run_args(regen)
+    regen.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="baseline path (default: tests/golden/fleet_baseline.json)",
+    )
+    return parser
+
+
+def _fleet_run(args) -> tuple["object", dict]:
+    """Execute one fleet run from parsed CLI args (shared by subcommands)."""
+    from repro.eval.fleet import run_fleet
+
+    report, ops = run_fleet(
+        args.subjects,
+        args.seed,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        bias_fraction=args.bias_fraction,
+        head_bias_m=args.head_bias_mm / 1000.0,
+        map_store=args.map_store,
+    )
+    statuses = ", ".join(
+        f"{status} {count}" for status, count in sorted(ops["statuses"].items())
+    )
+    print(f"fleet run        : {args.subjects} subjects, seed {args.seed} "
+          f"({statuses})")
+    print(f"throughput       : {ops['subjects_per_s']:.0f} subjects/s "
+          f"({ops['wall_s']:.2f} s wall, {ops['workers']} workers)")
+    if args.bias_fraction > 0:
+        print(f"perturbation     : {args.bias_fraction:.0%} of subjects "
+              f"biased by {args.head_bias_mm:+g} mm head half-width")
+    return report, ops
+
+
+def main_fleet(argv: list[str] | None = None) -> int:
+    """Run / compare / re-pin the fleet-evaluation tier.
+
+    Exit codes: 0 clean, 1 baseline drift (``compare``), 2 the inputs
+    (population config, report, or baseline file) could not be used, 3 the
+    run completed but left failed subjects.
+    """
+    import json
+    import os
+
+    from repro.eval.drift import render_drift_table
+    from repro.eval.fleet import FleetReport, compare_reports
+    from repro.testing.golden import golden_dir
+
+    args = build_fleet_parser().parse_args(argv)
+    pinned_baseline = os.path.join(golden_dir(), "fleet_baseline.json")
+
+    def failed_subjects(report: FleetReport) -> int:
+        return sum(
+            count for status, count in report.statuses.items()
+            if status != "ok"
+        )
+
+    if args.command == "run":
+        try:
+            report, _ = _fleet_run(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        try:
+            report.save(args.output)
+        except OSError as error:
+            print(f"error: cannot write report: {error}", file=sys.stderr)
+            return 2
+        print(f"report saved     : {args.output}")
+        _write_metrics(args.metrics_json)
+        if failed_subjects(report):
+            print(f"error: {failed_subjects(report)} subjects did not "
+                  f"complete ok", file=sys.stderr)
+            return 3
+        return 0
+
+    if args.command == "regen-baseline":
+        output = args.output or pinned_baseline
+        try:
+            report, _ = _fleet_run(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if failed_subjects(report):
+            print(f"error: refusing to pin a baseline with "
+                  f"{failed_subjects(report)} failed subjects",
+                  file=sys.stderr)
+            return 3
+        try:
+            report.save(output)
+        except OSError as error:
+            print(f"error: cannot write baseline: {error}", file=sys.stderr)
+            return 2
+        print(f"baseline pinned  : {output}")
+        return 0
+
+    # compare
+    baseline_path = args.baseline or pinned_baseline
+    try:
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot load baseline {baseline_path}: {error}",
+              file=sys.stderr)
+        return 2
+    if args.report is not None:
+        try:
+            with open(args.report) as handle:
+                report_dict = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot load report {args.report}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"comparing        : {args.report} vs {baseline_path}")
+    else:
+        try:
+            report, _ = _fleet_run(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        report_dict = report.to_dict()
+        if args.output is not None:
+            try:
+                report.save(args.output)
+            except OSError as error:
+                print(f"error: cannot write report: {error}", file=sys.stderr)
+                return 2
+            print(f"report saved     : {args.output}")
+        print(f"comparing        : fresh run vs {baseline_path}")
+    try:
+        violations, findings = compare_reports(baseline, report_dict)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not violations:
+        print("baseline check   : ok (every digest within tolerance)")
+        return 0
+    print(f"baseline check   : {len(violations)} violations, "
+          f"{len(findings)} classified drift findings", file=sys.stderr)
+    for violation in violations:
+        print(f"  {violation}", file=sys.stderr)
+    if findings:
+        print(file=sys.stderr)
+        print(render_drift_table(findings), file=sys.stderr)
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -758,6 +1028,8 @@ def main(argv: list[str] | None = None) -> int:
         return main_timeline(argv[1:])
     if argv and argv[0] == "warmup":
         return main_warmup(argv[1:])
+    if argv and argv[0] == "fleet":
+        return main_fleet(argv[1:])
     args = build_parser().parse_args(argv)
     if args.angle_step <= 0 or args.angle_step > 60:
         print(f"error: --angle-step must be in (0, 60], got {args.angle_step}",

@@ -25,6 +25,22 @@ from repro.eval.ablations import (
     ablation_near_far_conversion,
     ablation_measurement_density,
 )
+from repro.eval.sketch import QuantileSketch
+from repro.eval.drift import (
+    DriftFinding,
+    classify_drift,
+    compare_digests,
+    render_drift_table,
+)
+from repro.eval.fleet import (
+    DEFAULT_STRATA,
+    FleetReport,
+    Stratum,
+    compare_reports,
+    generate_population,
+    run_fleet,
+    subject_metrics,
+)
 
 __all__ = [
     "CohortMember",
@@ -45,4 +61,16 @@ __all__ = [
     "ablation_diffraction_model",
     "ablation_near_far_conversion",
     "ablation_measurement_density",
+    "QuantileSketch",
+    "DriftFinding",
+    "classify_drift",
+    "compare_digests",
+    "render_drift_table",
+    "DEFAULT_STRATA",
+    "FleetReport",
+    "Stratum",
+    "compare_reports",
+    "generate_population",
+    "run_fleet",
+    "subject_metrics",
 ]

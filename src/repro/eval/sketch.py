@@ -1,0 +1,167 @@
+"""Mergeable fixed-bin quantile sketches for fleet-scale distributions.
+
+A :class:`QuantileSketch` summarizes a stream of scalar observations into a
+fixed bin ladder plus exact ``count``/``min``/``max``/``sum`` accumulators.
+The ladder is decided up front (per metric, see
+:data:`repro.eval.fleet.METRICS`), which buys the property a sharded fleet
+harness needs: **merging per-shard sketches over the same ladder is exact
+and order-invariant** — bin counts add, so any partition of the population
+into shards, merged in any order, reproduces the monolithic sketch's counts
+bit for bit (only the float ``sum`` accumulates in merge order, which is why
+the merge-invariance property is stated "within tolerance").
+
+Quantiles are estimated by linear interpolation inside the covering bin and
+clamped to the exact observed ``[min, max]``, so ``p0``/``p100`` are exact
+and interior quantiles are off by at most one bin width — the resolution the
+drift tolerances in :mod:`repro.eval.drift` are chosen against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["QuantileSketch"]
+
+
+class QuantileSketch:
+    """A mergeable histogram sketch over a fixed, sorted bin-edge ladder.
+
+    ``edges`` are the *interior* boundaries of ``len(edges) + 1`` bins; the
+    first bin absorbs everything below ``edges[0]`` and the last everything
+    at or above ``edges[-1]``, so no observation is ever dropped — outliers
+    land in a saturating end bin while ``min``/``max`` stay exact.
+    """
+
+    __slots__ = ("edges", "counts", "count", "total", "low", "high")
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        edges_arr = np.asarray(edges, dtype=float)
+        if edges_arr.ndim != 1 or edges_arr.shape[0] < 2:
+            raise ReproError("sketch needs at least 2 bin edges")
+        if not np.all(np.isfinite(edges_arr)):
+            raise ReproError("sketch edges must be finite")
+        if not np.all(np.diff(edges_arr) > 0):
+            raise ReproError("sketch edges must be strictly increasing")
+        self.edges = edges_arr
+        self.counts = np.zeros(edges_arr.shape[0] + 1, dtype=np.int64)
+        self.count = 0
+        self.total = 0.0
+        self.low = float("inf")
+        self.high = float("-inf")
+
+    # -- ingestion ----------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        self.add_many((value,))
+
+    def add_many(self, values: Iterable[float]) -> None:
+        array = np.asarray(list(values), dtype=float)
+        if array.size == 0:
+            return
+        if not np.all(np.isfinite(array)):
+            raise ReproError("sketch observations must be finite")
+        bins = np.searchsorted(self.edges, array, side="right")
+        np.add.at(self.counts, bins, 1)
+        self.count += int(array.size)
+        # Accumulate in stream order: deterministic for a fixed input order.
+        self.total += float(array.sum())
+        self.low = min(self.low, float(array.min()))
+        self.high = max(self.high, float(array.max()))
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch (in place); returns ``self``.
+
+        Requires an identical edge ladder — merging sketches binned
+        differently would silently blur the distribution, so it refuses.
+        """
+        if other.edges.shape != self.edges.shape or not np.array_equal(
+            other.edges, self.edges
+        ):
+            raise ReproError("cannot merge sketches with different bin edges")
+        self.counts += other.counts
+        self.count += other.count
+        self.total += other.total
+        self.low = min(self.low, other.low)
+        self.high = max(self.high, other.high)
+        return self
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` quantile (``q`` in [0, 1]).
+
+        Linear interpolation inside the covering bin, clamped to the exact
+        observed range; the saturating end bins interpolate toward
+        ``min``/``max`` so outliers cannot produce estimates outside the
+        data.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        cumulative = np.cumsum(self.counts)
+        index = int(np.searchsorted(cumulative, rank, side="left"))
+        index = min(index, self.counts.shape[0] - 1)
+        inside = rank - (cumulative[index - 1] if index > 0 else 0)
+        width = self.counts[index]
+        frac = float(inside / width) if width > 0 else 0.0
+        lo = self.edges[index - 1] if index > 0 else self.low
+        hi = self.edges[index] if index < self.edges.shape[0] else self.high
+        value = float(lo + frac * (hi - lo))
+        return float(min(max(value, self.low), self.high))
+
+    def std(self) -> float:
+        """Bin-midpoint standard deviation (the drift detector's spread).
+
+        Computed from bin mass at representative points (midpoints for
+        interior bins, the exact extremes for the saturating end bins), so
+        it is a pure function of the sketch state — merge-invariant like
+        the counts themselves.
+        """
+        if self.count < 2:
+            return 0.0
+        mids = np.empty(self.counts.shape[0])
+        mids[1:-1] = 0.5 * (self.edges[:-1] + self.edges[1:])
+        mids[0] = min(self.low, self.edges[0])
+        mids[-1] = max(self.high, self.edges[-1])
+        weight = self.counts / self.count
+        mean = float(np.sum(weight * mids))
+        return float(np.sqrt(np.sum(weight * np.square(mids - mean))))
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "edges": [float(e) for e in self.edges],
+            "counts": [int(c) for c in self.counts],
+            "count": int(self.count),
+            "total": float(self.total),
+            "min": float(self.low) if self.count else None,
+            "max": float(self.high) if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "QuantileSketch":
+        sketch = cls(record["edges"])
+        counts = np.asarray(record["counts"], dtype=np.int64)
+        if counts.shape != sketch.counts.shape:
+            raise ReproError(
+                f"sketch record has {counts.shape[0]} bins for "
+                f"{sketch.counts.shape[0]} edges + end bins"
+            )
+        sketch.counts = counts
+        sketch.count = int(record["count"])
+        sketch.total = float(record["total"])
+        if sketch.count:
+            sketch.low = float(record["min"])
+            sketch.high = float(record["max"])
+        return sketch

@@ -69,6 +69,13 @@ class Job:
         Test hook: a file path; the first worker to execute this job
         creates the file and kills its own process, later attempts run
         normally.  Exercises the service's crash-retry path end to end.
+    params:
+        Free-form runner parameters (JSON-serializable), for runners that
+        need compute-relevant knobs beyond the capture spec — the fleet
+        harness tags each job with its stratum and bias here.  Part of
+        the spec key (two jobs differing only in ``params`` are different
+        computations); omitted from keys and JSONL when empty, so specs
+        without it keep their exact pre-``params`` representation.
     """
 
     job_id: str
@@ -83,6 +90,7 @@ class Job:
     fault: str | None = None
     fault_args: Mapping[str, Any] = field(default_factory=dict)
     crash_marker: str | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -130,20 +138,22 @@ class Job:
         with equal keys produce bit-identical payloads, which is what lets
         the server coalesce duplicate requests onto one execution.
         """
-        return json.dumps(
-            {
-                "subject_seed": self.subject_seed,
-                "session_path": self.session_path,
-                "session_seed": self.session_seed,
-                "probe_interval_s": self.probe_interval_s,
-                "angle_step_deg": self.angle_step_deg,
-                "enforce_gesture_check": self.enforce_gesture_check,
-                "fault": self.fault,
-                "fault_args": dict(sorted(self.fault_args.items())),
-                "crash_marker": self.crash_marker,
-            },
-            sort_keys=True,
-        )
+        record = {
+            "subject_seed": self.subject_seed,
+            "session_path": self.session_path,
+            "session_seed": self.session_seed,
+            "probe_interval_s": self.probe_interval_s,
+            "angle_step_deg": self.angle_step_deg,
+            "enforce_gesture_check": self.enforce_gesture_check,
+            "fault": self.fault,
+            "fault_args": dict(sorted(self.fault_args.items())),
+            "crash_marker": self.crash_marker,
+        }
+        if self.params:
+            # Only when present: keys of params-less jobs stay exactly as
+            # they were, so pre-params journals replay unchanged.
+            record["params"] = dict(sorted(self.params.items()))
+        return json.dumps(record, sort_keys=True)
 
     def to_dict(self) -> dict[str, Any]:
         """The JSONL representation (defaults omitted for readability)."""
@@ -168,6 +178,8 @@ class Job:
                 record[name] = value
         if self.fault_args:
             record["fault_args"] = dict(self.fault_args)
+        if self.params:
+            record["params"] = dict(self.params)
         return record
 
     @classmethod

@@ -142,6 +142,12 @@ def compare_summaries(
 
     An empty list means the summaries agree.  ``exact_digest`` defaults to
     the ``REPRO_GOLDEN_EXACT`` environment flag.
+
+    Key coverage is checked both ways before any value comparison: a field
+    missing from the fixture (stale fixture, new summary field) or present
+    only in the fixture (renamed/removed field) is itself a violation —
+    the comparison must never silently shrink to the fields both sides
+    happen to share.
     """
     tol = dict(DEFAULT_TOLERANCES)
     if tolerances:
@@ -149,6 +155,18 @@ def compare_summaries(
     if exact_digest is None:
         exact_digest = os.environ.get("REPRO_GOLDEN_EXACT", "") == "1"
     violations: list[str] = []
+    for name in sorted(set(expected) - set(actual)):
+        violations.append(
+            f"{name}: in the fixture but missing from the computed summary"
+        )
+    for name in sorted(set(actual) - set(expected)):
+        violations.append(
+            f"{name}: computed but not pinned in the fixture — regenerate "
+            f"the fixtures to pin it"
+        )
+
+    def shared(name: str) -> bool:
+        return name in expected and name in actual
 
     def check(name: str, want, got, atol: float) -> None:
         want = np.asarray(want, dtype=float)
@@ -162,63 +180,63 @@ def compare_summaries(
                 f"{name}: max |delta| {gap:.3e} exceeds tolerance {atol:.1e}"
             )
 
-    for name, meta_field in (("case", "case"),):
-        if dict(expected[meta_field]) != dict(actual[meta_field]):
-            violations.append(
-                f"{name}: fixture was generated for {expected[meta_field]}, "
-                f"got {actual[meta_field]} — regenerate the fixtures"
-            )
+    if shared("case") and dict(expected["case"]) != dict(actual["case"]):
+        violations.append(
+            f"case: fixture was generated for {expected['case']}, "
+            f"got {actual['case']} — regenerate the fixtures"
+        )
 
-    if expected["n_probes"] != actual["n_probes"]:
+    if shared("n_probes") and expected["n_probes"] != actual["n_probes"]:
         violations.append(
             f"n_probes: {actual['n_probes']} != {expected['n_probes']}"
         )
-    check("angles_deg", expected["angles_deg"], actual["angles_deg"], 1e-9)
-    check(
-        "head_parameters_m",
-        expected["head_parameters_m"],
-        actual["head_parameters_m"],
-        tol["head_parameters_m"],
-    )
-    check(
-        "residual_deg",
-        expected["residual_deg"],
-        actual["residual_deg"],
-        tol["residual_deg"],
-    )
-    check(
-        "gyro_bias_dps",
-        expected["gyro_bias_dps"],
-        actual["gyro_bias_dps"],
-        tol["gyro_bias_dps"],
-    )
-    for bank, values in expected["magnitude_rms_db"].items():
-        check(
-            f"magnitude_rms_db[{bank}]",
-            values,
-            actual["magnitude_rms_db"].get(bank, []),
-            tol["magnitude_rms_db"],
-        )
-    check(
-        "aoa_error_deg",
-        expected["aoa_error_deg"],
-        actual["aoa_error_deg"],
-        tol["aoa_error_deg"],
-    )
-    if "confidence" in expected:
+    for name, atol in (
+        ("angles_deg", 1e-9),
+        ("head_parameters_m", tol["head_parameters_m"]),
+        ("residual_deg", tol["residual_deg"]),
+        ("gyro_bias_dps", tol["gyro_bias_dps"]),
+        ("aoa_error_deg", tol["aoa_error_deg"]),
+    ):
+        if shared(name):
+            check(name, expected[name], actual[name], atol)
+    if shared("magnitude_rms_db"):
+        want_banks, got_banks = expected["magnitude_rms_db"], actual["magnitude_rms_db"]
+        for bank in sorted(set(want_banks) - set(got_banks)):
+            violations.append(
+                f"magnitude_rms_db[{bank}]: bank missing from the computed "
+                f"summary"
+            )
+        for bank in sorted(set(got_banks) - set(want_banks)):
+            violations.append(
+                f"magnitude_rms_db[{bank}]: bank not pinned in the fixture — "
+                f"regenerate the fixtures"
+            )
+        for bank in sorted(set(want_banks) & set(got_banks)):
+            check(
+                f"magnitude_rms_db[{bank}]",
+                want_banks[bank],
+                got_banks[bank],
+                tol["magnitude_rms_db"],
+            )
+    if shared("confidence"):
         check(
             "confidence",
             expected["confidence"],
-            actual.get("confidence", float("nan")),
+            actual["confidence"],
             tol["confidence"],
         )
-        want_flags = list(expected.get("quality_flags", []))
-        got_flags = list(actual.get("quality_flags", []))
+    if shared("quality_flags"):
+        want_flags = list(expected["quality_flags"])
+        got_flags = list(actual["quality_flags"])
         if want_flags != got_flags:
             violations.append(
                 f"quality_flags: {got_flags} != {want_flags}"
             )
-    if exact_digest and expected["table_digest"] != actual["table_digest"]:
+    if (
+        exact_digest
+        and shared("table_digest")
+        and expected["table_digest"] != actual["table_digest"]
+    ):
         violations.append(
             "table_digest: "
             f"{actual['table_digest'][:12]}… != {expected['table_digest'][:12]}…"

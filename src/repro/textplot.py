@@ -155,6 +155,41 @@ def gantt(lanes, t0: float, t1: float, width: int = 72) -> str:
     return "\n".join(lines)
 
 
+def table(headers, rows, aligns=None) -> str:
+    """A plain aligned text table (the drift detector's diff renderer).
+
+    ``aligns`` is a per-column sequence of ``"l"``/``"r"`` (default: left
+    for the first column, right for the rest — labels then numbers).  Cells
+    are stringified as-is; a separator rules under the header row.
+    """
+    headers = [str(h) for h in headers]
+    rows = [[str(cell) for cell in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise SignalError(
+                f"table row has {len(row)} cells for {len(headers)} headers"
+            )
+    if aligns is None:
+        aligns = ["l"] + ["r"] * (len(headers) - 1)
+    if len(aligns) != len(headers):
+        raise SignalError("aligns must match the header count")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def render(cells) -> str:
+        parts = []
+        for cell, width, align in zip(cells, widths, aligns):
+            parts.append(cell.ljust(width) if align == "l" else cell.rjust(width))
+        return "  ".join(parts).rstrip()
+
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
 def matrix_heatmap(matrix, row_labels=None, col_step: int = 1) -> str:
     """Shade-mapped matrix (e.g. the Figure 2 correlation matrices)."""
     array = np.asarray(matrix, dtype=float)

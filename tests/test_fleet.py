@@ -1,0 +1,512 @@
+"""Fleet-evaluation tier tests: sketches, drift classes, populations, CLI.
+
+The load-bearing properties, in suite order: the quantile sketch is exactly
+mergeable (order- and shard-invariant — the property future serve sharding
+rests on), the drift detector classifies deviations the documented way, the
+synthetic population and per-subject metrics are pure functions of their
+seeds, a fleet run through the real :class:`BatchServer` is bit-identical
+for any worker count, and the ``fleet`` CLI gates against the pinned
+baseline: exit 0 clean, exit 1 with a classified diff table under the
+canonical 10%-biased-population perturbation.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import cli
+from repro.errors import ReproError
+from repro.eval.drift import (
+    DEFAULT_TOLERANCES,
+    classify_drift,
+    compare_digests,
+    render_drift_table,
+)
+from repro.eval.fleet import (
+    DEFAULT_STRATA,
+    FleetReport,
+    METRIC_EDGES,
+    OVERALL,
+    Stratum,
+    compare_reports,
+    generate_population,
+    run_fleet,
+    subject_metrics,
+)
+from repro.eval.sketch import QuantileSketch
+from repro.serve.job import Job
+from repro.testing.golden import golden_dir
+from repro.testing.workloads import FAILING_FAULT
+
+
+# -- quantile sketch ----------------------------------------------------------
+
+
+class TestQuantileSketch:
+    def test_exact_accumulators(self):
+        sketch = QuantileSketch([0.0, 1.0, 2.0])
+        sketch.add_many([0.5, 1.5, 1.5, 3.0])
+        assert sketch.count == 4
+        assert sketch.total == pytest.approx(6.5)
+        assert sketch.low == 0.5
+        assert sketch.high == 3.0
+        assert sketch.mean == pytest.approx(6.5 / 4)
+
+    def test_quantile_endpoints_are_exact(self):
+        sketch = QuantileSketch(np.linspace(0, 10, 11))
+        values = [0.3, 2.2, 5.5, 9.9]
+        sketch.add_many(values)
+        assert sketch.quantile(0.0) == 0.3
+        assert sketch.quantile(1.0) == 9.9
+
+    def test_quantiles_within_one_bin_of_exact(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(5.0, 1.5, 2000).clip(0.0, 10.0)
+        edges = np.linspace(0.0, 10.0, 101)
+        sketch = QuantileSketch(edges)
+        sketch.add_many(values)
+        bin_width = 0.1
+        for q in (0.05, 0.25, 0.5, 0.75, 0.95):
+            assert sketch.quantile(q) == pytest.approx(
+                float(np.quantile(values, q)), abs=bin_width
+            )
+
+    def test_std_tracks_sample_std(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(5.0, 1.5, 2000).clip(0.0, 10.0)
+        sketch = QuantileSketch(np.linspace(0.0, 10.0, 101))
+        sketch.add_many(values)
+        assert sketch.std() == pytest.approx(float(np.std(values)), abs=0.1)
+
+    def test_empty_sketch_statistics(self):
+        sketch = QuantileSketch([0.0, 1.0])
+        assert np.isnan(sketch.mean)
+        assert np.isnan(sketch.quantile(0.5))
+        assert sketch.std() == 0.0
+        record = sketch.to_dict()
+        assert record["min"] is None and record["max"] is None
+
+    def test_saturating_end_bins_keep_outliers(self):
+        sketch = QuantileSketch([0.0, 1.0])
+        sketch.add_many([-5.0, 0.5, 99.0])
+        assert sketch.count == 3
+        assert sketch.low == -5.0 and sketch.high == 99.0
+        assert sketch.quantile(1.0) == 99.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            QuantileSketch([1.0])
+        with pytest.raises(ReproError):
+            QuantileSketch([1.0, 1.0])
+        with pytest.raises(ReproError):
+            QuantileSketch([0.0, float("inf")])
+        sketch = QuantileSketch([0.0, 1.0])
+        with pytest.raises(ReproError):
+            sketch.add(float("nan"))
+        with pytest.raises(ReproError):
+            sketch.quantile(1.5)
+        with pytest.raises(ReproError):
+            sketch.merge(QuantileSketch([0.0, 2.0]))
+
+    def test_dict_round_trip(self):
+        sketch = QuantileSketch(np.linspace(0, 4, 9))
+        sketch.add_many([0.1, 1.3, 2.7, 3.9, 2.0])
+        clone = QuantileSketch.from_dict(
+            json.loads(json.dumps(sketch.to_dict()))
+        )
+        assert np.array_equal(clone.counts, sketch.counts)
+        assert clone.count == sketch.count
+        assert clone.total == sketch.total
+        assert clone.low == sketch.low and clone.high == sketch.high
+        assert clone.quantile(0.5) == sketch.quantile(0.5)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=45.0, allow_nan=False),
+            min_size=1,
+            max_size=120,
+        ),
+        n_shards=st.integers(min_value=1, max_value=5),
+        order_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_merge_is_order_and_shard_invariant(
+        self, values, n_shards, order_seed
+    ):
+        # The property the harness needs to survive serve sharding: any
+        # partition of the stream into shards, merged in any order, equals
+        # the monolithic sketch — counts/min/max exactly, the float total
+        # within accumulation tolerance.
+        edges = METRIC_EDGES["error_deg"]
+        mono = QuantileSketch(edges)
+        mono.add_many(values)
+        shards = [QuantileSketch(edges) for _ in range(n_shards)]
+        for i, value in enumerate(values):
+            shards[i % n_shards].add(value)
+        merged = QuantileSketch(edges)
+        for index in np.random.default_rng(order_seed).permutation(n_shards):
+            merged.merge(shards[index])
+        assert np.array_equal(merged.counts, mono.counts)
+        assert merged.count == mono.count
+        assert merged.low == mono.low and merged.high == mono.high
+        assert merged.total == pytest.approx(mono.total, rel=1e-12, abs=1e-9)
+        for q in (0.05, 0.5, 0.95):
+            assert merged.quantile(q) == pytest.approx(
+                mono.quantile(q), abs=1e-9
+            )
+        assert merged.std() == pytest.approx(mono.std(), abs=1e-9)
+
+
+# -- drift classification -----------------------------------------------------
+
+
+def _digest(**overrides):
+    base = {
+        "count": 100, "mean": 2.0, "std": 0.5,
+        "p5": 1.0, "p25": 1.5, "p50": 2.0, "p75": 2.5, "p95": 3.0,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestDriftClassification:
+    def test_in_band_returns_none(self):
+        assert classify_drift(_digest(), _digest(mean=2.1), "error_deg") is None
+
+    def test_sign_consistent_mean_violation_is_shift(self):
+        finding = classify_drift(
+            _digest(), _digest(mean=2.4, p95=3.8), "error_deg"
+        )
+        assert finding.classification == "shift"
+        assert set(finding.violations) == {"mean", "p95"}
+
+    def test_std_without_mean_is_spread(self):
+        finding = classify_drift(
+            _digest(), _digest(std=0.9, p5=0.4, p95=3.6), "error_deg"
+        )
+        assert finding.classification == "spread"
+
+    def test_extreme_quantiles_only_is_tail(self):
+        finding = classify_drift(_digest(), _digest(p95=3.8), "error_deg")
+        assert finding.classification == "tail"
+
+    def test_interior_quantile_only_is_mixed(self):
+        finding = classify_drift(_digest(), _digest(p25=2.3), "error_deg")
+        assert finding.classification == "mixed"
+
+    def test_unknown_metric_has_no_tolerance_hence_no_finding(self):
+        assert (
+            classify_drift(_digest(), _digest(mean=99.0), "no_such_metric")
+            is None
+        )
+
+    def test_compare_digests_flags_structural_mismatches(self):
+        expected = {"clean": {"error_deg": _digest(), "confidence": _digest()}}
+        actual = {
+            "clean": {"error_deg": _digest()},
+            "extra_stratum": {"error_deg": _digest()},
+        }
+        violations, findings = compare_digests(expected, actual)
+        assert findings == []
+        assert any("confidence" in v and "missing" in v for v in violations)
+        assert any("extra_stratum" in v for v in violations)
+
+    def test_compare_digests_flags_count_mismatch(self):
+        violations, _ = compare_digests(
+            {"clean": {"error_deg": _digest()}},
+            {"clean": {"error_deg": _digest(count=99)}},
+        )
+        assert any("count" in v for v in violations)
+
+    def test_render_drift_table(self):
+        finding = classify_drift(
+            _digest(), _digest(mean=2.4, p95=3.8), "error_deg",
+            stratum="clean",
+        )
+        table = render_drift_table([finding])
+        assert "stratum" in table and "clean" in table
+        assert "shift" in table and "error_deg" in table
+        assert render_drift_table([]) == "no drift findings"
+
+    def test_default_tolerances_cover_every_fleet_metric(self):
+        for metric in METRIC_EDGES:
+            assert metric in DEFAULT_TOLERANCES
+        for rate in ("salvage_rate", "retry_rate", "failure_rate"):
+            assert rate in DEFAULT_TOLERANCES
+
+
+# -- population generation and the subject model ------------------------------
+
+
+class TestPopulation:
+    def test_generation_is_deterministic(self):
+        a = generate_population(300, 11)
+        b = generate_population(300, 11)
+        assert [job.spec_key() for job in a] == [job.spec_key() for job in b]
+
+    def test_subject_seeds_are_distinct(self):
+        jobs = generate_population(300, 11)
+        seeds = {job.subject_seed for job in jobs}
+        assert len(seeds) == 300
+
+    def test_every_stratum_is_populated(self):
+        jobs = generate_population(500, 11)
+        strata = {job.params["stratum"] for job in jobs}
+        assert strata == {s.name for s in DEFAULT_STRATA}
+
+    def test_bias_marks_subpopulation_without_moving_strata(self):
+        clean = generate_population(500, 11)
+        biased = generate_population(
+            500, 11, bias_fraction=0.1, head_bias_m=1e-3
+        )
+        # Same subjects in the same strata — only the bias tag differs.
+        assert [j.params["stratum"] for j in clean] == [
+            j.params["stratum"] for j in biased
+        ]
+        marked = [j for j in biased if "head_bias_m" in j.params]
+        assert 0.05 * 500 < len(marked) < 0.15 * 500
+        assert all(j.params["head_bias_m"] == 1e-3 for j in marked)
+        assert not any("head_bias_m" in j.params for j in clean)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            generate_population(0, 1)
+        with pytest.raises(ReproError):
+            generate_population(10, 1, bias_fraction=1.5)
+        with pytest.raises(ReproError):
+            generate_population(10, 1, strata=[])
+        with pytest.raises(ReproError):
+            generate_population(
+                10, 1, strata=[Stratum("a", 0.5), Stratum("a", 0.5)]
+            )
+        with pytest.raises(ReproError):
+            generate_population(10, 1, strata=[Stratum(OVERALL, 1.0)])
+
+
+class TestSubjectMetrics:
+    SPEC = {
+        "job_id": "j", "subject_seed": 1_700_123,
+        "params": {"stratum": "clean"},
+    }
+
+    def test_pure_function_of_spec(self):
+        assert subject_metrics(self.SPEC) == subject_metrics(dict(self.SPEC))
+
+    def test_head_bias_shifts_error_additively(self):
+        biased = dict(self.SPEC)
+        biased["params"] = {"stratum": "clean", "head_bias_m": 1e-3}
+        clean = subject_metrics(self.SPEC)
+        shifted = subject_metrics(biased)
+        # 1 mm at ~4 deg/mm — additive, outside the rng stream.
+        assert shifted["error_deg"] - clean["error_deg"] == pytest.approx(
+            4.0, abs=1e-6
+        )
+        assert shifted["confidence"] < clean["confidence"]
+
+    def test_faulted_strata_degrade_on_average(self):
+        def mean_error(fault, fault_args, stratum):
+            return float(np.mean([
+                subject_metrics({
+                    "subject_seed": 1_700_000 + i, "fault": fault,
+                    "fault_args": fault_args,
+                    "params": {"stratum": stratum},
+                })["error_deg"]
+                for i in range(60)
+            ]))
+
+        clean = mean_error(None, {}, "clean")
+        noisy = mean_error("mic_noise", {"std": 0.01}, "noisy_room")
+        assert noisy > clean
+
+    def test_metrics_within_sketch_ladders(self):
+        for i in range(40):
+            payload = subject_metrics({
+                "subject_seed": 1_700_000 + i,
+                "params": {"stratum": "clean"},
+            })
+            assert 0.0 <= payload["error_deg"] <= 45.0
+            assert 0.0 <= payload["confidence"] <= 1.0
+            assert payload["latency_ms"] > 0.0
+
+
+class TestJobParams:
+    def test_empty_params_keep_legacy_spec_key(self):
+        job = Job(job_id="a", subject_seed=1)
+        assert "params" not in job.spec_key()
+        assert "params" not in job.to_dict()
+
+    def test_params_distinguish_computations(self):
+        plain = Job(job_id="a", subject_seed=1)
+        tagged = Job(job_id="a", subject_seed=1, params={"stratum": "clean"})
+        assert plain.spec_key() != tagged.spec_key()
+
+    def test_params_round_trip_through_dict(self):
+        job = Job(
+            job_id="a", subject_seed=1,
+            params={"stratum": "clean", "head_bias_m": 1e-3},
+        )
+        clone = Job.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone.spec_key() == job.spec_key()
+        assert dict(clone.params) == dict(job.params)
+
+
+# -- fleet runs through the serve layer ---------------------------------------
+
+
+class TestFleetRun:
+    def test_bit_identical_across_worker_counts(self):
+        one, _ = run_fleet(200, 3, workers=1)
+        two, _ = run_fleet(200, 3, workers=2)
+        assert json.dumps(one.to_dict(), sort_keys=True) == json.dumps(
+            two.to_dict(), sort_keys=True
+        )
+
+    def test_failed_subjects_feed_the_failure_rate(self):
+        strata = (
+            Stratum("clean", 0.5),
+            Stratum("broken", 0.5, FAILING_FAULT),
+        )
+        report, _ = run_fleet(60, 3, workers=1, strata=strata)
+        assert report.statuses.get("failed", 0) > 0
+        digest = report.digest()
+        assert digest["broken"]["failure_rate"]["mean"] == 1.0
+        assert digest["clean"]["failure_rate"]["mean"] == 0.0
+        # Failed subjects contribute no metric samples.
+        assert "error_deg" not in digest["broken"]
+
+    def test_report_round_trips_and_digest_survives(self):
+        report, _ = run_fleet(120, 5, workers=1)
+        clone = FleetReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        )
+        assert clone.digest() == report.digest()
+        assert OVERALL in report.digest()
+
+    def test_report_save_is_canonical(self, tmp_path):
+        report, _ = run_fleet(60, 5, workers=1)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        report.save(a)
+        report.save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_overall_row_equals_merged_strata(self):
+        report, _ = run_fleet(200, 3, workers=1)
+        digest = report.digest()
+        total = sum(
+            digest[s]["error_deg"]["count"]
+            for s in digest
+            if s != OVERALL
+        )
+        assert digest[OVERALL]["error_deg"]["count"] == total
+
+
+class TestBaselineCompare:
+    def test_report_matches_itself(self):
+        report, _ = run_fleet(120, 5, workers=1)
+        violations, findings = compare_reports(
+            report.to_dict(), report.to_dict()
+        )
+        assert violations == [] and findings == []
+
+    def test_config_mismatch_is_a_violation(self):
+        report, _ = run_fleet(60, 5, workers=1)
+        other = copy.deepcopy(report.to_dict())
+        other["config"]["subjects"] = 61
+        violations, _ = compare_reports(report.to_dict(), other)
+        assert any(v.startswith("config/subjects") for v in violations)
+
+    def test_bias_knobs_are_not_config_drift(self):
+        report, _ = run_fleet(60, 5, workers=1)
+        perturbed = copy.deepcopy(report.to_dict())
+        perturbed["config"]["bias_fraction"] = 0.1
+        perturbed["config"]["head_bias_m"] = 1e-3
+        violations, _ = compare_reports(report.to_dict(), perturbed)
+        assert not any(v.startswith("config/") for v in violations)
+
+
+# -- end to end through the CLI ----------------------------------------------
+
+
+BASELINE = os.path.join(golden_dir(), "fleet_baseline.json")
+
+
+@pytest.fixture(scope="module")
+def cli_report(tmp_path_factory):
+    """One CLI fleet run at the pinned baseline configuration."""
+    path = tmp_path_factory.mktemp("fleet") / "report.json"
+    code = cli.main([
+        "fleet", "run", "--subjects", "1000", "--seed", "7",
+        "--output", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestFleetCli:
+    def test_runs_are_bit_identical(self, cli_report, tmp_path):
+        # The acceptance criterion verbatim: same config, different worker
+        # count, byte-equal report files.
+        again = tmp_path / "again.json"
+        code = cli.main([
+            "fleet", "run", "--subjects", "1000", "--seed", "7",
+            "--workers", "1", "--output", str(again),
+        ])
+        assert code == 0
+        assert again.read_bytes() == cli_report.read_bytes()
+
+    def test_compare_against_pinned_baseline_is_clean(self, cli_report):
+        assert os.path.exists(BASELINE), (
+            f"missing pinned baseline {BASELINE} — run `python -m repro.cli "
+            f"fleet regen-baseline`"
+        )
+        code = cli.main(["fleet", "compare", "--report", str(cli_report)])
+        assert code == 0
+
+    def test_biased_population_trips_the_detector(self, capsys):
+        # The canonical fleet regression: +1 mm head half-width in 10% of
+        # subjects must exit non-zero with a rendered diff table and a
+        # `shift` classification on localization error.
+        code = cli.main([
+            "fleet", "compare", "--subjects", "1000", "--seed", "7",
+            "--bias-fraction", "0.1", "--head-bias-mm", "1.0",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "shift" in err and "error_deg" in err
+        assert "stratum" in err and "baseline" in err  # the diff table
+
+    def test_shift_classification_via_api(self):
+        baseline = json.load(open(BASELINE))
+        biased, _ = run_fleet(
+            1000, 7, workers=2, bias_fraction=0.1, head_bias_m=1e-3
+        )
+        violations, findings = compare_reports(baseline, biased.to_dict())
+        assert violations
+        by_key = {(f.stratum, f.metric): f.classification for f in findings}
+        assert by_key[("clean", "error_deg")] == "shift"
+        assert by_key[(OVERALL, "error_deg")] == "shift"
+
+    def test_unusable_inputs_exit_2(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert cli.main([
+            "fleet", "compare", "--report", str(missing),
+        ]) == 2
+        assert cli.main([
+            "fleet", "run", "--subjects", "0", "--output",
+            str(tmp_path / "r.json"),
+        ]) == 2
+
+    def test_regen_baseline_round_trips(self, tmp_path, cli_report):
+        pinned = tmp_path / "baseline.json"
+        code = cli.main([
+            "fleet", "regen-baseline", "--subjects", "1000", "--seed", "7",
+            "--output", str(pinned),
+        ])
+        assert code == 0
+        assert pinned.read_bytes() == cli_report.read_bytes()

@@ -113,3 +113,39 @@ class TestComparatorSensitivity:
     def test_tolerances_documented_fields_exist(self, expected):
         for field in DEFAULT_TOLERANCES:
             assert field in expected
+
+    def test_field_missing_from_actual_fails(self, expected):
+        # The latent gap this guards against: a summary losing a field
+        # (e.g. confidence disappearing from the pipeline output) used to
+        # pass silently because comparisons were keyed off `expected`.
+        actual = copy.deepcopy(expected)
+        del actual["confidence"]
+        violations = compare_summaries(expected, actual)
+        assert any(
+            "confidence" in v and "missing" in v for v in violations
+        )
+
+    def test_field_missing_from_fixture_fails(self, expected):
+        # ...and the dual: a stale fixture missing a field the summary now
+        # computes must demand regeneration, not shrink the comparison.
+        stale = copy.deepcopy(expected)
+        del stale["confidence"]
+        violations = compare_summaries(stale, expected)
+        assert any(
+            "confidence" in v and "regenerate" in v for v in violations
+        )
+
+    def test_unknown_field_in_actual_fails(self, expected):
+        actual = copy.deepcopy(expected)
+        actual["brand_new_metric"] = 1.0
+        violations = compare_summaries(expected, actual)
+        assert any("brand_new_metric" in v for v in violations)
+
+    def test_missing_magnitude_bank_fails(self, expected):
+        actual = copy.deepcopy(expected)
+        del actual["magnitude_rms_db"]["far_left"]
+        violations = compare_summaries(expected, actual)
+        assert any(
+            "magnitude_rms_db[far_left]" in v and "missing" in v
+            for v in violations
+        )
