@@ -1,0 +1,266 @@
+"""Open-loop multi-tenant load generation for overload testing.
+
+A closed-loop driver (submit, wait, submit) can never overload a server —
+backpressure slows the driver down and the system always looks healthy.
+Real fleets are **open-loop**: users upload captures on their own clock,
+indifferent to how busy the service is.  This module synthesizes that
+traffic deterministically:
+
+- **arrival process** — per-tenant inhomogeneous Poisson, realized by
+  thinning: a homogeneous stream at the tenant's peak rate, with each
+  point kept with probability ``rate(t) / peak``.  ``rate(t)`` composes
+  the tenant's share of the base offered rate, a diurnal sinusoid
+  (``diurnal_amplitude``), and seeded burst windows (a tenant-specific
+  phase keeps bursts from aligning across tenants — the ``tenant_burst``
+  overload everyone fears is several tenants bursting at once, and the
+  generator can produce exactly that by raising ``burst_factor``);
+- **job population** — arrivals draw cyclically from a PR-8 fleet
+  population (:func:`repro.eval.fleet.generate_population`), so the
+  overload mix has the same capture-quality strata as the evaluation
+  harness.  Each job is stamped with its tenant, the tenant's priority,
+  ``params["expected_confidence"]`` (the fleet model's prediction for
+  that spec — what value-based shedding ranks on), and
+  ``params["service_s"]`` (the simulated execution cost the
+  :func:`repro.testing.workloads.loadgen_runner` sleeps for);
+- **determinism** — everything is a pure function of ``seed``: same
+  seed, same schedule, same jobs, same expected-confidence stamps.  The
+  CI overload gate depends on it.
+
+The schedule is a plain tuple of :class:`Arrival` (time offset + job);
+``repro.cli serve-sim`` plays it against a wall clock, and tests replay
+it instantly with virtual time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.eval.fleet import generate_population, subject_metrics
+from repro.serve.job import Job
+
+__all__ = [
+    "Arrival",
+    "DEFAULT_TENANTS",
+    "TenantSpec",
+    "generate_arrivals",
+    "tenant_mix",
+]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One synthetic tenant's traffic contract.
+
+    ``share`` is the tenant's fraction of the base offered rate;
+    ``weight`` mirrors the fair-queue weight its quota would carry;
+    ``priority`` stamps every job (what value-based shedding ranks
+    first); ``burst_factor`` multiplies the rate inside the tenant's
+    burst windows (1.0 = no bursts).
+    """
+
+    name: str
+    share: float = 1.0
+    weight: float = 1.0
+    priority: int = 0
+    burst_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("tenant name must be non-empty")
+        if self.share <= 0:
+            raise ReproError(f"tenant {self.name!r}: share must be > 0")
+        if self.burst_factor < 1.0:
+            raise ReproError(
+                f"tenant {self.name!r}: burst_factor must be >= 1"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "share": self.share,
+            "weight": self.weight,
+            "priority": self.priority,
+            "burst_factor": self.burst_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "TenantSpec":
+        return cls(
+            name=str(record["name"]),
+            share=float(record.get("share", 1.0)),
+            weight=float(record.get("weight", 1.0)),
+            priority=int(record.get("priority", 0)),
+            burst_factor=float(record.get("burst_factor", 1.0)),
+        )
+
+
+#: The default three-tenant mix: a bulk re-personalization backfill, an
+#: interactive tier that bursts hard, and a best-effort scavenger class.
+#: Deliberately skewed — fair-share scheduling only matters under skew.
+DEFAULT_TENANTS: tuple[TenantSpec, ...] = (
+    TenantSpec("bulk", share=0.55, weight=1.0, priority=0),
+    TenantSpec(
+        "interactive", share=0.30, weight=4.0, priority=1, burst_factor=3.0
+    ),
+    TenantSpec("scavenger", share=0.15, weight=0.5, priority=-1),
+)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled submission: offset from batch start, and the job."""
+
+    at_s: float
+    job: Job
+
+
+def tenant_mix(results_or_jobs) -> dict[str, int]:
+    """Count jobs/results per tenant (works on anything with ``.tenant``
+    or falls back to ``"default"``)."""
+    mix: dict[str, int] = {}
+    for item in results_or_jobs:
+        tenant = getattr(item, "tenant", "default")
+        mix[tenant] = mix.get(tenant, 0) + 1
+    return dict(sorted(mix.items()))
+
+
+def _tenant_phase(name: str) -> float:
+    """Deterministic per-tenant phase in ``[0, 1)`` (decorrelates bursts)."""
+    digest = hashlib.sha256(name.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _rate_at(
+    t: float,
+    base: float,
+    tenant: TenantSpec,
+    *,
+    diurnal_amplitude: float,
+    diurnal_period_s: float,
+    burst_every_s: float,
+    burst_len_s: float,
+) -> float:
+    """Instantaneous arrival rate for one tenant (jobs/s, >= 0)."""
+    phase = _tenant_phase(tenant.name)
+    rate = base * tenant.share
+    if diurnal_amplitude > 0.0:
+        rate *= 1.0 + diurnal_amplitude * math.sin(
+            2.0 * math.pi * (t / diurnal_period_s + phase)
+        )
+    if tenant.burst_factor > 1.0 and burst_every_s > 0.0:
+        offset = (t + phase * burst_every_s) % burst_every_s
+        if offset < burst_len_s:
+            rate *= tenant.burst_factor
+    return max(rate, 0.0)
+
+
+def generate_arrivals(
+    rate_per_s: float,
+    duration_s: float,
+    *,
+    seed: int = 0,
+    tenants: Sequence[TenantSpec] | None = None,
+    pool_subjects: int = 64,
+    service_mean_s: float = 0.0,
+    diurnal_amplitude: float = 0.4,
+    diurnal_period_s: float = 60.0,
+    burst_every_s: float = 15.0,
+    burst_len_s: float = 3.0,
+) -> tuple[Arrival, ...]:
+    """Build the deterministic arrival schedule (see module docstring).
+
+    Parameters
+    ----------
+    rate_per_s:
+        Total base offered rate across tenants, before diurnal and burst
+        modulation.  Drive this above measured capacity to overload.
+    duration_s:
+        Schedule length; arrivals cover ``[0, duration_s)``.
+    seed:
+        Everything — gaps, thinning, service times, population — derives
+        from this.
+    tenants:
+        Traffic mix (default :data:`DEFAULT_TENANTS`).
+    pool_subjects:
+        Size of the fleet population arrivals cycle through (small pools
+        exercise coalescing; large pools exercise cold paths).
+    service_mean_s:
+        Mean simulated execution cost stamped as ``params["service_s"]``
+        (0 stamps nothing — jobs run at runner speed).
+    diurnal_amplitude / diurnal_period_s:
+        Sinusoidal rate modulation (0 disables).
+    burst_every_s / burst_len_s:
+        Burst window cadence for tenants with ``burst_factor > 1``.
+    """
+    if rate_per_s <= 0:
+        raise ReproError(f"rate_per_s must be > 0, got {rate_per_s}")
+    if duration_s <= 0:
+        raise ReproError(f"duration_s must be > 0, got {duration_s}")
+    tenants = tuple(tenants if tenants is not None else DEFAULT_TENANTS)
+    if not tenants:
+        raise ReproError("need at least one tenant")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ReproError(f"duplicate tenant names in {names}")
+
+    pool = generate_population(pool_subjects, seed)
+    # Precompute the confidence the fleet model predicts for each spec —
+    # the signal value-based shedding ranks on.  Pure per-spec, so the
+    # stamp is identical however the pool is consumed.
+    confidences = [
+        float(subject_metrics(job.to_dict())["confidence"]) for job in pool
+    ]
+
+    arrivals: list[Arrival] = []
+    for tenant in tenants:
+        rng = random.Random(f"{seed}:{tenant.name}")
+        peak = (
+            rate_per_s
+            * tenant.share
+            * (1.0 + max(diurnal_amplitude, 0.0))
+            * tenant.burst_factor
+        )
+        t = 0.0
+        n = 0
+        while True:
+            t += rng.expovariate(peak)
+            if t >= duration_s:
+                break
+            rate = _rate_at(
+                t, rate_per_s, tenant,
+                diurnal_amplitude=diurnal_amplitude,
+                diurnal_period_s=diurnal_period_s,
+                burst_every_s=burst_every_s,
+                burst_len_s=burst_len_s,
+            )
+            if rng.random() * peak > rate:
+                continue  # thinned: instantaneous rate below peak
+            index = rng.randrange(len(pool))
+            template = pool[index]
+            params = dict(template.params)
+            params["expected_confidence"] = round(confidences[index], 6)
+            if service_mean_s > 0.0:
+                params["service_s"] = round(
+                    service_mean_s * rng.uniform(0.5, 1.5), 6
+                )
+            job = Job(
+                job_id=f"{tenant.name}-{n:05d}",
+                subject_seed=template.subject_seed,
+                session_seed=template.session_seed,
+                probe_interval_s=template.probe_interval_s,
+                angle_step_deg=template.angle_step_deg,
+                priority=tenant.priority,
+                fault=template.fault,
+                fault_args=dict(template.fault_args),
+                params=params,
+                tenant=tenant.name,
+            )
+            arrivals.append(Arrival(at_s=t, job=job))
+            n += 1
+    arrivals.sort(key=lambda a: (a.at_s, a.job.tenant, a.job.job_id))
+    return tuple(arrivals)

@@ -22,7 +22,17 @@ one managed batch out.  Seven pieces:
 - :mod:`repro.serve.server`  — :class:`BatchServer`: bounded priority queue,
   backpressure, per-job timeouts, classified retries, request coalescing,
   journaling/resume, graceful drain, metrics, and the structured
-  :class:`BatchReport`.
+  :class:`BatchReport`;
+- :mod:`repro.serve.shard`   — :class:`ShardedServer`: hash-partitioned
+  BatchServers with per-shard journals, circuit-breaker brownouts
+  (ejection, reroute, probe-back), and journal merging back to a single
+  resumable file;
+- :mod:`repro.serve.frontdoor` — :class:`FrontDoor`: per-tenant
+  token-bucket admission quotas, weighted-fair (stride) dequeue, and
+  value-based load shedding with typed rejections;
+- :mod:`repro.serve.shed`    — the shed-value model
+  (priority + expected confidence) and the offline
+  :func:`verify_shed_ordering` invariant checker.
 
 Quickstart::
 
@@ -41,11 +51,26 @@ Or from the command line (resumable after a crash or Ctrl-C)::
         --journal batch.journal --resume --report batch_report.json
 """
 
-from repro.serve.job import STATUSES, Job, JobResult, dump_jobs, load_jobs
-from repro.serve.journal import Journal, JournalState, replay_journal
+from repro.serve.frontdoor import FrontDoor, TenantQuota, TokenBucket
+from repro.serve.job import (
+    REJECTION_REASONS,
+    STATUSES,
+    Job,
+    JobResult,
+    dump_jobs,
+    load_jobs,
+)
+from repro.serve.journal import (
+    Journal,
+    JournalState,
+    merge_journals,
+    replay_journal,
+)
 from repro.serve.pool import TaskOutcome, WorkerPool
 from repro.serve.retry import RetryPolicy
 from repro.serve.server import DEFAULT_QUEUE_SIZE, BatchReport, BatchServer
+from repro.serve.shard import ShardedServer, shard_journal_path, shard_of
+from repro.serve.shed import estimate_confidence, job_value, verify_shed_ordering
 from repro.serve.telemetry import (
     FlightRecorder,
     ServeTelemetry,
@@ -60,21 +85,32 @@ __all__ = [
     "BatchServer",
     "DEFAULT_QUEUE_SIZE",
     "FlightRecorder",
+    "FrontDoor",
     "Job",
     "JobResult",
     "Journal",
     "JournalState",
+    "REJECTION_REASONS",
     "RetryPolicy",
     "STATUSES",
     "ServeTelemetry",
+    "ShardedServer",
     "SloPolicy",
     "SloTracker",
     "TaskOutcome",
+    "TenantQuota",
+    "TokenBucket",
     "WorkerPool",
     "dump_jobs",
+    "estimate_confidence",
     "execute_job",
+    "job_value",
     "load_jobs",
+    "merge_journals",
     "read_events",
     "replay_journal",
     "run_with_telemetry",
+    "shard_journal_path",
+    "shard_of",
+    "verify_shed_ordering",
 ]

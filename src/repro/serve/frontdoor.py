@@ -1,0 +1,509 @@
+"""The multi-tenant admission layer: quotas, fair dequeue, load shedding.
+
+A :class:`FrontDoor` sits between job producers and a serving sink (a
+:class:`~repro.serve.server.BatchServer` or a
+:class:`~repro.serve.shard.ShardedServer` — anything with ``submit`` /
+``drain`` / ``results``) and makes the three admission decisions a shared
+tier owes its tenants:
+
+- **quota** — each tenant's arrivals pass through a token bucket
+  (:class:`TokenBucket`, refill ``rate_per_s``, capacity ``burst``);
+  an empty bucket turns the job away immediately with a typed
+  ``over_quota`` rejection.  Quotas bound *admission*, not throughput:
+  a tenant under its rate is never throttled by another's burst;
+- **fair dequeue** — admitted jobs wait in per-tenant FIFO backlogs and
+  are released to the sink by stride scheduling: each tenant carries a
+  virtual ``pass`` advanced by ``1 / weight`` per dispatch, the smallest
+  pass (ties: tenant name) dispatches next.  Over any window, tenant
+  throughput converges to the weight ratio regardless of arrival skew;
+- **shedding** — the combined backlog is bounded; when it is full and
+  shedding is enabled, the *lowest-value* job (:func:`repro.serve.shed
+  .job_value`: priority first, then expected confidence) is dropped with
+  a typed ``shed_overload`` rejection — whether that is the incoming job
+  or one already waiting.  Every decision is recorded as a ``shed``
+  flight-recorder event carrying the victim's value and the minimum value
+  kept, so :func:`repro.serve.shed.verify_shed_ordering` can prove the
+  run shed lowest-value-first.  With shedding off, a full backlog rejects
+  the newcomer as ``queue_full`` (plain bounded-queue behavior).
+
+**Zero-overhead default**: constructed with no quotas, no backlog bound,
+and shedding off, the front door is a transparent pass-through — no
+dispatcher thread, no backlog, every ``submit`` forwarded verbatim — so
+single-tenant callers keep bit-identical behavior and pay nothing.
+
+Time is injectable (``clock``) and ``submit`` accepts an explicit ``now``,
+so quota and shed behavior is exactly reproducible in tests and in the
+open-loop load generator (:mod:`repro.eval.loadgen`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger, kv
+from repro.serve.job import Job, JobResult
+from repro.serve.shed import job_value
+from repro.serve.telemetry import ServeTelemetry
+
+__all__ = ["FrontDoor", "TenantQuota", "TokenBucket"]
+
+_log = get_logger("serve.frontdoor")
+
+
+class TokenBucket:
+    """A deterministic token bucket: ``rate_per_s`` refill, ``burst`` cap.
+
+    Purely arithmetic — tokens accrue as ``rate * elapsed`` against the
+    timestamps the caller supplies — so two replays of one arrival
+    schedule admit exactly the same jobs.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        if rate_per_s <= 0:
+            raise ReproError(f"rate_per_s must be > 0, got {rate_per_s}")
+        if burst < 1:
+            raise ReproError(f"burst must be >= 1, got {burst}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last: float | None = None
+
+    def take(self, now: float) -> bool:
+        """Consume one token at time ``now``; ``False`` when empty."""
+        if self._last is not None and now > self._last:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate_per_s
+            )
+        self._last = max(now, self._last or now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission contract.
+
+    ``rate_per_s``/``burst`` parameterize the token bucket; ``weight``
+    sets the tenant's share of dequeue bandwidth under contention (a
+    weight-2 tenant drains twice as fast as a weight-1 one).
+    """
+
+    rate_per_s: float
+    burst: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ReproError(f"weight must be > 0, got {self.weight}")
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "rate_per_s": self.rate_per_s,
+            "burst": self.burst,
+            "weight": self.weight,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "TenantQuota":
+        return cls(
+            rate_per_s=float(record["rate_per_s"]),
+            burst=float(record["burst"]),
+            weight=float(record.get("weight", 1.0)),
+        )
+
+
+class FrontDoor:
+    """Admission control over a serving sink (see module docstring).
+
+    Parameters
+    ----------
+    sink:
+        The server admitted jobs are released to — must provide
+        ``submit(job, block=True) -> bool``, ``drain()``, ``results()``.
+    quotas:
+        Per-tenant :class:`TenantQuota` mapping.  Tenants absent from the
+        mapping fall back to ``default_quota``; with neither, admission is
+        unmetered for that tenant.
+    default_quota:
+        Quota applied to tenants without an explicit entry.
+    backlog_limit:
+        Bound on the combined (all-tenant) admitted-but-undispatched
+        backlog — the shed point.  ``None`` leaves the backlog unbounded.
+    shed:
+        Enable value-based shedding at the backlog bound.  Off, a full
+        backlog rejects newcomers as ``queue_full``.
+    telemetry:
+        A :class:`~repro.serve.telemetry.ServeTelemetry` to record
+        ``rejected``/``shed`` events on — typically the same hub the sink
+        records to, so one flight-recorder stream tells the whole story.
+    clock:
+        Time source for quota refill when ``submit`` is not given an
+        explicit ``now`` (tests and the load generator inject virtual
+        time).
+    """
+
+    def __init__(
+        self,
+        sink,
+        *,
+        quotas: Mapping[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
+        backlog_limit: int | None = None,
+        shed: bool = False,
+        telemetry: ServeTelemetry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if backlog_limit is not None and backlog_limit < 1:
+            raise ReproError(f"backlog_limit must be >= 1, got {backlog_limit}")
+        self.sink = sink
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
+        self.backlog_limit = backlog_limit
+        self.shed = bool(shed)
+        self._telemetry = telemetry
+        self._clock = clock
+        self.passthrough = (
+            not self.quotas
+            and default_quota is None
+            and backlog_limit is None
+            and not shed
+        )
+        self._state = threading.Condition()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._weights: dict[str, float] = {}
+        self._backlog: dict[str, deque[tuple[Job, int]]] = {}
+        self._backlog_total = 0
+        self._backlog_peak = 0
+        self._passes: dict[str, float] = {}
+        self._order: list[str] = []
+        self._local: dict[str, JobResult] = {}
+        self._seq = 0
+        self._closed = False
+        self._draining = False
+        self._dispatching = False
+        self.n_over_quota = 0
+        self.n_shed = 0
+        self._dispatcher: threading.Thread | None = None
+        if not self.passthrough:
+            self._dispatcher = threading.Thread(
+                target=self._run_dispatcher,
+                name="repro-serve-frontdoor",
+                daemon=True,
+            )
+            self._dispatcher.start()
+
+    # -- admission ----------------------------------------------------------
+
+    def _record(self, event: str, **fields: Any) -> None:
+        if self._telemetry is not None:
+            self._telemetry.record(event, **fields)
+
+    def _quota_for(self, tenant: str) -> TenantQuota | None:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _bucket_for(self, tenant: str) -> TokenBucket | None:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            quota = self._quota_for(tenant)
+            if quota is None:
+                return None
+            bucket = TokenBucket(quota.rate_per_s, quota.burst)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def _reject(self, job: Job, reason: str, error: str, **fields: Any) -> None:
+        obs_metrics.counter("serve.rejected").inc()
+        obs_metrics.counter(f"serve.frontdoor.{reason}").inc()
+        self._record(
+            "rejected", job_id=job.job_id, reason=reason, tenant=job.tenant,
+            **fields,
+        )
+        with self._state:
+            self._local[job.job_id] = JobResult(
+                job_id=job.job_id,
+                status="rejected",
+                error=error,
+                attempts=0,
+                reason=reason,
+            )
+            self._state.notify_all()
+
+    def submit(self, job: Job, block: bool = True, now: float | None = None) -> bool:
+        """Admit one job.  Returns ``True`` when it will reach the sink.
+
+        Pass-through mode forwards to the sink verbatim (including
+        ``block``).  Managed mode never blocks the caller: the decision —
+        admit to the backlog, ``over_quota``, ``shed_overload``, or
+        ``queue_full`` — is immediate, which is what an open-loop arrival
+        process requires.
+        """
+        if self.passthrough:
+            with self._state:
+                self._order.append(job.job_id)
+            return self.sink.submit(job, block=block)
+        if now is None:
+            now = self._clock()
+        with self._state:
+            if self._closed:
+                raise ReproError("FrontDoor is closed")
+            if job.job_id in self._local or job.job_id in set(self._order):
+                raise ReproError(f"duplicate job_id {job.job_id!r}")
+            self._order.append(job.job_id)
+            draining = self._draining
+        if draining:
+            with self._state:
+                self._local[job.job_id] = JobResult(
+                    job_id=job.job_id,
+                    status="interrupted",
+                    error="front door draining; job was not admitted",
+                    attempts=0,
+                )
+                self._state.notify_all()
+            return False
+        bucket = self._bucket_for(job.tenant)
+        if bucket is not None and not bucket.take(now):
+            self.n_over_quota += 1
+            self._reject(
+                job, "over_quota",
+                f"tenant {job.tenant!r} over admission quota",
+            )
+            return False
+        with self._state:
+            if (
+                self.backlog_limit is not None
+                and self._backlog_total >= self.backlog_limit
+            ):
+                if not self.shed:
+                    rejected = job
+                    shed_event = None
+                else:
+                    rejected, shed_event = self._shed_locked(job)
+                    if rejected is not job:
+                        self._admit_locked(job)
+            else:
+                rejected = None
+                shed_event = None
+                self._admit_locked(job)
+        if rejected is None:
+            obs_metrics.counter("serve.frontdoor.admitted").inc()
+            return True
+        if shed_event is None:
+            self._reject(
+                rejected, "queue_full",
+                f"front-door backlog full (limit {self.backlog_limit})",
+            )
+        else:
+            self.n_shed += 1
+            obs_metrics.counter("serve.shed").inc()
+            self._record("shed", **shed_event)
+            self._reject(
+                rejected, "shed_overload",
+                "shed under overload (lowest value in a full backlog)",
+                value=shed_event["value"],
+            )
+        return rejected is not job
+
+    def _admit_locked(self, job: Job) -> None:
+        self._seq += 1
+        queue = self._backlog.setdefault(job.tenant, deque())
+        if job.tenant not in self._passes:
+            # A new tenant starts at the current minimum pass so it cannot
+            # burst ahead of tenants that have been dispatching all along.
+            floor = min(self._passes.values(), default=0.0)
+            self._passes[job.tenant] = floor
+            quota = self._quota_for(job.tenant)
+            self._weights[job.tenant] = quota.weight if quota else 1.0
+        queue.append((job, self._seq))
+        self._backlog_total += 1
+        self._backlog_peak = max(self._backlog_peak, self._backlog_total)
+        self._state.notify_all()
+
+    def _shed_locked(self, incoming: Job) -> tuple[Job, dict[str, Any]]:
+        """Pick the overflow victim: the minimum-value job, incoming included.
+
+        Ties break toward the newest admission (largest sequence number),
+        so long-waiting work keeps its place.  Returns the victim and the
+        ``shed`` event payload; the caller resolves the victim and, when
+        it was a waiting job, admits the incoming one in its place.
+        """
+        victim_tenant: str | None = None
+        victim = (incoming, self._seq + 1)
+        victim_key = (job_value(incoming), -(self._seq + 1))
+        for tenant, queue in self._backlog.items():
+            for entry in queue:
+                key = (job_value(entry[0]), -entry[1])
+                if key < victim_key:
+                    victim_key = key
+                    victim = entry
+                    victim_tenant = tenant
+        if victim_tenant is not None:
+            self._backlog[victim_tenant].remove(victim)
+            self._backlog_total -= 1
+        kept = [
+            job_value(entry[0])
+            for queue in self._backlog.values()
+            for entry in queue
+        ]
+        if victim[0] is not incoming:
+            kept.append(job_value(incoming))
+        event: dict[str, Any] = {
+            "job_id": victim[0].job_id,
+            "tenant": victim[0].tenant,
+            "value": job_value(victim[0]),
+            "backlog": self._backlog_total,
+        }
+        if kept:
+            event["backlog_min_value"] = min(kept)
+        return victim[0], event
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _next_tenant_locked(self) -> str | None:
+        best: str | None = None
+        for tenant, queue in self._backlog.items():
+            if not queue:
+                continue
+            if best is None or (
+                (self._passes[tenant], tenant)
+                < (self._passes[best], best)
+            ):
+                best = tenant
+        return best
+
+    def _run_dispatcher(self) -> None:
+        while True:
+            with self._state:
+                self._state.wait_for(
+                    lambda: self._closed
+                    or self._draining
+                    or self._backlog_total > 0
+                )
+                if self._closed:
+                    return
+                if self._draining:
+                    self._drain_backlog_locked()
+                    continue
+                tenant = self._next_tenant_locked()
+                if tenant is None:
+                    continue
+                job, _ = self._backlog[tenant].popleft()
+                self._backlog_total -= 1
+                self._passes[tenant] += 1.0 / self._weights.get(tenant, 1.0)
+                self._dispatching = True
+            try:
+                # Blocking submit: the sink's bounded queue is the
+                # backpressure point; the backlog above it is the shed point.
+                self.sink.submit(job, block=True)
+            except ReproError as error:
+                with self._state:
+                    self._local[job.job_id] = JobResult(
+                        job_id=job.job_id,
+                        status="rejected",
+                        error=str(error),
+                        attempts=0,
+                        reason="queue_full",
+                    )
+            finally:
+                with self._state:
+                    self._dispatching = False
+                    self._state.notify_all()
+
+    def _drain_backlog_locked(self) -> None:
+        """Resolve every waiting job as interrupted (graceful drain)."""
+        for queue in self._backlog.values():
+            while queue:
+                job, _ = queue.popleft()
+                self._backlog_total -= 1
+                obs_metrics.counter("serve.jobs_interrupted").inc()
+                self._local[job.job_id] = JobResult(
+                    job_id=job.job_id,
+                    status="interrupted",
+                    error="front door drained before this job was released",
+                    attempts=0,
+                )
+        self._state.notify_all()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def interrupt(self) -> None:
+        """Graceful drain: backlog resolves interrupted, sink drains too."""
+        with self._state:
+            if self._draining:
+                return
+            self._draining = True
+            self._state.notify_all()
+        self._record("drain", backlog=self.backlog_depth)
+        _log.warning(kv("serve.frontdoor.interrupted"))
+        if hasattr(self.sink, "interrupt"):
+            self.sink.interrupt()
+
+    def drain(self) -> None:
+        """Block until the backlog is empty and the sink has resolved."""
+        if not self.passthrough:
+            with self._state:
+                self._state.wait_for(
+                    lambda: self._backlog_total == 0 and not self._dispatching
+                )
+        self.sink.drain()
+
+    def results(self) -> tuple[JobResult, ...]:
+        """All results — sink-resolved and locally rejected — in
+        front-door submission order."""
+        sink_results = {r.job_id: r for r in self.sink.results()}
+        with self._state:
+            merged = dict(sink_results)
+            merged.update(self._local)
+            return tuple(
+                merged[job_id] for job_id in self._order if job_id in merged
+            )
+
+    @property
+    def backlog_depth(self) -> int:
+        with self._state:
+            return self._backlog_total
+
+    @property
+    def backlog_peak(self) -> int:
+        """High-water mark of the combined backlog (bounded-queue gate)."""
+        with self._state:
+            return self._backlog_peak
+
+    def stats(self) -> dict[str, Any]:
+        with self._state:
+            return {
+                "passthrough": self.passthrough,
+                "backlog_depth": self._backlog_total,
+                "backlog_peak": self._backlog_peak,
+                "backlog_limit": self.backlog_limit,
+                "n_over_quota": self.n_over_quota,
+                "n_shed": self.n_shed,
+                "tenants": sorted(self._passes),
+            }
+
+    def close(self) -> None:
+        """Stop the dispatcher.  The sink stays the caller's to close."""
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+            self._state.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+
+    def __enter__(self) -> "FrontDoor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

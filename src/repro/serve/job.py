@@ -27,6 +27,7 @@ from repro.errors import ReproError
 __all__ = [
     "Job",
     "JobResult",
+    "REJECTION_REASONS",
     "STATUSES",
     "load_jobs",
     "dump_jobs",
@@ -37,6 +38,10 @@ __all__ = [
 #: journal still holds its ``submitted`` record, so a ``--resume`` run
 #: picks it up.
 STATUSES = ("ok", "failed", "timeout", "crashed", "rejected", "interrupted")
+
+#: Typed reasons a ``rejected`` result may carry (:attr:`JobResult.reason`)
+#: — the admission-control taxonomy (see ``docs/ROBUSTNESS.md``).
+REJECTION_REASONS = ("queue_full", "over_quota", "shed_overload", "shard_down")
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,13 @@ class Job:
         the spec key (two jobs differing only in ``params`` are different
         computations); omitted from keys and JSONL when empty, so specs
         without it keep their exact pre-``params`` representation.
+    tenant:
+        The submitting tenant, for admission control and quota-fair
+        scheduling at the :class:`repro.serve.frontdoor.FrontDoor`.  A
+        service knob like ``priority``: excluded from the spec key (two
+        tenants asking for the same computation coalesce) and omitted
+        from JSONL at the default, so single-tenant specs keep their
+        exact pre-``tenant`` representation.
     """
 
     job_id: str
@@ -91,6 +103,7 @@ class Job:
     fault_args: Mapping[str, Any] = field(default_factory=dict)
     crash_marker: str | None = None
     params: Mapping[str, Any] = field(default_factory=dict)
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -134,9 +147,10 @@ class Job:
     def spec_key(self) -> str:
         """Canonical key of the *computation* this job asks for.
 
-        Excludes ``job_id``, ``priority``, and ``timeout_s`` — two jobs
-        with equal keys produce bit-identical payloads, which is what lets
-        the server coalesce duplicate requests onto one execution.
+        Excludes ``job_id``, ``priority``, ``timeout_s``, and ``tenant``
+        — two jobs with equal keys produce bit-identical payloads, which
+        is what lets the server coalesce duplicate requests onto one
+        execution (even across tenants).
         """
         record = {
             "subject_seed": self.subject_seed,
@@ -180,6 +194,8 @@ class Job:
             record["fault_args"] = dict(self.fault_args)
         if self.params:
             record["params"] = dict(self.params)
+        if self.tenant != "default":
+            record["tenant"] = self.tenant
         return record
 
     @classmethod
@@ -216,6 +232,13 @@ class JobResult:
     :meth:`deterministic`, and :meth:`to_dict` emits the key only when a
     trace exists, so telemetry-off reports stay bit-identical to
     pre-telemetry ones.
+
+    ``reason`` types a ``rejected`` status: ``queue_full`` (bounded-queue
+    backpressure), ``over_quota`` (tenant token bucket empty),
+    ``shed_overload`` (evicted by value-based load shedding), or
+    ``shard_down`` (no healthy shard to route to).  Like ``trace`` it is
+    operational — admission decisions depend on load, not on the spec —
+    and is emitted by :meth:`to_dict` only when set.
     """
 
     job_id: str
@@ -228,6 +251,7 @@ class JobResult:
     coalesced: bool = False
     replayed: bool = False
     trace: Mapping[str, Any] | None = None
+    reason: str | None = None
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -271,6 +295,8 @@ class JobResult:
         )
         if self.trace is not None:
             record["trace"] = self.trace
+        if self.reason is not None:
+            record["reason"] = self.reason
         return record
 
 

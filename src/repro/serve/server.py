@@ -130,6 +130,20 @@ class BatchReport:
         return self.counts.get("interrupted", 0)
 
     @property
+    def n_rejected(self) -> int:
+        """Jobs turned away at admission (queue full, quota, shedding)."""
+        return self.counts.get("rejected", 0)
+
+    def rejection_reasons(self) -> dict[str, int]:
+        """Count of rejected jobs by typed reason (untyped under ``""``)."""
+        reasons: dict[str, int] = {}
+        for result in self.results:
+            if result.status == "rejected":
+                key = result.reason or ""
+                reasons[key] = reasons.get(key, 0) + 1
+        return dict(sorted(reasons.items()))
+
+    @property
     def slo_violations(self) -> list[Mapping[str, Any]]:
         """SLO objectives this batch violated (empty without a policy)."""
         if not self.slo:
@@ -212,6 +226,11 @@ class BatchReport:
             "quality": self.quality_summary(),
             "results": [result.to_dict() for result in self.results],
         }
+        if self.n_rejected:
+            # Only when rejections happened: clean batches keep their
+            # exact pre-admission-control report representation.
+            record["rejected_jobs"] = self.n_rejected
+            record["rejection_reasons"] = self.rejection_reasons()
         if self.slo is not None:
             record["slo_summary"] = self.slo.get("summary")
             record["slo_thresholds"] = self.slo.get("thresholds")
@@ -290,6 +309,12 @@ class BatchServer:
         cold-start killer.  ``None`` (default) inherits whatever
         ``REPRO_MAP_STORE`` the environment already carries; an unusable
         path warns and serves storeless.
+    on_result:
+        Observer called with every resolved :class:`JobResult` (executed,
+        coalesced, replayed, rejected, or interrupted), from scheduler or
+        pool callback threads.  The sharded tier's circuit breaker feeds
+        on this.  Exceptions are swallowed — an observer must never take
+        the service down.
     """
 
     def __init__(
@@ -310,6 +335,7 @@ class BatchServer:
         telemetry: ServeTelemetry | str | os.PathLike | None = None,
         slo: SloPolicy | Mapping[str, float] | None = None,
         map_store: str | os.PathLike | None = None,
+        on_result: Callable[[JobResult], None] | None = None,
     ) -> None:
         if queue_size < 1:
             raise ReproError(f"queue_size must be >= 1, got {queue_size}")
@@ -318,6 +344,10 @@ class BatchServer:
         self.default_timeout_s = default_timeout_s
         self.coalesce = bool(coalesce)
         self._runner = runner if runner is not None else execute_job
+        self._on_result = on_result
+        # A ServeTelemetry the caller constructed stays the caller's to
+        # close — the sharded tier shares one hub across every shard.
+        self._owns_telemetry = not isinstance(telemetry, ServeTelemetry)
         if telemetry is not None and not isinstance(telemetry, ServeTelemetry):
             telemetry = ServeTelemetry(telemetry, slo=slo)
         elif telemetry is None and slo is not None:
@@ -442,13 +472,22 @@ class BatchServer:
         try:
             self._queue.put(item, block=block)
         except queue.Full:
+            # A turned-away job must be as observable as a served one:
+            # typed result reason, a dedicated metric, and a flight-recorder
+            # event — backpressure that is invisible reads as lost load.
             obs_metrics.counter("serve.jobs_rejected").inc()
+            obs_metrics.counter("serve.rejected").inc()
+            self._record(
+                "rejected", job_id=job.job_id, reason="queue_full",
+                tenant=job.tenant, queue_depth=self._queue.qsize(),
+            )
             self._resolve(
                 JobResult(
                     job_id=job.job_id,
                     status="rejected",
                     error=f"queue full (size {self.queue_size})",
                     attempts=0,
+                    reason="queue_full",
                 )
             )
             return False
@@ -491,6 +530,18 @@ class BatchServer:
                 if job_id in self._results
             )
 
+    def checkpoint(self) -> None:
+        """Compact the journal to its live state (no-op without one).
+
+        :meth:`run_batch` checkpoints automatically; callers driving the
+        server through :meth:`submit`/:meth:`drain` directly — the sharded
+        tier does — call this at their own batch boundaries.
+        """
+        if self._journal is not None:
+            with obs_trace.span("serve.journal.checkpoint"):
+                self._journal.checkpoint()
+            self._record("checkpoint", journal=self._journal.path)
+
     def run_batch(self, jobs: Iterable[Job]) -> BatchReport:
         """Submit ``jobs`` (backpressured), wait, checkpoint, and report.
 
@@ -512,10 +563,7 @@ class BatchServer:
             for job in jobs:
                 self.submit(job, block=True)
             self.drain()
-        if self._journal is not None:
-            with obs_trace.span("serve.journal.checkpoint"):
-                self._journal.checkpoint()
-            self._record("checkpoint", journal=self._journal.path)
+        self.checkpoint()
         wall = time.perf_counter() - started
         with self._state:
             results = tuple(
@@ -562,7 +610,7 @@ class BatchServer:
         self._pool.shutdown()
         if self._journal is not None:
             self._journal.close()
-        if self._telemetry is not None:
+        if self._telemetry is not None and self._owns_telemetry:
             self._telemetry.close()
 
     def __enter__(self) -> "BatchServer":
@@ -848,3 +896,8 @@ class BatchServer:
             self._results[result.job_id] = result
             self._outstanding -= 1
             self._state.notify_all()
+        if self._on_result is not None:
+            try:
+                self._on_result(result)
+            except Exception:  # noqa: BLE001 - observers must not kill serving
+                pass

@@ -1,0 +1,108 @@
+"""Value-based load shedding: what to drop when the system must drop.
+
+Under sustained overload an admission layer has three choices: queue
+without bound (latency collapses for everyone), reject newest-first
+(random with respect to worth), or shed *by value* — keep the work the
+fleet gets the most out of and turn away the rest.  This module defines
+the value order and the offline verifier that proves a recorded run
+respected it.
+
+The value of a job is ``priority + clamped confidence estimate``: an
+integer priority step always dominates any confidence difference (the
+caller's explicit ranking is never overridden by a model estimate), and
+within one priority band the jobs whose captures are expected to
+personalize well (PR 4's confidence signal, carried on the job as
+``params["expected_confidence"]`` or estimated from its fault spec) win
+over the ones likely to need salvage or fail outright.  Shedding the
+minimum-value job is therefore "lowest confidence / lowest priority
+first" — the brownout the ROADMAP asks for.
+
+Every shed decision is recorded as a ``shed`` flight-recorder event
+carrying the victim's value and the minimum value left in the backlog;
+:func:`verify_shed_ordering` replays a recorded stream and checks the
+invariant *at every decision point* — the property CI's overload
+scenario gates on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.serve.job import Job
+
+__all__ = [
+    "DEGRADED_CONFIDENCE",
+    "estimate_confidence",
+    "job_value",
+    "verify_shed_ordering",
+]
+
+#: Confidence assumed for a job with a fault spec but no precomputed
+#: estimate: degraded captures personalize worse than clean ones, but the
+#: admission layer has no business assuming they fail outright.
+DEGRADED_CONFIDENCE = 0.5
+
+#: Tolerance for float comparison in the ordering check.
+_EPS = 1e-9
+
+
+def estimate_confidence(job: Job) -> float:
+    """The admission-time confidence estimate for ``job``, in ``[0, 1]``.
+
+    Prefers an explicit ``params["expected_confidence"]`` (the fleet load
+    generator stamps the PR 4 model's prediction there); falls back to
+    :data:`DEGRADED_CONFIDENCE` for jobs that name a capture fault and to
+    ``1.0`` for clean specs.  Pure function of the job — two admission
+    layers judge one job identically.
+    """
+    params = job.params or {}
+    raw = params.get("expected_confidence")
+    if raw is not None:
+        return min(max(float(raw), 0.0), 1.0)
+    if job.fault is not None:
+        return DEGRADED_CONFIDENCE
+    return 1.0
+
+
+def job_value(job: Job) -> float:
+    """Scalar shed value: higher is kept longer.
+
+    ``priority + confidence``: priorities are integers and confidence is
+    clamped to ``[0, 1]``, so a higher priority always outranks any
+    confidence, and confidence breaks ties inside one priority band.
+    """
+    return float(job.priority) + estimate_confidence(job)
+
+
+def verify_shed_ordering(
+    events: Iterable[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Check every recorded shed decision against the value order.
+
+    Each ``shed`` event carries ``value`` (the victim's) and
+    ``backlog_min_value`` (the minimum value among the jobs *kept* at that
+    instant, as the shedder saw them).  The invariant: no victim was ever
+    worth more than something kept — ``value <= backlog_min_value`` within
+    float tolerance.  Returns one violation record per broken decision
+    (empty list = the run shed provably lowest-value-first); events of
+    other kinds, and shed events recorded with an empty backlog, are
+    ignored.
+    """
+    violations: list[dict[str, Any]] = []
+    for record in events:
+        if record.get("event") != "shed":
+            continue
+        value = record.get("value")
+        floor = record.get("backlog_min_value")
+        if value is None or floor is None:
+            continue
+        if float(value) > float(floor) + _EPS:
+            violations.append(
+                {
+                    "job_id": record.get("job_id"),
+                    "value": float(value),
+                    "backlog_min_value": float(floor),
+                    "seq": record.get("seq"),
+                }
+            )
+    return violations

@@ -68,6 +68,11 @@ EVENTS = (
     "drain",
     "checkpoint",
     "batch_done",
+    # Admission-control and shard-health events (the multi-tenant tier).
+    "rejected",
+    "shed",
+    "shard_eject",
+    "shard_probe",
 )
 
 #: How many appended events between rollup snapshots.
@@ -204,6 +209,8 @@ class SloTracker:
         self._cold_starts = 0
         self._cold_known = 0
         self._dead_letters = 0
+        self._rejected = 0
+        self._shed = 0
         self._first_t: float | None = None
         self._last_done_t: float | None = None
         self._n_done = 0
@@ -247,6 +254,10 @@ class SloTracker:
                     self._cold_starts += 1 if cold else 0
             elif event == "dead_letter":
                 self._dead_letters += 1
+            elif event == "rejected":
+                self._rejected += 1
+            elif event == "shed":
+                self._shed += 1
 
     def stats(self) -> dict[str, Any]:
         """Every tracked statistic as one flat JSON-serializable dict."""
@@ -260,6 +271,7 @@ class SloTracker:
             throughput = float("nan")
             if wall and self._n_done:
                 throughput = self._n_done / wall
+            offered = self._n_done + self._rejected + self._shed
             return {
                 "n_jobs": self._n_done,
                 "n_executed": self._executed,
@@ -288,6 +300,17 @@ class SloTracker:
                     self._cold_starts / self._cold_known
                     if self._cold_known else float("nan")
                 ),
+                # Admission statistics: rates are over *offered* load
+                # (completed + turned away), the denominator an operator
+                # reasons about when judging a brownout.
+                "n_rejected": self._rejected,
+                "n_shed": self._shed,
+                "reject_rate": (
+                    self._rejected / offered if offered else 0.0
+                ),
+                "shed_rate": (
+                    self._shed / offered if offered else 0.0
+                ),
             }
 
 
@@ -305,6 +328,10 @@ SLO_STATS = (
     "retry_rate",
     "dead_letter_rate",
     "cold_start_fraction",
+    "n_rejected",
+    "n_shed",
+    "reject_rate",
+    "shed_rate",
 )
 
 

@@ -239,6 +239,49 @@ class TestBatchServerSemantics:
                 assert result.attempts == 0
                 assert "queue full" in result.error
 
+    def test_rejections_are_visible_everywhere(self, tmp_path):
+        # A non-blocking rejection must be observable in all three planes:
+        # the metrics counter, the telemetry event stream, and the batch
+        # report — silent admission drops read as lost load.
+        from repro.obs import metrics as obs_metrics
+        from repro.serve import BatchReport
+
+        before = obs_metrics.counter("serve.rejected").value
+        telemetry = tmp_path / "events.jsonl"
+        blocker = _job("blocker", seed=0, fault_args={"sleep_s": 0.8})
+        burst = [_job(f"b{i}", seed=100 + i, tenant="burst") for i in range(6)]
+        with BatchServer(workers=1, queue_size=1, runner=sleepy_runner,
+                         coalesce=False, telemetry=telemetry) as server:
+            assert server.submit(blocker, block=True)
+            accepted = [server.submit(job, block=False) for job in burst]
+            server.drain()
+            results = server.results()
+            wall_s = 0.0
+        n_rejected = accepted.count(False)
+        assert n_rejected > 0
+
+        # Metrics plane: the dedicated rejection counter moved in lockstep.
+        assert obs_metrics.counter("serve.rejected").value == before + n_rejected
+
+        # Telemetry plane: one typed "rejected" event per rejection, each
+        # carrying the reason, tenant, and observed queue depth.
+        events = [e for e in read_events(telemetry) if e.get("event") == "rejected"]
+        assert len(events) == n_rejected
+        for event in events:
+            assert event["reason"] == "queue_full"
+            assert event["tenant"] == "burst"
+            assert event["queue_depth"] >= 0
+
+        # Report plane: rejections surface in counts, typed reasons, and
+        # the serialized record (only when rejections actually happened).
+        report = BatchReport(results=results, wall_s=wall_s, workers=1,
+                             queue_size=1, coalesce=False)
+        assert report.n_rejected == n_rejected
+        assert report.rejection_reasons() == {"queue_full": n_rejected}
+        record = report.to_dict()
+        assert record["rejected_jobs"] == n_rejected
+        assert record["rejection_reasons"] == {"queue_full": n_rejected}
+
     def test_priority_orders_the_pending_queue(self):
         # While the single worker is pinned, a later high-priority job must
         # be dispatched before an earlier low-priority one; queue_wait_s
