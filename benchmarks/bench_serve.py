@@ -31,6 +31,13 @@ CI fleet tier — plus a bit-identity check of the multi-worker
 :class:`~repro.eval.fleet.FleetReport` against a serial run (record it
 with ``--pr8-output BENCH_PR8.json``).
 
+The PR 10 adverse phase checks the deconvolution ladder's two serve-side
+contracts: ``auto`` costs under 2% over pinned ``inverse`` on a clean
+capture (the ladder is free when it does nothing), and a batch of noisy/
+reverberant jobs completes with zero failures, each payload carrying the
+method/rung it settled on (record it with ``--pr10-output
+BENCH_PR10.json``).
+
     PYTHONPATH=src python benchmarks/bench_serve.py --output BENCH_PR3.json \
         --pr7-output BENCH_PR7.json --pr8-output BENCH_PR8.json
     PYTHONPATH=src python benchmarks/bench_serve.py --quick   # CI smoke
@@ -310,6 +317,84 @@ def run_fleet_phase(subjects: int, seed: int, workers: int) -> dict:
     }
 
 
+def run_adverse_phase(workers: int, budget_frac: float = 0.02) -> dict:
+    """Adverse captures through the serve tier + rung-0 overhead (BENCH_PR10).
+
+    Two contracts, enforced here rather than just recorded:
+
+    - **rung-0 overhead**: on a clean capture, the ``auto`` ladder (with
+      its sentinel reads and escalation bookkeeping) must cost under
+      ``budget_frac`` of the pinned-``inverse`` wall time, warm, best of
+      three per side — the ladder is free when it does nothing;
+    - **graceful degradation at the serve tier**: a batch mixing clean,
+      noisy, reverberant, and noisy+reverberant jobs completes with zero
+      failures, every payload carries its method/rung, and at least one
+      adverse job actually escalated.
+    """
+    from repro.core.pipeline import personalize_capture
+
+    # Warm every process-wide cache, then alternate pinned/auto so both
+    # sides see the same machine state; best-of-three per side before the
+    # budget is enforced (walls are noisy on shared CI boxes).
+    personalize_capture(subject_seed=1, deconv="inverse", **SPEC)
+    walls = {"inverse": [], "auto": []}
+    for _ in range(3):
+        for mode in ("inverse", "auto"):
+            started = time.perf_counter()
+            personalize_capture(subject_seed=1, deconv=mode, **SPEC)
+            walls[mode].append(time.perf_counter() - started)
+    overhead = min(walls["auto"]) / min(walls["inverse"]) - 1.0
+    if overhead >= budget_frac:
+        raise RuntimeError(
+            f"rung-0 ladder overhead {overhead:.1%} exceeds the "
+            f"{budget_frac:.0%} budget"
+        )
+
+    adverse_jobs = [
+        Job(job_id="adverse-clean", subject_seed=1, **SPEC),
+        Job(job_id="adverse-noise", subject_seed=1,
+            fault="mic_noise", fault_args={"std": 0.3}, **SPEC),
+        Job(job_id="adverse-reverb", subject_seed=1,
+            fault="reverberant_room",
+            fault_args={"rt60_s": 0.9, "wet_level": 1.6}, **SPEC),
+        Job(job_id="adverse-both", subject_seed=1,
+            fault="noisy_reverberant",
+            fault_args={"rt60_s": 0.9, "std": 0.3}, **SPEC),
+    ]
+    with BatchServer(workers=workers) as server:
+        report = server.run_batch(adverse_jobs)
+    if report.n_ok != len(adverse_jobs):
+        raise RuntimeError(f"adverse batch had failures: {report.counts}")
+    rungs = {
+        r.job_id: dict((r.payload or {}).get("deconv") or {})
+        for r in report.results
+    }
+    if rungs["adverse-clean"].get("rung") != 0:
+        raise RuntimeError(f"clean job left rung 0: {rungs['adverse-clean']}")
+    escalated = sum(1 for d in rungs.values() if d.get("rung", 0) > 0)
+    if escalated == 0:
+        raise RuntimeError("no adverse job escalated the ladder")
+    return {
+        "rung0_overhead": {
+            "walls_inverse_s": walls["inverse"],
+            "walls_auto_s": walls["auto"],
+            "overhead_frac": overhead,
+            "budget_frac": budget_frac,
+        },
+        "adverse_batch": {
+            "n_jobs": len(adverse_jobs),
+            "counts": report.counts,
+            "wall_s": report.wall_s,
+            "escalated_jobs": escalated,
+            "deconv_by_job": rungs,
+            "confidence_by_job": {
+                r.job_id: (r.payload or {}).get("confidence")
+                for r in report.results
+            },
+        },
+    }
+
+
 def run_crash_phase(workers: int) -> dict:
     """A small batch with one injected worker death must still complete."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -351,6 +436,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--pr8-output", default=None, metavar="PATH",
                         help="write the fleet-throughput phase record "
                         "(BENCH_PR8.json) here")
+    parser.add_argument("--pr10-output", default=None, metavar="PATH",
+                        help="write the adverse-capture phase record "
+                        "(BENCH_PR10.json) here")
     parser.add_argument("--fleet-subjects", type=int, default=2000,
                         help="population size for the fleet phase")
     args = parser.parse_args(argv)
@@ -402,6 +490,14 @@ def main(argv: list[str] | None = None) -> int:
           f"bound {cold['bound']['bound_s']:.2f} s, "
           f"{cold['store']['artifacts']} artifacts)")
 
+    print("adverse phase  : rung-0 overhead + adverse batch ...")
+    adverse = run_adverse_phase(args.workers)
+    print(f"                 rung-0 overhead "
+          f"{adverse['rung0_overhead']['overhead_frac']:+.1%} "
+          f"(budget {adverse['rung0_overhead']['budget_frac']:.0%}), "
+          f"{adverse['adverse_batch']['escalated_jobs']}/"
+          f"{adverse['adverse_batch']['n_jobs']} jobs escalated")
+
     print(f"fleet phase    : {args.fleet_subjects} synthetic subjects ...")
     fleet = run_fleet_phase(args.fleet_subjects, seed=7, workers=args.workers)
     print(f"                 {fleet['wall_s']:.1f} s "
@@ -429,6 +525,7 @@ def main(argv: list[str] | None = None) -> int:
         "telemetry_overhead": telemetry,
         "crash_recovery": crash,
         "cold_start": cold,
+        "adverse": adverse,
         "fleet": fleet,
         "speedup_vs_per_process": speedup_pp,
         "speedup_vs_serial_service": speedup_serial,
@@ -472,6 +569,22 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(pr8_record, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"record         : {args.pr8_output}")
+    if args.pr10_output:
+        from repro.ioutil import atomic_write
+
+        pr10_record = {
+            "benchmark": "adverse_capture",
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "spec": SPEC,
+            "quick": args.quick,
+            **adverse,
+        }
+        with atomic_write(args.pr10_output, "w") as handle:
+            json.dump(pr10_record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"record         : {args.pr10_output}")
     return 0
 
 

@@ -45,10 +45,28 @@ SEVERITIES = {
     "gyro_bias_drift": lambda peak: {"drift_dps_per_s": 1.0},
     "clock_skew": lambda peak: {"skew": 0.2},
     "synthetic-failure": lambda peak: {},
+    "reverberant_room": lambda peak: {"rt60_s": 0.9, "wet_level": 1.6},
+    "noisy_reverberant": lambda peak: {"rt60_s": 0.9, "std": 0.3},
 }
 
 #: The cheap audio-only subset for CI smoke runs.
 QUICK_FAULTS = ("clipped", "dropout", "zeroed", "synthetic-failure")
+
+#: The adverse sweep grid for ``--adverse``: room RT60 x broadband noise
+#: sigma.  The (0, 0) cell is the clean reference row; pure-reverb and
+#: pure-noise rows use the single-axis faults so each axis is attributable.
+ADVERSE_RT60S = (0.0, 0.3, 0.6, 0.9)
+ADVERSE_STDS = (0.0, 0.05, 0.3)
+
+
+def adverse_fault(rt60_s: float, std: float) -> tuple[str | None, dict]:
+    if rt60_s == 0.0 and std == 0.0:
+        return None, {}
+    if rt60_s == 0.0:
+        return "mic_noise", {"std": std}
+    if std == 0.0:
+        return "reverberant_room", {"rt60_s": rt60_s, "wet_level": 1.6}
+    return "noisy_reverberant", {"rt60_s": rt60_s, "std": std}
 
 
 def run_case(session, name: str | None, kwargs: dict) -> dict:
@@ -67,9 +85,12 @@ def run_case(session, name: str | None, kwargs: dict) -> dict:
             error=str(error),
         )
     else:
+        salvage = (result.quality.salvage or {}) if result.quality else {}
         record.update(
             status="ok",
             confidence=result.confidence,
+            deconv_method=str(salvage.get("deconv_method", "inverse")),
+            deconv_rung=int(salvage.get("deconv_rung", 0)),
             quality=result.quality.to_dict(),
         )
     record["wall_s"] = round(time.perf_counter() - started, 3)
@@ -123,6 +144,75 @@ def generate(quick: bool = False) -> dict:
     }
 
 
+def generate_adverse() -> dict:
+    """Sweep the reverb x noise grid and tabulate the rung each cell used.
+
+    The per-rung outcome table: every cell either completes (with the
+    ladder rung, method, and confidence it settled on) or is rejected with
+    a typed error — an unhandled exception anywhere in the grid fails the
+    sweep, which is the chaos contract for adverse captures.
+    """
+    subject = VirtualSubject.random(1)
+    session = MeasurementSession(
+        subject, seed=0, probe_interval_s=SPEC["probe_interval_s"]
+    ).run()
+    rows = []
+    for rt60_s in ADVERSE_RT60S:
+        for std in ADVERSE_STDS:
+            name, kwargs = adverse_fault(rt60_s, std)
+            print(f"chaos: rt60={rt60_s} std={std} ({name or 'clean'}) ...", flush=True)
+            record = run_case(session, name, kwargs)
+            row = {
+                "rt60_s": rt60_s,
+                "std": std,
+                "fault": name,
+                "status": record["status"],
+                "wall_s": record["wall_s"],
+            }
+            if record["status"] == "ok":
+                row.update(
+                    deconv_method=record["deconv_method"],
+                    deconv_rung=record["deconv_rung"],
+                    confidence=record["confidence"],
+                )
+            else:
+                row.update(error_type=record["error_type"])
+            rows.append(row)
+    rungs = [r["deconv_rung"] for r in rows if r["status"] == "ok"]
+    return {
+        "record": "chaos_rung_table",
+        "version": __version__,
+        "python": platform.python_version(),
+        "spec": SPEC,
+        "grid": {"rt60_s": list(ADVERSE_RT60S), "std": list(ADVERSE_STDS)},
+        "summary": {
+            "n_cells": len(rows),
+            "n_completed": len(rungs),
+            "n_rejected": len(rows) - len(rungs),
+            "n_escalated": sum(1 for r in rungs if r > 0),
+            "max_rung": max(rungs, default=None),
+        },
+        "rows": rows,
+    }
+
+
+def print_rung_table(report: dict) -> None:
+    header = f"{'rt60_s':>7} {'std':>6} {'status':<9} {'method':<8} {'rung':>4} {'confidence':>11}"
+    print(header)
+    print("-" * len(header))
+    for row in report["rows"]:
+        if row["status"] == "ok":
+            method, rung = row["deconv_method"], str(row["deconv_rung"])
+            tail = f"{row['confidence']:11.3f}"
+        else:
+            method, rung = row["error_type"], "-"
+            tail = f"{'-':>11}"
+        print(
+            f"{row['rt60_s']:>7.2f} {row['std']:>6.2f} {row['status']:<9} "
+            f"{method:<8} {rung:>4} {tail}"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python benchmarks/chaos_report.py",
@@ -134,7 +224,34 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="audio faults only (skips the slow gyro rejections)",
     )
+    parser.add_argument(
+        "--adverse", action="store_true",
+        help="sweep the reverb x noise grid instead of the fault matrix "
+        "and write the per-rung outcome table",
+    )
     args = parser.parse_args(argv)
+    if args.adverse:
+        report = generate_adverse()
+        with atomic_write(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print_rung_table(report)
+        summary = report["summary"]
+        print(
+            f"wrote {args.output}: {summary['n_completed']}/{summary['n_cells']} "
+            f"cells completed ({summary['n_escalated']} above rung 0), "
+            f"{summary['n_rejected']} rejected"
+        )
+        # The adverse contract: the clean cell stays rung 0 at full
+        # confidence, and at least one adverse cell actually escalates.
+        clean_row = report["rows"][0]
+        if clean_row.get("deconv_rung") != 0 or clean_row.get("confidence") != 1.0:
+            print(f"ERROR: clean cell not pristine: {clean_row}")
+            return 1
+        if summary["n_escalated"] == 0:
+            print("ERROR: no adverse cell escalated the ladder")
+            return 1
+        return 0
     report = generate(quick=args.quick)
     with atomic_write(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

@@ -124,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
         "confidence falls below C in [0, 1] (default: 0, accept everything)",
     )
     parser.add_argument(
+        "--deconv",
+        choices=("auto", "inverse", "wiener", "tdls"),
+        default="auto",
+        help="deconvolution strategy: 'auto' (default) starts on the rung "
+        "the preflight sentinels recommend and climbs the ladder when the "
+        "solve fails; pinning a method runs exactly that rung",
+    )
+    parser.add_argument(
         "--evaluate",
         action="store_true",
         help="also compare the result against the subject's ground truth "
@@ -397,6 +405,11 @@ def main_batch(argv: list[str] | None = None) -> int:
               f"{len(quality['flagged_jobs'])} flagged")
         for key, count in quality["flag_counts"].items():
             print(f"                   {key} x{count}")
+        methods = quality.get("deconv_method_counts", {})
+        if methods and set(methods) != {"inverse"}:
+            rungs = ", ".join(f"{m} x{n}" for m, n in methods.items())
+            print(f"deconvolution    : {rungs} "
+                  f"({len(quality['escalated_jobs'])} jobs above rung 0)")
         for result in report.results:
             payload = result.payload or {}
             if (
@@ -1478,7 +1491,7 @@ def main(argv: list[str] | None = None) -> int:
           f"{session.truth.trajectory.duration:.0f} s sweep")
 
     grid = grid_from_step(args.angle_step)
-    uniq = Uniq(UniqConfig(angle_grid_deg=grid))
+    uniq = Uniq(UniqConfig(angle_grid_deg=grid, deconv=args.deconv))
     walls = []
     try:
         for _ in range(max(args.repeat, 1)):
@@ -1506,6 +1519,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if result.quality is not None:
         print(f"confidence       : {result.quality.confidence:.3f}")
+        method = result.quality.salvage.get("deconv_method", "inverse")
+        rung = result.quality.salvage.get("deconv_rung", 0)
+        path = result.quality.salvage.get("deconv_path", [method])
+        climbed = f" via {' -> '.join(path)}" if len(path) > 1 else ""
+        print(f"deconvolution    : {method} (rung {rung}){climbed}")
         print("quality          : stage        score  flags")
         for stage, score, flags in result.quality.stage_table():
             print(f"                   {stage:<12} {score:.3f}  {flags}")

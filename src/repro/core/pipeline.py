@@ -28,6 +28,11 @@ from repro.quality.preflight import (
 )
 from repro.quality.report import QualityReport, combine_components
 from repro.signals.channel import ProbeChannelBank
+from repro.signals.deconvolve import (
+    ladder_next,
+    noise_regularization,
+    rung_of,
+)
 from repro.simulation.person import VirtualSubject
 from repro.simulation.session import MeasurementSession, SessionData
 from repro.core.compensation import (
@@ -39,6 +44,16 @@ from repro.core.interpolation import NearFieldInterpolator, NearFieldMeasurement
 from repro.core.near_far import NearFarConverter
 
 _log = get_logger("core.pipeline")
+
+#: Gesture residual (deg) at/above which auto mode climbs the deconvolution
+#: ladder even though the solve nominally succeeded — mirrors the fusion
+#: residual sentinel's "bad" threshold.
+_ESCALATE_RESIDUAL_DEG = 20.0
+
+#: Confidence component applied when the run finished above rung 0: the
+#: robust estimators rescue adverse captures but smooth real pinna detail,
+#: so a ladder climb is never free.
+_RUNG_PENALTY = {1: 0.93, 2: 0.85}
 
 
 def grid_from_step(angle_step_deg: float) -> tuple[float, ...]:
@@ -77,6 +92,15 @@ class UniqConfig:
         capture with suspect probes is retried once with those probes
         dropped before the :class:`repro.errors.CalibrationError`
         propagates.
+    deconv:
+        Deconvolution strategy (see :mod:`repro.signals.deconvolve`):
+        ``"auto"`` (default) starts on the rung the preflight sentinels
+        recommend and climbs the ladder when the solve fails or the gesture
+        residual blows up; pinning ``"inverse"``/``"wiener"``/``"tdls"``
+        runs exactly that rung with no escalation.
+    max_rung_climbs:
+        Ladder climb budget per run in ``auto`` mode (escalation also
+        requires ``salvage=True``).
     """
 
     angle_grid_deg: tuple[float, ...] = DEFAULT_ANGLE_GRID_DEG
@@ -86,6 +110,8 @@ class UniqConfig:
     enforce_gesture_check: bool = True
     preflight_thresholds: PreflightThresholds | None = None
     salvage: bool = True
+    deconv: str = "auto"
+    max_rung_climbs: int = 2
 
 
 @dataclass(frozen=True)
@@ -216,7 +242,7 @@ class Uniq:
             # extraction and the interpolator's HRIR extraction share the
             # per-probe channel estimates (created after compensation so
             # cached impulses reflect the equalized recordings).
-            bank = ProbeChannelBank(session.probe_signal)
+            bank = self._probe_bank(session, health)
             weights = health.weights
             # All-healthy captures must stay bit-identical to pre-quality
             # runs, so the weighted solve only activates on degraded input.
@@ -231,11 +257,18 @@ class Uniq:
                 ],
                 "retried": False,
             }
-            try:
-                fusion = self._solve(session, bank, weights_arg, collector)
-            except CalibrationError as error:
-                fusion = self._salvage_retry(
-                    session, bank, health, collector, salvage, error
+            fusion, method, rung_path = self._solve_with_ladder(
+                session, bank, weights_arg, health, collector, salvage
+            )
+            rung = rung_of(method)
+            salvage["deconv_method"] = method
+            salvage["deconv_rung"] = rung
+            salvage["deconv_path"] = rung_path
+            if rung > 0 and self.config.deconv == "auto":
+                # Rung-aware confidence penalty; the sentinel/escalation
+                # flags that put the run above rung 0 are already recorded.
+                collector.component(
+                    "pipeline.deconv_rung", _RUNG_PENALTY[rung]
                 )
 
             grid = np.asarray(self.config.angle_grid_deg, dtype=float)
@@ -282,6 +315,141 @@ class Uniq:
             measurements=tuple(measurements),
             trace=root if isinstance(root, Span) else None,
             quality=report,
+        )
+
+    def _probe_bank(
+        self, session: SessionData, health: CaptureHealth
+    ) -> ProbeChannelBank:
+        """The deconvolution cache, configured for the starting rung.
+
+        Clean captures in ``auto`` mode (and the pinned ``"inverse"``
+        strategy) construct the bank exactly as every pre-ladder caller
+        did, so their channel estimates stay bit-identical.  When the
+        preflight noise sentinel fired, the regularizer is matched to the
+        measured noise floor instead of the fixed clean-room default.
+        """
+        source = session.probe_signal
+        if self.config.deconv != "auto":
+            rung_of(self.config.deconv)  # validate the pinned name early
+            if self.config.deconv == "inverse":
+                return ProbeChannelBank(source)
+            return ProbeChannelBank(
+                source,
+                method=self.config.deconv,
+                noise_floor=health.noise_floor or None,
+            )
+        method = health.recommended_method
+        if method == "inverse":
+            return ProbeChannelBank(source)
+        if health.components.get("preflight.noise", 1.0) < 1.0:
+            regularization = noise_regularization(
+                source, session.probes[0].left.shape[0], health.noise_floor
+            )
+            return ProbeChannelBank(
+                source,
+                regularization=regularization,
+                method=method,
+                noise_floor=health.noise_floor,
+            )
+        return ProbeChannelBank(
+            source, method=method, noise_floor=health.noise_floor or None
+        )
+
+    def _solve_with_ladder(
+        self,
+        session: SessionData,
+        bank: ProbeChannelBank,
+        weights_arg: np.ndarray | None,
+        health: CaptureHealth,
+        collector: QualityCollector,
+        salvage: dict,
+    ) -> tuple[FusionResult, str, list[str]]:
+        """Solve, climbing the deconvolution ladder on failure.
+
+        Each rung gets the full pre-ladder treatment (solve, then one
+        salvage retry with suspects dropped).  A rung whose solve raises
+        :class:`repro.errors.CalibrationError` — or succeeds with a gesture
+        residual past :data:`_ESCALATE_RESIDUAL_DEG` — escalates to the
+        next method while the climb budget lasts; the best successful
+        fusion (smallest residual) across rungs is the one kept, so a
+        climb can never make a capture worse.  Raises the last rung's
+        error when no rung produced a usable fusion.
+        """
+        method = bank.method
+        rung_path = [method]
+        climbs_left = (
+            int(self.config.max_rung_climbs)
+            if self.config.deconv == "auto" and self.config.salvage
+            else 0
+        )
+        best: tuple[FusionResult, str] | None = None
+        while True:
+            fusion: FusionResult | None = None
+            failure: CalibrationError | None = None
+            try:
+                fusion = self._solve(session, bank, weights_arg, collector)
+            except CalibrationError as error:
+                try:
+                    fusion = self._salvage_retry(
+                        session, bank, health, collector, salvage, error
+                    )
+                except CalibrationError as retry_error:
+                    failure = retry_error
+            if fusion is not None:
+                if best is None or fusion.residual_deg < best[0].residual_deg:
+                    best = (fusion, method)
+                if fusion.residual_deg < _ESCALATE_RESIDUAL_DEG:
+                    break
+            next_method = ladder_next(method) if climbs_left > 0 else None
+            if next_method is None:
+                if best is not None:
+                    break
+                assert failure is not None
+                raise failure
+            reason = (
+                str(failure)
+                if failure is not None
+                else (
+                    f"gesture residual {fusion.residual_deg:.1f} deg >= "
+                    f"{_ESCALATE_RESIDUAL_DEG:.0f} deg"
+                )
+            )
+            self._climb(bank, method, next_method, collector, reason, health)
+            method = next_method
+            rung_path.append(method)
+            climbs_left -= 1
+        fusion, method = best
+        return fusion, method, rung_path
+
+    def _climb(
+        self,
+        bank: ProbeChannelBank,
+        method: str,
+        next_method: str,
+        collector: QualityCollector,
+        reason: str,
+        health: CaptureHealth,
+    ) -> None:
+        """Record and perform one ladder climb on the shared bank."""
+        collector.flag(
+            "pipeline",
+            "deconv_escalated",
+            "warn",
+            f"deconvolution ladder climb {method} -> {next_method}: {reason}",
+            value=float(rung_of(next_method)),
+        )
+        obs_metrics.counter("quality.deconv_escalations").inc()
+        _log.warning(
+            kv(
+                "uniq.deconv_escalated",
+                from_method=method,
+                to_method=next_method,
+                reason=reason,
+            )
+        )
+        bank.set_method(
+            next_method,
+            noise_floor=health.noise_floor if health.noise_floor > 0 else None,
         )
 
     def _solve(
@@ -364,6 +532,7 @@ def personalize_capture(
     angle_step_deg: float = 5.0,
     enforce_gesture_check: bool = True,
     session: SessionData | None = None,
+    deconv: str = "auto",
 ) -> tuple[SessionData, PersonalizationResult]:
     """Simulate (or take) one capture and personalize it — the one-job unit.
 
@@ -387,5 +556,6 @@ def personalize_capture(
     config = UniqConfig(
         angle_grid_deg=grid_from_step(angle_step_deg),
         enforce_gesture_check=enforce_gesture_check,
+        deconv=deconv,
     )
     return session, Uniq(config).personalize(session)

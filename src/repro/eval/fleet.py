@@ -138,13 +138,21 @@ class Stratum:
 
 
 #: The default fleet mix: mostly clean captures, with realistic minorities
-#: of noisy rooms, clipped speakers, dropped probes, and drifting IMUs.
+#: of noisy rooms, clipped speakers, dropped probes, drifting IMUs, and
+#: reverberant (or noisy *and* reverberant) living rooms.
 DEFAULT_STRATA: tuple[Stratum, ...] = (
-    Stratum("clean", 0.55),
-    Stratum("noisy_room", 0.20, "mic_noise", {"std": 0.01}),
+    Stratum("clean", 0.50),
+    Stratum("noisy_room", 0.18, "mic_noise", {"std": 0.01}),
     Stratum("clipped_audio", 0.10, "clipped", {"level": 0.02}),
     Stratum("sparse_probes", 0.08, "dropout", {"keep_every": 2}),
     Stratum("imu_drift", 0.07, "gyro_bias_drift", {"drift_dps_per_s": 0.5}),
+    Stratum("reverberant", 0.04, "reverberant_room", {"rt60_s": 0.6}),
+    Stratum(
+        "noisy_reverberant",
+        0.03,
+        "noisy_reverberant",
+        {"rt60_s": 0.5, "std": 0.05},
+    ),
 )
 
 
@@ -173,6 +181,20 @@ def _fault_severity(
     if fault == "gyro_bias_drift":
         drift = float(args.get("drift_dps_per_s", 0.5))
         return 0.5 * drift, 0.06 * drift, 3.0 * drift, min(0.5, 0.2 * drift)
+    if fault == "reverberant_room":
+        # Longer tails smear the early taps; the ladder contains the error
+        # but the robust rungs cost extra deconvolutions.
+        rt60 = float(args.get("rt60_s", 0.4)) * float(args.get("wet_level", 1.0))
+        return 1.2 * rt60, 0.12 * rt60, 25.0 * rt60, min(0.5, 0.3 * rt60)
+    if fault == "noisy_reverberant":
+        rt60 = float(args.get("rt60_s", 0.5)) * float(args.get("wet_level", 1.0))
+        std = float(args.get("std", 0.05))
+        return (
+            1.2 * rt60 + 30.0 * std,
+            0.12 * rt60 + 4.0 * std,
+            25.0 * rt60 + 800.0 * std,
+            min(0.5, 0.3 * rt60 + 35.0 * std),
+        )
     # Unmodeled faults degrade by a generic moderate amount rather than
     # silently behaving like clean captures.
     return 0.25, 0.03, 5.0, 0.1

@@ -32,10 +32,13 @@ from typing import Any
 
 import numpy as np
 
+from repro.constants import ROOM_REFLECTION_CUTOFF_S
 from repro.errors import SignalError
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.quality.flags import QualityCollector
+from repro.signals.channel import estimate_channel, find_taps, first_tap_index
+from repro.signals.spectrum import band_energy_ratio
 from repro.quality.report import (
     combine_components,
     degradation_score,
@@ -98,6 +101,20 @@ class PreflightThresholds:
     #: probe interval legitimately produces.
     clock_skew_good: float = 0.08
     clock_skew_bad: float = 0.5
+    #: Reverberation: late-to-early energy ratio of the deconvolved channel
+    #: (50 ms window; "early" = the paper's 2.5 ms head/pinna window after
+    #: the first tap), worst case over the sampled probes.  The default
+    #: living-room simulation tops out around 0.31; real failure starts
+    #: when the tail carries multiples of the early energy.
+    reverb_ratio_good: float = 0.45
+    reverb_ratio_bad: float = 2.5
+    #: Broadband noise: out-of-band energy fraction of the recording
+    #: relative to the played probe's 99 % energy band.  Clean captures sit
+    #: below 0.04 (the HRIR only filters, never adds, out-of-band energy);
+    #: by 0.45 the white floor rivals the probe and even the robust rungs
+    #: start losing the first tap.
+    oob_noise_good: float = 0.06
+    oob_noise_bad: float = 0.45
 
 
 #: Shared default thresholds.
@@ -137,6 +154,14 @@ class CaptureHealth:
     probes: tuple[ProbeHealth, ...]
     components: dict[str, float] = field(default_factory=dict)
     collector: QualityCollector | None = None
+    #: Adverse-capture sentinel readings (defaults = clean capture): the
+    #: robust noise amplitude of the worst alive probe, the worst
+    #: late-to-early channel energy ratio, the worst out-of-band energy
+    #: fraction, and the deconvolution rung they recommend starting on.
+    noise_floor: float = 0.0
+    reverb_ratio: float = 0.0
+    oob_noise: float = 0.0
+    recommended_method: str = "inverse"
 
     @property
     def weights(self) -> np.ndarray:
@@ -166,6 +191,10 @@ class CaptureHealth:
             "n_suspect": self.n_suspect,
             "n_dead": self.n_dead,
             "score": self.score(),
+            "noise_floor": float(self.noise_floor),
+            "reverb_ratio": float(self.reverb_ratio),
+            "oob_noise": float(self.oob_noise),
+            "recommended_method": self.recommended_method,
             "components": {
                 name: float(v) for name, v in sorted(self.components.items())
             },
@@ -174,15 +203,15 @@ class CaptureHealth:
 
 
 def _ear_stats(signal: np.ndarray, thresholds: PreflightThresholds):
-    """(snr_db, clip_ratio, dead) for one ear recording."""
+    """(snr_db, clip_ratio, dead, noise_floor) for one ear recording."""
     signal = np.asarray(signal, dtype=float)
     if signal.size == 0:
-        return float("-inf"), 0.0, True
+        return float("-inf"), 0.0, True, 0.0
     magnitude = np.abs(signal)
     peak = float(magnitude.max())
     rms = float(np.sqrt(np.mean(np.square(signal))))
     if peak == 0.0 or rms <= thresholds.dead_rms:
-        return float("-inf"), 0.0, True
+        return float("-inf"), 0.0, True, 0.0
     clip_ratio = float(np.mean(magnitude >= 0.985 * peak))
     # Robust noise floor: MAD of the half of the recording with the least
     # energy (the probe chirp occupies a contiguous region; the quietest
@@ -192,7 +221,7 @@ def _ear_stats(signal: np.ndarray, thresholds: PreflightThresholds):
     noise = _MAD_SIGMA * float(np.median(np.abs(tail - np.median(tail))))
     noise = max(noise, 1e-12)
     snr_db = float(20.0 * np.log10(peak / noise))
-    return snr_db, clip_ratio, False
+    return snr_db, clip_ratio, False, noise
 
 
 def preflight(
@@ -214,12 +243,15 @@ def preflight(
 
     with obs_trace.span("quality.preflight", n_probes=session.n_probes):
         probes = []
+        noise_floors = []
         for i, probe in enumerate(session.probes):
-            snr_l, clip_l, dead_l = _ear_stats(probe.left, t)
-            snr_r, clip_r, dead_r = _ear_stats(probe.right, t)
+            snr_l, clip_l, dead_l, noise_l = _ear_stats(probe.left, t)
+            snr_r, clip_r, dead_r, noise_r = _ear_stats(probe.right, t)
             dead = bool(dead_l or dead_r)
             snr_db = float(min(snr_l, snr_r))
             clip_ratio = float(max(clip_l, clip_r))
+            if not dead:
+                noise_floors.append(max(noise_l, noise_r))
             if dead:
                 weight = 0.0
             elif snr_db <= t.snr_suspect or clip_ratio >= t.clip_ratio_suspect:
@@ -287,15 +319,21 @@ def preflight(
 
         _coverage_checks(session, probes, t, quality)
         _gyro_checks(session, t, quality)
+        reverb_ratio, oob_noise = _adverse_checks(session, probes, t, quality)
 
+        components = {
+            name: score
+            for name, score in quality.components.items()
+            if name.startswith("preflight.")
+        }
         health = CaptureHealth(
             probes=tuple(probes),
-            components={
-                name: score
-                for name, score in quality.components.items()
-                if name.startswith("preflight.")
-            },
+            components=components,
             collector=quality,
+            noise_floor=float(max(noise_floors)) if noise_floors else 0.0,
+            reverb_ratio=reverb_ratio,
+            oob_noise=oob_noise,
+            recommended_method=_recommend_method(components),
         )
         obs_metrics.counter("quality.preflight_runs").inc()
         obs_metrics.gauge("quality.preflight_score").set(health.score())
@@ -461,3 +499,172 @@ def _gyro_checks(
         "preflight.gyro",
         min(saturation_score, dropout_score, bias_score, clock_score),
     )
+
+
+#: Channel window (seconds) for the reverberation sentinel: long enough to
+#: expose the late tail of a reverberant room, far past the head/pinna window.
+_REVERB_WINDOW_S = 0.05
+
+#: Cumulative-energy percentile bounding the probe's occupied band for the
+#: out-of-band noise sentinel (band = central 99 % of source energy).
+_BAND_PERCENTILE = 0.005
+
+
+def _source_band(source: np.ndarray, fs: int) -> tuple[float, float] | None:
+    """The frequency band holding the central 99 % of source energy."""
+    energy = np.abs(np.fft.rfft(source)) ** 2
+    total = float(energy.sum())
+    if total <= 0.0:
+        return None
+    freqs = np.fft.rfftfreq(source.shape[0], 1.0 / fs)
+    cumulative = np.cumsum(energy) / total
+    f_low = float(freqs[np.searchsorted(cumulative, _BAND_PERCENTILE)])
+    f_high = float(
+        freqs[min(np.searchsorted(cumulative, 1.0 - _BAND_PERCENTILE), freqs.size - 1)]
+    )
+    if f_high <= f_low:
+        return None
+    return f_low, f_high
+
+
+def _adverse_checks(
+    session: SessionData,
+    probes: list[ProbeHealth],
+    t: PreflightThresholds,
+    quality: QualityCollector,
+) -> tuple[float, float]:
+    """Reverberation and broadband-noise sentinels over sampled probes.
+
+    Deconvolves a 50 ms channel window for (up to) three alive probes —
+    first, middle, last of the sweep — and grades the worst case of:
+
+    - the late-to-early energy ratio (energy beyond the 2.5 ms room window
+      after the first tap vs energy within it) — reverberant rooms smear
+      energy into the tail that the head/pinna never produces;
+    - the out-of-band energy fraction of the raw recording vs the band the
+      probe chirp actually occupies — a linear room cannot create energy
+      outside the band that was played, so any excess is additive noise.
+
+    Returns ``(reverb_ratio, oob_noise)`` and emits the
+    ``preflight.reverb`` / ``preflight.noise`` components plus
+    ``reverberation`` / ``broadband_noise`` flags.
+    """
+    source = np.asarray(session.probe_signal, dtype=float)
+    alive = [p.index for p in probes if not p.dead]
+    if not alive or source.size == 0:
+        return 0.0, 0.0
+    sample = sorted({alive[0], alive[len(alive) // 2], alive[-1]})
+    fs = int(session.fs)
+    n_window = int(round(_REVERB_WINDOW_S * fs))
+    cutoff = int(round(ROOM_REFLECTION_CUTOFF_S * fs))
+    band = _source_band(source, fs)
+    reverb_ratio = 0.0
+    oob_noise = 0.0
+    n_late_taps = 0
+    graded = False
+    for index in sample:
+        probe = session.probes[index]
+        for recording in (probe.left, probe.right):
+            recording = np.asarray(recording, dtype=float)
+            # Out-of-band noise first: it needs no channel estimate, so a
+            # capture too noisy to even locate the first tap still gets a
+            # (maximally damning) noise reading.
+            if band is not None:
+                try:
+                    in_band = band_energy_ratio(recording, fs, band[0], band[1])
+                    oob_noise = max(oob_noise, 1.0 - in_band)
+                    graded = True
+                except SignalError:
+                    pass
+            try:
+                impulse = estimate_channel(
+                    recording, source, min(n_window, recording.shape[0])
+                )
+                first = first_tap_index(impulse)
+            except SignalError:
+                continue
+            cut = first + cutoff
+            if cut >= impulse.shape[0]:
+                continue
+            # Noise-compensated energies: additive mic noise floods the
+            # whole impulse estimate uniformly, so subtract the per-sample
+            # noise energy (robust MAD estimate — the real taps are sparse
+            # and leave the median untouched) from both windows.  Without
+            # this, broadband noise masquerades as reverberation.
+            med = float(np.median(impulse))
+            noise_energy = (
+                _MAD_SIGMA * float(np.median(np.abs(impulse - med)))
+            ) ** 2
+            n_late = impulse.shape[0] - cut
+            early = float(np.sum(impulse[first:cut] ** 2))
+            early -= (cut - first) * noise_energy
+            # Only grade reverberation when the early tap rises far enough
+            # above the late window's chi-square fluctuation
+            # (~sqrt(2 N) sigma^2) that the ratio is meaningful; a tap
+            # drowned in noise is the *noise* sentinel's problem.
+            late_fluctuation = float(np.sqrt(2.0 * n_late)) * noise_energy
+            if early <= max(20.0 * late_fluctuation, 0.0):
+                continue
+            late = float(np.sum(impulse[cut:] ** 2))
+            late = max(late - n_late * noise_energy, 0.0)
+            ratio = late / early
+            if ratio > reverb_ratio:
+                reverb_ratio = ratio
+                try:
+                    tap_indices, _ = find_taps(impulse, max_taps=16)
+                    n_late_taps = int(np.sum(tap_indices >= cut))
+                except SignalError:
+                    n_late_taps = 0
+            graded = True
+    if not graded:
+        return 0.0, 0.0
+
+    quality.component(
+        "preflight.reverb",
+        degradation_score(reverb_ratio, t.reverb_ratio_good, t.reverb_ratio_bad),
+    )
+    if reverb_ratio > t.reverb_ratio_good:
+        quality.flag(
+            "preflight",
+            "reverberation",
+            "warn" if reverb_ratio < t.reverb_ratio_bad else "error",
+            f"late/early channel energy ratio {reverb_ratio:.2f} "
+            f"({n_late_taps} significant taps beyond the "
+            f"{1e3 * ROOM_REFLECTION_CUTOFF_S:.1f} ms room window)",
+            value=reverb_ratio,
+            threshold=t.reverb_ratio_good,
+        )
+    quality.component(
+        "preflight.noise",
+        degradation_score(oob_noise, t.oob_noise_good, t.oob_noise_bad),
+    )
+    if oob_noise > t.oob_noise_good:
+        quality.flag(
+            "preflight",
+            "broadband_noise",
+            "warn" if oob_noise < t.oob_noise_bad else "error",
+            f"{oob_noise:.1%} of recording energy lies outside the probe "
+            f"band — additive broadband noise",
+            value=oob_noise,
+            threshold=t.oob_noise_good,
+        )
+    return reverb_ratio, oob_noise
+
+
+def _recommend_method(components: dict[str, float]) -> str:
+    """Starting deconvolution rung implied by the adverse sentinels.
+
+    Clean (both sentinel scores 1.0) starts on the inverse filter so clean
+    captures stay bit-identical; any degradation starts on the Wiener rung;
+    a sentinel driven to zero (past its ``bad`` threshold) starts on the
+    windowed time-domain LS rung directly.
+    """
+    worst = min(
+        components.get("preflight.reverb", 1.0),
+        components.get("preflight.noise", 1.0),
+    )
+    if worst <= 0.0:
+        return "tdls"
+    if worst < 1.0:
+        return "wiener"
+    return "inverse"

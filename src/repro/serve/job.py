@@ -66,6 +66,10 @@ class Job:
         Per-job wall-clock budget; ``None`` uses the server default.
     enforce_gesture_check:
         As :class:`repro.core.pipeline.UniqConfig`.
+    deconv:
+        Deconvolution strategy: ``"auto"`` (the default escalation
+        ladder) or one of :data:`repro.signals.deconvolve.LADDER` to pin
+        a single rung.  Part of the spec key when pinned.
     fault / fault_args:
         Optional :mod:`repro.testing.faults` injection applied to the
         capture before personalizing — how tests corrupt exactly one job
@@ -99,6 +103,7 @@ class Job:
     priority: int = 0
     timeout_s: float | None = None
     enforce_gesture_check: bool = True
+    deconv: str = "auto"
     fault: str | None = None
     fault_args: Mapping[str, Any] = field(default_factory=dict)
     crash_marker: str | None = None
@@ -115,6 +120,16 @@ class Job:
                 f"job {self.job_id!r} must set exactly one of subject_seed "
                 f"or session_path"
             )
+        if self.deconv != "auto":
+            from repro.signals.deconvolve import LADDER
+
+            if self.deconv not in LADDER:
+                raise ReproError(
+                    f"job {self.job_id!r} names unknown deconvolution "
+                    f"{self.deconv!r}; known: ['auto', "
+                    + ", ".join(repr(m) for m in LADDER)
+                    + "]"
+                )
         if self.fault is not None:
             self._validate_fault()
 
@@ -163,6 +178,10 @@ class Job:
             "fault_args": dict(sorted(self.fault_args.items())),
             "crash_marker": self.crash_marker,
         }
+        if self.deconv != "auto":
+            # Only when pinned: keys of auto jobs stay exactly as they
+            # were, so pre-ladder journals replay unchanged.
+            record["deconv"] = self.deconv
         if self.params:
             # Only when present: keys of params-less jobs stay exactly as
             # they were, so pre-params journals replay unchanged.
@@ -183,6 +202,7 @@ class Job:
             "priority": 0,
             "timeout_s": None,
             "enforce_gesture_check": True,
+            "deconv": "auto",
             "fault": None,
             "crash_marker": None,
         }

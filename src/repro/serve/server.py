@@ -185,6 +185,8 @@ class BatchReport:
         confidences: list[float] = []
         flagged_jobs: list[str] = []
         flag_counts: dict[str, int] = {}
+        rung_counts: dict[str, int] = {}
+        escalated_jobs: list[str] = []
         for result in self.results:
             payload = result.payload or {}
             if not result.ok or payload.get("quality") is None:
@@ -196,6 +198,11 @@ class BatchReport:
             for flag in flags:
                 key = f"{flag['stage']}.{flag['code']}"
                 flag_counts[key] = flag_counts.get(key, 0) + 1
+            deconv = payload.get("deconv") or {}
+            method = str(deconv.get("method", "inverse"))
+            rung_counts[method] = rung_counts.get(method, 0) + 1
+            if int(deconv.get("rung", 0)) > 0:
+                escalated_jobs.append(result.job_id)
         return {
             "graded_jobs": len(confidences),
             "mean_confidence": (
@@ -204,6 +211,8 @@ class BatchReport:
             "min_confidence": min(confidences) if confidences else None,
             "flagged_jobs": flagged_jobs,
             "flag_counts": dict(sorted(flag_counts.items())),
+            "deconv_method_counts": dict(sorted(rung_counts.items())),
+            "escalated_jobs": escalated_jobs,
         }
 
     def to_dict(self) -> dict[str, Any]:

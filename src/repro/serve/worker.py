@@ -156,8 +156,10 @@ def execute_job(spec: Mapping[str, Any]) -> dict[str, Any]:
         angle_step_deg=spec.get("angle_step_deg", 5.0),
         enforce_gesture_check=spec.get("enforce_gesture_check", True),
         session=session,
+        deconv=spec.get("deconv", "auto") or "auto",
     )
     a, b, c = result.head_parameters
+    salvage = (result.quality.salvage or {}) if result.quality else {}
     return {
         "head_parameters": [float(a), float(b), float(c)],
         "residual_deg": float(result.fusion.residual_deg),
@@ -166,6 +168,10 @@ def execute_job(spec: Mapping[str, Any]) -> dict[str, Any]:
         "n_angles": int(result.table.n_angles),
         "table_digest": table_digest(result.table),
         "confidence": float(result.confidence),
+        "deconv": {
+            "method": str(salvage.get("deconv_method", "inverse")),
+            "rung": int(salvage.get("deconv_rung", 0)),
+        },
         "quality": result.quality.to_dict() if result.quality else None,
         # Operational extras (identical across processes for a fixed spec
         # would be wrong to assume — keyed under "_stats" and excluded from

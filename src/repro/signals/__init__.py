@@ -29,6 +29,17 @@ from repro.signals.channel import (
     find_taps,
     truncate_after,
 )
+from repro.signals.deconvolve import (
+    DECONVOLVERS,
+    LADDER,
+    estimate_noise_floor,
+    inverse_deconvolve,
+    ladder_next,
+    noise_regularization,
+    rung_of,
+    tdls_deconvolve,
+    wiener_deconvolve,
+)
 from repro.signals.correlation import (
     max_normalized_correlation,
     correlation_and_lag,
@@ -52,6 +63,15 @@ __all__ = [
     "add_tap",
     "ProbeChannelBank",
     "estimate_channel",
+    "DECONVOLVERS",
+    "LADDER",
+    "estimate_noise_floor",
+    "inverse_deconvolve",
+    "ladder_next",
+    "noise_regularization",
+    "rung_of",
+    "tdls_deconvolve",
+    "wiener_deconvolve",
     "first_tap_index",
     "refine_tap_position",
     "find_taps",

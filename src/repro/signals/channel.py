@@ -103,29 +103,88 @@ class ProbeChannelBank:
 
     The cache key is caller-chosen (the pipeline uses ``(probe_index,
     "left"|"right")``) so the bank never needs to hash recording arrays.
-    A bank belongs to one session's ``probe_signal``; build a new bank per
-    session.  Instances are not thread-safe; share per-thread or guard
-    externally.
+    Internally every cache entry is additionally keyed by the active
+    deconvolution *method* and regularizer (see
+    :mod:`repro.signals.deconvolve`): when the pipeline escalates the
+    deconvolution ladder mid-run via :meth:`set_method`, a retried probe is
+    re-deconvolved under the new method instead of silently reusing the
+    rung-0 estimate.  A bank belongs to one session's ``probe_signal``;
+    build a new bank per session.  Instances are not thread-safe; share
+    per-thread or guard externally.
     """
 
-    def __init__(self, source: np.ndarray, regularization: float = 1e-3) -> None:
+    def __init__(
+        self,
+        source: np.ndarray,
+        regularization: float = 1e-3,
+        method: str = "inverse",
+        noise_floor: float | None = None,
+    ) -> None:
         self._source = np.asarray(source, dtype=float)
         if self._source.ndim != 1:
             raise SignalError("estimate_channel expects 1D arrays")
         if self._source.shape[0] < 8:
             raise SignalError("source too short to deconvolve")
         self._regularization = float(regularization)
-        #: n_fft -> (conj(rfft(source)), |rfft(source)|^2 + floor)
-        self._source_spectra: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._method = str(method)
+        self._noise_floor = None if noise_floor is None else float(noise_floor)
+        if self._method != "inverse":
+            self._check_method(self._method)
+        #: (n_fft, regularization) -> (conj(rfft(source)), |S|^2 + floor)
+        self._source_spectra: dict[
+            tuple[int, float], tuple[np.ndarray, np.ndarray]
+        ] = {}
+        #: (method, regularization, key) -> full-length impulse estimate
         self._impulses: dict[Hashable, np.ndarray] = {}
+
+    @staticmethod
+    def _check_method(method: str) -> None:
+        from repro.signals.deconvolve import DECONVOLVERS
+
+        if method not in DECONVOLVERS:
+            raise SignalError(
+                f"unknown deconvolution method {method!r}; "
+                f"known: {sorted(DECONVOLVERS)}"
+            )
+
+    @property
+    def method(self) -> str:
+        """The active deconvolution method (``repro.signals.deconvolve``)."""
+        return self._method
+
+    @property
+    def regularization(self) -> float:
+        """The active relative Tikhonov floor."""
+        return self._regularization
+
+    def set_method(
+        self,
+        method: str,
+        regularization: float | None = None,
+        noise_floor: float | None = None,
+    ) -> None:
+        """Switch the active deconvolution method (a ladder climb).
+
+        Cached impulses from other methods are kept but never served while
+        this method is active — the cache key includes the method and
+        regularizer, so climbing back down (or re-requesting an old key)
+        stays correct.
+        """
+        self._check_method(method)
+        self._method = str(method)
+        if regularization is not None:
+            self._regularization = float(regularization)
+        if noise_floor is not None:
+            self._noise_floor = float(noise_floor)
 
     @property
     def n_cached(self) -> int:
-        """Number of distinct probe/ear impulse responses held."""
+        """Number of distinct (method, probe/ear) impulse responses held."""
         return len(self._impulses)
 
     def _source_spectrum(self, n_fft: int) -> tuple[np.ndarray, np.ndarray]:
-        cached = self._source_spectra.get(n_fft)
+        cache_key = (n_fft, self._regularization)
+        cached = self._source_spectra.get(cache_key)
         if cached is None:
             spectrum_s = np.fft.rfft(self._source, n_fft)
             power = np.abs(spectrum_s) ** 2
@@ -133,7 +192,7 @@ class ProbeChannelBank:
             if floor == 0.0:
                 raise SignalError("source signal is all zeros")
             cached = (np.conj(spectrum_s), power + floor)
-            self._source_spectra[n_fft] = cached
+            self._source_spectra[cache_key] = cached
         return cached
 
     def channel(
@@ -141,23 +200,39 @@ class ProbeChannelBank:
     ) -> np.ndarray:
         """The cached impulse response for ``key``, windowed to ``length``.
 
-        The first call for a ``key`` deconvolves ``recording``; later calls
-        ignore ``recording`` and reslice the stored full-length estimate, so
-        differing window lengths across pipeline stages still share one
-        deconvolution.  Results are bit-identical to
+        The first call for a ``key`` (under the active method) deconvolves
+        ``recording``; later calls ignore ``recording`` and reslice the
+        stored full-length estimate, so differing window lengths across
+        pipeline stages still share one deconvolution.  Under the default
+        ``inverse`` method, results are bit-identical to
         :func:`estimate_channel` with the same inputs.
         """
-        impulse = self._impulses.get(key)
+        full_key = (self._method, self._regularization, key)
+        impulse = self._impulses.get(full_key)
         if impulse is None:
             recording = np.asarray(recording, dtype=float)
             _validate_deconvolution_inputs(recording, self._source)
-            n_fft = int(
-                2 ** np.ceil(np.log2(recording.shape[0] + self._source.shape[0]))
-            )
-            conj_s, denominator = self._source_spectrum(n_fft)
-            spectrum_y = np.fft.rfft(recording, n_fft)
-            impulse = np.fft.irfft(spectrum_y * conj_s / denominator, n_fft)
-            self._impulses[key] = impulse
+            if self._method == "inverse":
+                n_fft = int(
+                    2
+                    ** np.ceil(
+                        np.log2(recording.shape[0] + self._source.shape[0])
+                    )
+                )
+                conj_s, denominator = self._source_spectrum(n_fft)
+                spectrum_y = np.fft.rfft(recording, n_fft)
+                impulse = np.fft.irfft(spectrum_y * conj_s / denominator, n_fft)
+            else:
+                from repro.signals.deconvolve import DECONVOLVERS
+
+                impulse = DECONVOLVERS[self._method](
+                    recording,
+                    self._source,
+                    length=recording.shape[0],
+                    regularization=self._regularization,
+                    noise_floor=self._noise_floor,
+                )
+            self._impulses[full_key] = impulse
             obs_metrics.counter("channel.bank_deconvolutions").inc()
         else:
             obs_metrics.counter("channel.bank_hits").inc()

@@ -39,6 +39,8 @@ __all__ = [
     "gyro_dropout",
     "gyro_saturation",
     "mic_noise",
+    "noisy_reverberant",
+    "reverberant_room",
     "shard_down",
     "slow_start",
     "synthetic_failure",
@@ -94,6 +96,102 @@ def mic_noise(session: SessionData, std: float, seed: int = 0) -> SessionData:
         for p in session.probes
     )
     return replace(session, probes=probes)
+
+
+def reverberant_room(
+    session: SessionData,
+    rt60_s: float = 0.4,
+    width_m: float = 4.0,
+    depth_m: float = 3.0,
+    wet_level: float = 1.0,
+) -> SessionData:
+    """Convolve every probe recording through a reverberant shoebox room.
+
+    Activates :class:`repro.room_acoustics.image_source.ShoeboxRoom` in the
+    production test path: the wall absorption is solved from the requested
+    ``rt60_s`` by inverting the Sabine estimate, the image-source echo
+    train (orders >= 1) is rendered into a fractional-delay impulse
+    response per ear, and each recording is convolved with
+    ``direct + wet_level * tail``.  Geometry is a fixed deterministic
+    placement inside the room, with the two ears offset so left/right get
+    decorrelated tails.  Higher ``rt60_s`` -> lower absorption -> stronger,
+    longer tails, monotonically.
+    """
+    if rt60_s <= 0:
+        raise ReproError(f"rt60_s must be positive, got {rt60_s}")
+    if wet_level < 0:
+        raise ReproError(f"wet_level must be >= 0, got {wet_level}")
+    from scipy.signal import fftconvolve
+
+    from repro.room_acoustics.image_source import ShoeboxRoom
+    from repro.signals.delays import add_tap
+
+    # Invert the 2D Sabine estimate rt60 = 0.16 * area / (absorption *
+    # perimeter) for the wall absorption that produces the requested decay.
+    area = width_m * depth_m
+    perimeter = 2.0 * (width_m + depth_m)
+    absorption = float(np.clip(0.16 * area / (rt60_s * perimeter), 0.02, 1.0))
+    room = ShoeboxRoom(width=width_m, depth=depth_m, absorption=absorption)
+
+    # Deterministic geometry: listener off-center (avoids degenerate
+    # symmetric image trains), phone-speaker source at arm's length, ears
+    # offset laterally for decorrelated left/right tails.
+    listener = np.array([0.42 * width_m, 0.38 * depth_m])
+    source = listener + np.array([0.45, 0.35])
+    ear_offset = np.array([0.075, 0.0])
+
+    fs = session.fs
+    impulse_responses = []
+    for sign in (+1.0, -1.0):  # left, right
+        images = room.image_sources(
+            source, listener + sign * ear_offset, max_order=6, min_gain=1e-4
+        )
+        direct = images[0]
+        tail_span = max(img.delay_s - direct.delay_s for img in images)
+        ir = np.zeros(int(np.ceil(tail_span * fs)) + 16)
+        ir[0] = 1.0
+        for img in images[1:]:
+            add_tap(
+                ir,
+                (img.delay_s - direct.delay_s) * fs,
+                wet_level * img.gain / direct.gain,
+            )
+        impulse_responses.append(ir)
+
+    left_ir, right_ir = impulse_responses
+    probes = tuple(
+        ProbeMeasurement(
+            time=p.time,
+            left=fftconvolve(p.left, left_ir)[: p.left.shape[0]],
+            right=fftconvolve(p.right, right_ir)[: p.right.shape[0]],
+        )
+        for p in session.probes
+    )
+    return replace(session, probes=probes)
+
+
+def noisy_reverberant(
+    session: SessionData,
+    rt60_s: float = 0.5,
+    std: float = 0.05,
+    width_m: float = 4.0,
+    depth_m: float = 3.0,
+    wet_level: float = 1.0,
+    seed: int = 0,
+) -> SessionData:
+    """The compound in-the-wild capture: a reverberant room *and* mic noise.
+
+    Composition order matters and mirrors physics: the room smears the
+    probe first, then the microphone adds its own noise on top.
+    """
+    echoic = reverberant_room(
+        session,
+        rt60_s=rt60_s,
+        width_m=width_m,
+        depth_m=depth_m,
+        wet_level=wet_level,
+    )
+    return mic_noise(echoic, std=std, seed=seed)
 
 
 def zeroed(session: SessionData) -> SessionData:
@@ -331,6 +429,8 @@ FAULTS = {
     "gyro_dropout": gyro_dropout,
     "gyro_saturation": gyro_saturation,
     "mic_noise": mic_noise,
+    "noisy_reverberant": noisy_reverberant,
+    "reverberant_room": reverberant_room,
     "shard_down": shard_down,
     "slow_start": slow_start,
     "synthetic-failure": synthetic_failure,

@@ -35,11 +35,14 @@ from repro.core.aoa import KnownSourceAoAEstimator
 from repro.core.pipeline import personalize_capture
 
 __all__ = [
+    "ADVERSE_CASES",
     "DEFAULT_CASES",
     "DEFAULT_TOLERANCES",
+    "adverse_fixture_path",
     "compare_summaries",
     "golden_dir",
     "load_summary",
+    "summarize_adverse_case",
     "summarize_case",
     "write_summary",
 ]
@@ -51,6 +54,29 @@ DEFAULT_CASES = ((1, 0), (7, 3))
 
 #: Capture/table configuration shared by every golden case.
 CASE_CONFIG = {"probe_interval_s": 0.6, "angle_step_deg": 15.0}
+
+#: Adverse golden cases: seeded captures pushed through a registered fault
+#: and personalized with the default ``auto`` deconvolution ladder.  Each
+#: pins the chosen method/rung, the flags raised, and the table digest, so
+#: a refactor can change neither *what* an adverse capture produces nor
+#: *how* the ladder handled it.  ``reverberant`` completes on a robust rung
+#: with flags; ``noisy_reverberant`` is the rescue case — the same capture
+#: raises :class:`repro.errors.CalibrationError` when ``deconv`` is pinned
+#: to ``"inverse"``.
+ADVERSE_CASES: dict[str, dict[str, Any]] = {
+    "reverberant": {
+        "subject_seed": 1,
+        "session_seed": 0,
+        "fault": "reverberant_room",
+        "fault_args": {"rt60_s": 0.9, "wet_level": 1.6},
+    },
+    "noisy_reverberant": {
+        "subject_seed": 1,
+        "session_seed": 0,
+        "fault": "noisy_reverberant",
+        "fault_args": {"rt60_s": 0.9, "std": 0.3},
+    },
+}
 
 #: Off-grid AoA test angles (not multiples of the 15-degree table step).
 AOA_ANGLES = (23.0, 71.0, 112.0, 158.0)
@@ -129,6 +155,51 @@ def summarize_case(subject_seed: int, session_seed: int) -> dict[str, Any]:
         )
         if result.quality is not None
         else [],
+    }
+
+
+def summarize_adverse_case(name: str) -> dict[str, Any]:
+    """Recompute the summary for one adverse (faulted) golden case.
+
+    A reduced field set versus :func:`summarize_case`: adverse tables are
+    robust-rung reconstructions whose per-angle magnitudes and AoA behavior
+    are intentionally degraded, so the pinned contract is the *handling* —
+    head fit, residual, confidence, flags, chosen deconvolution rung, and
+    the exact digest — not spectral fidelity.
+    """
+    from repro.simulation.person import VirtualSubject
+    from repro.simulation.session import MeasurementSession
+    from repro.testing.faults import apply_fault
+
+    spec = ADVERSE_CASES[name]
+    session = MeasurementSession(
+        VirtualSubject.random(int(spec["subject_seed"])),
+        seed=int(spec["session_seed"]),
+        probe_interval_s=float(CASE_CONFIG["probe_interval_s"]),
+    ).run()
+    faulted = apply_fault(session, spec["fault"], **dict(spec["fault_args"]))
+    _, result = personalize_capture(
+        subject_seed=int(spec["subject_seed"]),
+        session=faulted,
+        angle_step_deg=float(CASE_CONFIG["angle_step_deg"]),
+    )
+    a, b, c = result.head_parameters
+    salvage = result.quality.salvage if result.quality is not None else {}
+    return {
+        "case": {"name": name, **spec, **CASE_CONFIG},
+        "head_parameters_m": [float(a), float(b), float(c)],
+        "residual_deg": float(result.fusion.residual_deg),
+        "gyro_bias_dps": float(result.fusion.gyro_bias_dps),
+        "n_probes": int(session.n_probes),
+        "table_digest": table_digest(result.table),
+        "confidence": float(result.confidence),
+        "quality_flags": sorted(
+            {flag.key for flag in result.quality.flags}
+        )
+        if result.quality is not None
+        else [],
+        "deconv_method": str(salvage.get("deconv_method", "inverse")),
+        "deconv_rung": int(salvage.get("deconv_rung", 0)),
     }
 
 
@@ -225,6 +296,11 @@ def compare_summaries(
             actual["confidence"],
             tol["confidence"],
         )
+    for name in ("deconv_method", "deconv_rung"):
+        # Ladder outcomes are discrete: the method and rung an adverse case
+        # settled on are part of the pinned contract, exactly.
+        if shared(name) and expected[name] != actual[name]:
+            violations.append(f"{name}: {actual[name]!r} != {expected[name]!r}")
     if shared("quality_flags"):
         want_flags = list(expected["quality_flags"])
         got_flags = list(actual["quality_flags"])
@@ -255,6 +331,10 @@ def fixture_path(subject_seed: int, session_seed: int) -> str:
     return os.path.join(
         golden_dir(), f"case_subject{subject_seed}_session{session_seed}.json"
     )
+
+
+def adverse_fixture_path(name: str) -> str:
+    return os.path.join(golden_dir(), f"adverse_{name}.json")
 
 
 def load_summary(path: str | os.PathLike) -> dict[str, Any]:

@@ -15,11 +15,14 @@ import sys
 import time
 
 from repro.testing.golden import (
+    ADVERSE_CASES,
     DEFAULT_CASES,
+    adverse_fixture_path,
     compare_summaries,
     fixture_path,
     golden_dir,
     load_summary,
+    summarize_adverse_case,
     summarize_case,
     write_summary,
 )
@@ -64,6 +67,27 @@ def main(argv: list[str] | None = None) -> int:
             status = "ok" if not violations else "DIFFERS"
             print(f"{status:8s} subject {subject_seed} / session "
                   f"{session_seed} ({wall:.1f} s)")
+            for violation in violations:
+                print(f"  - {violation}")
+            failures += bool(violations)
+        else:
+            write_summary(summary, path)
+            print(f"wrote    {path} ({wall:.1f} s)")
+    for name in ADVERSE_CASES:
+        start = time.perf_counter()
+        summary = summarize_adverse_case(name)
+        wall = time.perf_counter() - start
+        path = adverse_fixture_path(name)
+        if args.out_dir:
+            path = os.path.join(out_dir, os.path.basename(path))
+        if args.check:
+            if not os.path.exists(path):
+                print(f"MISSING {path}")
+                failures += 1
+                continue
+            violations = compare_summaries(load_summary(path), summary)
+            status = "ok" if not violations else "DIFFERS"
+            print(f"{status:8s} adverse {name} ({wall:.1f} s)")
             for violation in violations:
                 print(f"  - {violation}")
             failures += bool(violations)

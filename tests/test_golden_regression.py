@@ -15,11 +15,14 @@ import os
 import pytest
 
 from repro.testing.golden import (
+    ADVERSE_CASES,
     DEFAULT_CASES,
     DEFAULT_TOLERANCES,
+    adverse_fixture_path,
     compare_summaries,
     fixture_path,
     load_summary,
+    summarize_adverse_case,
     summarize_case,
 )
 
@@ -55,6 +58,52 @@ class TestGoldenCases:
         if os.environ.get("REPRO_GOLDEN_EXACT", "") != "1":
             pytest.skip("exact-digest check is opt-in (REPRO_GOLDEN_EXACT=1)")
         expected, actual = case
+        assert actual["table_digest"] == expected["table_digest"]
+
+
+@pytest.fixture(scope="module", params=sorted(ADVERSE_CASES))
+def adverse_case(request):
+    path = adverse_fixture_path(request.param)
+    assert os.path.exists(path), (
+        f"missing golden fixture {path} — run "
+        "`python -m repro.testing.regen_golden`"
+    )
+    expected = load_summary(path)
+    actual = summarize_adverse_case(request.param)
+    return expected, actual
+
+
+class TestAdverseGoldenCases:
+    """Faulted captures must keep producing the *same* degraded result.
+
+    The ladder handling of an adverse capture is pinned end to end: which
+    rung it settled on, which flags it raised, the reduced confidence, and
+    the digest of the robust-rung table.  A refactor that silently changes
+    any of those — e.g. a sentinel threshold drift that stops escalation —
+    fails here even though the clean cases stay bit-identical.
+    """
+
+    def test_ladder_handling_matches_committed_fixture(self, adverse_case):
+        expected, actual = adverse_case
+        violations = compare_summaries(expected, actual)
+        assert not violations, "adverse golden regression:\n" + "\n".join(
+            f"  - {v}" for v in violations
+        )
+
+    def test_adverse_cases_escalate_with_reduced_confidence(self, adverse_case):
+        # Not just "matches the fixture": the fixtures themselves must keep
+        # describing rescued captures, not captures the ladder stopped
+        # noticing were adverse.
+        _, actual = adverse_case
+        assert actual["deconv_rung"] > 0
+        assert actual["deconv_method"] != "inverse"
+        assert 0.0 < actual["confidence"] < 1.0
+        assert actual["quality_flags"]
+
+    def test_exact_digest_matches_on_this_platform(self, adverse_case):
+        if os.environ.get("REPRO_GOLDEN_EXACT", "") != "1":
+            pytest.skip("exact-digest check is opt-in (REPRO_GOLDEN_EXACT=1)")
+        expected, actual = adverse_case
         assert actual["table_digest"] == expected["table_digest"]
 
 
@@ -140,6 +189,15 @@ class TestComparatorSensitivity:
         actual["brand_new_metric"] = 1.0
         violations = compare_summaries(expected, actual)
         assert any("brand_new_metric" in v for v in violations)
+
+    def test_deconv_outcome_drift_fails(self):
+        expected = load_summary(adverse_fixture_path(sorted(ADVERSE_CASES)[0]))
+        actual = copy.deepcopy(expected)
+        actual["deconv_rung"] = 0
+        actual["deconv_method"] = "inverse"
+        violations = compare_summaries(expected, actual)
+        assert any("deconv_rung" in v for v in violations)
+        assert any("deconv_method" in v for v in violations)
 
     def test_missing_magnitude_bank_fails(self, expected):
         actual = copy.deepcopy(expected)

@@ -297,4 +297,7 @@ class TestGestureRejectionCounter:
         with pytest.raises(CalibrationError):
             Uniq(UniqConfig(angle_grid_deg=GRID)).personalize(session)
         after = obs_metrics.counter("uniq.gesture_rejections").value
-        assert after == before + 1
+        # Every rung of the deconvolution ladder that still fails the
+        # gesture check counts one rejection, so a hopeless capture
+        # records at least one (and at most one per rung tried).
+        assert after >= before + 1

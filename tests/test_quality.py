@@ -15,7 +15,7 @@ from dataclasses import replace
 
 import numpy as np
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import CalibrationError, ReproError, SignalError
@@ -57,6 +57,8 @@ FAULT_MATRIX = {
     "clipped": lambda peak: {"level": 0.2 * peak},
     "dropout": lambda peak: {"keep_every": 3},
     "mic_noise": lambda peak: {"std": 0.6},
+    "reverberant_room": lambda peak: {"rt60_s": 0.9, "wet_level": 1.6},
+    "noisy_reverberant": lambda peak: {"rt60_s": 0.9, "std": 0.3},
     "zeroed": lambda peak: {},
     "gyro_saturation": lambda peak: {"limit_dps": 6.0},
     "gyro_dropout": lambda peak: {"start_frac": 0.25, "duration_frac": 0.3},
@@ -247,6 +249,46 @@ class TestMonotoneConfidence:
         scores = [
             preflight(clipped(small_session, frac * peak)).score()
             for frac in sorted(fracs, reverse=True)
+        ]
+        for milder, harsher in zip(scores, scores[1:]):
+            assert harsher <= milder + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        rt60s=st.lists(
+            st.floats(min_value=0.2, max_value=1.5),
+            min_size=2,
+            max_size=3,
+            unique=True,
+        )
+    )
+    def test_confidence_never_rises_with_rt60(self, small_session, rt60s):
+        """A longer reverberation tail can only lower the capture confidence."""
+        scores = [
+            preflight(
+                apply_fault(
+                    small_session, "reverberant_room", rt60_s=rt, wet_level=1.6
+                )
+            ).score()
+            for rt in sorted(rt60s)
+        ]
+        for milder, harsher in zip(scores, scores[1:]):
+            assert harsher <= milder + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        stds=st.lists(
+            st.floats(min_value=0.01, max_value=0.6),
+            min_size=2,
+            max_size=3,
+            unique=True,
+        )
+    )
+    def test_confidence_never_rises_with_noise_level(self, small_session, stds):
+        """A higher broadband noise floor can only lower the confidence."""
+        scores = [
+            preflight(apply_fault(small_session, "mic_noise", std=std)).score()
+            for std in sorted(stds)
         ]
         for milder, harsher in zip(scores, scores[1:]):
             assert harsher <= milder + 1e-9
